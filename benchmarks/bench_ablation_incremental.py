@@ -1,0 +1,98 @@
+"""Ablation: incremental timing update vs full re-analysis.
+
+Fig. 5's left side leans on "incremental timing update techniques" —
+re-running full STA after each of thousands of transforms would drown
+the flow.  This bench replays a transform sequence twice, once with the
+cone-invalidation incremental engine and once with full updates, checks
+they agree exactly, and reports the speedup.
+"""
+
+import time
+
+import pytest
+
+from repro.designs.suite import build_design
+from repro.netlist.edit import resize_gate
+from repro.timing.sta import STAEngine
+
+from benchmarks.conftest import print_table
+
+DESIGN = "D6"
+MOVES = 60
+
+
+def _fresh():
+    design = build_design(DESIGN)
+    engine = STAEngine(
+        design.netlist, design.constraints,
+        design.placement, design.sta_config,
+    )
+    engine.update_timing()
+    return design, engine
+
+
+def _move_plan(design):
+    gates = [
+        g for g in design.netlist.combinational_gates()
+        if not g.startswith("ckbuf")
+    ][:MOVES]
+    return [(g, i % 2 == 0) for i, g in enumerate(gates)]
+
+
+def test_incremental_vs_full(benchmark):
+    design_inc, engine_inc = _fresh()
+    plan = _move_plan(design_inc)
+
+    start = time.perf_counter()
+    visited_total = 0
+    for gate, up in plan:
+        change = resize_gate(design_inc.netlist, gate, up=up)
+        if change is not None:
+            from repro.timing.incremental import apply_change_incremental
+
+            visited_total += apply_change_incremental(engine_inc, change)
+    incremental_seconds = time.perf_counter() - start
+    incremental_slacks = {
+        s.name: s.slack for s in engine_inc.setup_slacks()
+    }
+
+    design_full, engine_full = _fresh()
+    start = time.perf_counter()
+    for gate, up in plan:
+        change = resize_gate(design_full.netlist, gate, up=up)
+        if change is not None:
+            for gate_name in change.gates:
+                from repro.timing.incremental import refresh_gate_arcs
+
+                refresh_gate_arcs(engine_full.graph, gate_name)
+            engine_full._setup_slack_cache = None
+            engine_full.update_timing()
+    full_seconds = time.perf_counter() - start
+    full_slacks = {s.name: s.slack for s in engine_full.setup_slacks()}
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # Exactness first: incremental must equal full.
+    for name, value in full_slacks.items():
+        assert incremental_slacks[name] == pytest.approx(value, abs=1e-6)
+
+    nodes = engine_inc.graph.node_count()
+    speedup = full_seconds / incremental_seconds
+    print_table(
+        f"Ablation: incremental vs full timing update on {DESIGN} "
+        f"({len(plan)} resizes, {nodes} timing nodes)",
+        ["strategy", "seconds", "nodes touched/move"],
+        [
+            ["full re-analysis", f"{full_seconds:.2f}", nodes],
+            ["incremental", f"{incremental_seconds:.2f}",
+             f"{visited_total / max(len(plan), 1):.0f}"],
+            ["speedup", f"{speedup:.1f}x", ""],
+        ],
+        note=(
+            "Identical slacks (asserted to 1e-6 ps).  The speedup is "
+            "what makes a transform loop with thousands of trials "
+            "feasible — the paper's 'incremental timing update "
+            "techniques [18]'."
+        ),
+    )
+    assert speedup > 2.0

@@ -1,0 +1,66 @@
+"""Ablation: k' — paths kept per endpoint (§3.2's k' = 20).
+
+Small k' risks missing gates and overfitting the very worst paths;
+large k' costs enumeration/PBA/fit time for diminishing accuracy.  The
+sweep evaluates each fit on a fixed *evaluation pool* (k'=40) so bigger
+training sets cannot grade their own homework.
+"""
+
+import pytest
+
+from repro.mgba.metrics import pass_ratio
+from repro.mgba.problem import build_problem
+from repro.mgba.selection import gate_coverage, path_pool_gates, per_endpoint_topk
+from repro.mgba.solvers import solve_direct
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import enumerate_worst_paths
+
+from benchmarks.conftest import print_table
+
+DESIGN = "D6"
+K_VALUES = (1, 2, 5, 10, 20, 40)
+EVAL_K = 40
+
+
+def test_kprime_sweep(benchmark, engine_cache):
+    engine = engine_cache(DESIGN)
+    pool = enumerate_worst_paths(engine.graph, engine.state, EVAL_K)
+    PBAEngine(engine).analyze(pool)
+    evaluation = build_problem(pool)
+    universe = path_pool_gates(pool)
+
+    def fit_and_eval(k):
+        selected = per_endpoint_topk(pool, k)
+        problem = build_problem(selected)
+        x = solve_direct(problem).x
+        weights = dict(zip(problem.gates, x))
+        eval_x = [weights.get(g, 0.0) for g in evaluation.gates]
+        corrected = evaluation.corrected_slacks(eval_x)
+        ratio = pass_ratio(corrected, evaluation.s_pba)
+        coverage = gate_coverage(selected, universe)[0]
+        return len(selected), coverage, ratio
+
+    benchmark.pedantic(fit_and_eval, args=(20,), rounds=1, iterations=1)
+
+    rows = []
+    ratios = []
+    for k in K_VALUES:
+        count, coverage, ratio = fit_and_eval(k)
+        ratios.append(ratio)
+        rows.append([
+            k, count, f"{coverage*100:.1f}%", f"{ratio*100:.2f}",
+        ])
+    print_table(
+        f"Ablation: k' (paths per endpoint) on {DESIGN}, "
+        f"evaluated on the k'={EVAL_K} pool",
+        ["k'", "paths fitted", "gate coverage", "pool pass (%)"],
+        rows,
+        note=(
+            "Pass ratio rises with coverage and saturates near the "
+            "paper's k' = 20; k'=1 already beats raw GBA massively."
+        ),
+    )
+    gba_ratio = pass_ratio(evaluation.s_gba, evaluation.s_pba)
+    assert ratios[0] > gba_ratio            # even k'=1 helps
+    assert max(ratios) == pytest.approx(ratios[-1], abs=0.06)
+    assert ratios[-1] > 0.9

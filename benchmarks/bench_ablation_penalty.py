@@ -1,0 +1,72 @@
+"""Ablation: the constraint penalty weight w of Eq. (6).
+
+Eq. (6) replaces the hard one-sided constraint with a quadratic
+penalty.  Tiny w lets the fit drift optimistic; huge w distorts the
+least-squares part.  The sweep shows the wide flat region that makes
+the penalty form practical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mgba.metrics import mse
+from repro.mgba.problem import build_problem
+from repro.mgba.solvers import solve_direct
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import enumerate_worst_paths
+
+from benchmarks.conftest import print_table
+
+DESIGN = "D3"
+PENALTIES = (0.0, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+def test_penalty_sweep(benchmark, engine_cache):
+    engine = engine_cache(DESIGN)
+    paths = enumerate_worst_paths(engine.graph, engine.state, 20)
+    PBAEngine(engine).analyze(paths)
+
+    def fit(penalty):
+        # epsilon = 0: the bound sits exactly at the golden slack, so
+        # the unconstrained least-squares fit *does* overshoot on about
+        # half the rows and the penalty has real work to do.
+        problem = build_problem(paths, epsilon=0.0, penalty=penalty)
+        x = solve_direct(problem).x
+        corrected = problem.corrected_slacks(x)
+        bound = problem.s_pba + problem.epsilon * np.abs(problem.s_pba)
+        violation = np.maximum(corrected - bound, 0.0)
+        return problem, corrected, violation
+
+    benchmark.pedantic(fit, args=(10.0,), rounds=1, iterations=1)
+
+    rows = []
+    worst_violations = []
+    fit_errors = []
+    for penalty in PENALTIES:
+        problem, corrected, violation = fit(penalty)
+        worst = float(violation.max())
+        worst_violations.append(worst)
+        fit_errors.append(mse(corrected, problem.s_pba))
+        rows.append([
+            f"{penalty:g}",
+            f"{fit_errors[-1]*1e3:.4f}",
+            f"{worst:.3f}",
+            f"{(violation > 1e-6).mean()*100:.1f}%",
+        ])
+    print_table(
+        f"Ablation: penalty weight w (Eq. 6) on {DESIGN}",
+        ["w", "mse (x1e-3)", "worst bound violation (ps)",
+         "violating paths"],
+        rows,
+        note=(
+            "Bound violations shrink monotonically with w while mse "
+            "stays flat over orders of magnitude — the penalty form is "
+            "robust to its one hyper-parameter."
+        ),
+    )
+    # More penalty -> no more violation (weakly monotone).
+    for lighter, heavier in zip(worst_violations, worst_violations[1:]):
+        assert heavier <= lighter + 1e-6
+    # And the fit error stays the same order of magnitude throughout.
+    positive = [e for e in fit_errors if e > 0]
+    assert max(positive) / min(positive) < 50

@@ -1,0 +1,104 @@
+"""Ablation: where does GBA pessimism come from, and does mGBA absorb
+each source?
+
+The paper's "general" claim is that the weighting formulation absorbs
+*any* graph-vs-path gap — AOCV worst depth, missing CRPR, worst slew
+propagation — not just the derate part prior work addressed.  We build
+three golden references of increasing fidelity and fit mGBA against
+each:
+
+1. derate-only golden (path depth + distance; no CRPR, no slew recalc);
+2. + exact CRPR credit;
+3. + path-specific slew propagation.
+
+For each: the GBA pass ratio (how bad the problem is) and the mGBA pass
+ratio after fitting (how much the framework absorbs).
+"""
+
+import copy
+
+import pytest
+
+from repro.mgba.metrics import pass_ratio
+from repro.mgba.problem import build_problem
+from repro.mgba.solvers import solve_direct
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import enumerate_worst_paths
+from repro.timing.crpr import CRPRCalculator
+
+from benchmarks.conftest import print_table
+
+DESIGN = "D6"
+
+
+class _NoCreditCRPR(CRPRCalculator):
+    """A CRPR calculator that never credits (ablation 1)."""
+
+    def credit(self, launch_ck, capture_ck) -> float:
+        return 0.0
+
+
+def _golden(engine, paths, with_crpr: bool, with_slew: bool):
+    batch = [copy.copy(p) for p in paths]
+    pba = PBAEngine(engine, recalc_slew=with_slew)
+    if not with_crpr:
+        pba.sta = engine  # unchanged; swap the credit source below
+        original = engine.crpr
+        engine.crpr = _NoCreditCRPR(engine.graph, engine.state)
+        try:
+            pba.analyze(batch)
+        finally:
+            engine.crpr = original
+    else:
+        pba.analyze(batch)
+    return batch
+
+
+def test_pessimism_source_ablation(benchmark, engine_cache):
+    engine = engine_cache(DESIGN)
+    paths = enumerate_worst_paths(engine.graph, engine.state, 20)
+
+    benchmark.pedantic(
+        _golden, args=(engine, paths, True, True), rounds=1, iterations=1
+    )
+
+    variants = [
+        ("derate only", False, False),
+        ("+ CRPR", True, False),
+        ("+ slew recalc", True, True),
+    ]
+    rows = []
+    mgba_ratios = []
+    previous_pessimism = -1.0
+    for label, with_crpr, with_slew in variants:
+        batch = _golden(engine, paths, with_crpr, with_slew)
+        problem = build_problem(batch)
+        gba_ratio = pass_ratio(problem.s_gba, problem.s_pba)
+        x = solve_direct(problem).x
+        mgba_ratio = pass_ratio(
+            problem.corrected_slacks(x), problem.s_pba
+        )
+        mgba_ratios.append(mgba_ratio)
+        pessimism = float((problem.s_pba - problem.s_gba).mean())
+        rows.append([
+            label,
+            f"{pessimism:.1f}",
+            f"{gba_ratio*100:.2f}",
+            f"{mgba_ratio*100:.2f}",
+        ])
+        # Each added source strictly grows the gap to golden.
+        assert pessimism >= previous_pessimism - 1e-9
+        previous_pessimism = pessimism
+    print_table(
+        f"Ablation: pessimism sources on {DESIGN} "
+        f"({len(paths)} fitted paths)",
+        ["golden model", "mean pessimism (ps)", "GBA pass (%)",
+         "mGBA pass (%)"],
+        rows,
+        note=(
+            "The fit absorbs every added source: mGBA pass ratio stays "
+            "high as the golden gets harder — the 'general' in the "
+            "paper's title."
+        ),
+    )
+    assert all(r > 0.9 for r in mgba_ratios)

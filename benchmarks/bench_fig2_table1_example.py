@@ -1,0 +1,73 @@
+"""Table 1 + Fig. 2 (+ Eq. 2/3): the paper's worked pessimism example.
+
+Regenerates the derating table, the GBA/PBA cell depths, and asserts
+the published 740 ps (GBA) vs 690 ps (PBA) path delays exactly.  The
+benchmarked kernel is the full STA update on the example circuit.
+"""
+
+import pytest
+
+from repro.aocv.depth import compute_gba_depths
+from repro.aocv.table import paper_table_1
+from repro.designs.paper_example import (
+    EXPECTED_GBA_DEPTHS,
+    GBA_PATH_DELAY,
+    PBA_PATH_DELAY,
+    build_fig2_design,
+)
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import worst_paths_to_endpoint
+from repro.timing.sta import STAEngine
+
+from benchmarks.conftest import print_table
+
+
+def test_table1_and_fig2(benchmark):
+    design = build_fig2_design()
+    engine = STAEngine(design.netlist, design.constraints, None,
+                       design.sta_config)
+
+    benchmark(engine.update_timing)
+
+    table = paper_table_1()
+    rows = [
+        [f"{int(dist)} nm"] + [
+            f"{table.derate(depth, dist):.2f}" for depth in (3, 4, 5, 6)
+        ]
+        for dist in (500, 1000, 1500)
+    ]
+    print_table(
+        "Table 1: derating factor lookup (depth 3-6 x distance)",
+        ["distance", "3", "4", "5", "6"], rows,
+    )
+
+    depths = compute_gba_depths(design.netlist)
+    assert depths == EXPECTED_GBA_DEPTHS
+    main_path_gates = ["G1", "G2", "G3", "G4", "G5", "G6"]
+    print_table(
+        "Fig. 2: GBA worst depth per gate on the FF1->FF4 path "
+        "(PBA depth = 6 for all)",
+        ["gate"] + main_path_gates,
+        [["gba depth"] + [depths[g] for g in main_path_gates]],
+    )
+
+    endpoint = engine.node_id("FF4", "D")
+    path = worst_paths_to_endpoint(
+        engine.graph, engine.state, endpoint, 1
+    )[0]
+    PBAEngine(engine).analyze_path(path)
+    period = engine.constraints.primary_clock().period
+    gba_delay = path.gba_arrival
+    pba_delay = period - path.pba_slack
+    assert gba_delay == pytest.approx(GBA_PATH_DELAY)
+    assert pba_delay == pytest.approx(PBA_PATH_DELAY)
+    print_table(
+        "Eq. (2)/(3): FF1->FF4 path delay",
+        ["view", "paper (ps)", "measured (ps)"],
+        [
+            ["PBA (Eq. 2)", f"{PBA_PATH_DELAY:.0f}", f"{pba_delay:.2f}"],
+            ["GBA (Eq. 3)", f"{GBA_PATH_DELAY:.0f}", f"{gba_delay:.2f}"],
+            ["pessimism", "50", f"{gba_delay - pba_delay:.2f}"],
+        ],
+        note="Exact match by construction: unit 100 ps gates + Table 1.",
+    )

@@ -1,0 +1,91 @@
+"""Fig. 3: distribution of the optimal correction x*.
+
+Paper: on a small industrial case, 95.9% of the entries of x* fall
+inside [-0.01, 0.01] — the optimum is extremely sparse, which is what
+makes uniform row sampling work (x0 = 0 is already "almost right" for
+almost every gate).
+
+Sparsity is a property of *where the pessimism lives*: industrial
+designs keep most gates on essentially one path shape (GBA depth ==
+PBA depth -> zero correction), with the gap concentrated on a minority
+of reconvergent gates.  The default D-suite deliberately spreads
+pessimism everywhere (it stresses the solver), so this bench builds a
+dedicated design in the industrial regime: chain-like cones with a few
+branching hotspots and a distance-flat derating table.
+
+Shape to reproduce: a histogram sharply peaked at zero with ~90% of
+mass within +/-0.05.  The exact 95.9%-within-0.01 figure is not
+reached — our fitted systems are underdetermined (m ~ n/4 vs the
+paper's m >> n), so the regularized solver spreads each hotspot's
+correction over its path — documented in EXPERIMENTS.md.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.designs.generator import DesignSpec, generate_design
+from repro.mgba.apply import solution_sparsity
+from repro.mgba.problem import build_problem
+from repro.mgba.solvers import solve_direct
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import enumerate_worst_paths
+from repro.timing.sta import STAEngine
+
+from benchmarks.conftest import print_table
+
+#: Chain-dominated design: pessimism concentrated on NAND2 hotspots.
+FIG3_SPEC = DesignSpec(
+    "F3", seed=301, n_flops=48, n_inputs=8, n_outputs=4,
+    depth_range=(5, 14), width_range=(1, 1), cross_source_prob=0.06,
+    derate_distance_slope=0.0,
+    footprint_pool=("INV",) * 9 + ("NAND2",),
+    violation_quantile=0.8,
+)
+
+BINS = np.array([-0.5, -0.2, -0.1, -0.05, -0.01, 0.01, 0.05, 0.1, 0.2, 0.5])
+
+
+def test_fig3_solution_sparsity(benchmark):
+    design = generate_design(FIG3_SPEC)
+    config = replace(
+        design.sta_config,
+        clock_derate_late=1.005, clock_derate_early=0.995,
+    )
+    engine = STAEngine(
+        design.netlist, design.constraints, design.placement, config
+    )
+    engine.update_timing()
+    paths = enumerate_worst_paths(engine.graph, engine.state, 20)
+    PBAEngine(engine).analyze(paths)
+    problem = build_problem(paths)
+
+    result = benchmark.pedantic(
+        solve_direct, args=(problem,), rounds=1, iterations=1
+    )
+    x = result.x
+
+    counts, edges = np.histogram(x, bins=BINS)
+    rows = [
+        [f"[{edges[i]:+.2f}, {edges[i+1]:+.2f})", int(counts[i]),
+         f"{counts[i]/x.size*100:.1f}%",
+         "#" * int(60 * counts[i] / max(counts.max(), 1))]
+        for i in range(len(counts))
+    ]
+    print_table(
+        f"Fig. 3: histogram of x* (concentrated-pessimism design, "
+        f"n = {x.size} gates, {problem.num_paths} paths)",
+        ["bin", "count", "share", ""],
+        rows,
+    )
+    near_zero = solution_sparsity(x, window=0.01)
+    near_zero_wide = solution_sparsity(x, window=0.05)
+    print(f"|x| <= 0.01: {near_zero*100:.1f}%   (paper: 95.9%)")
+    print(f"|x| <= 0.05: {near_zero_wide*100:.1f}%")
+
+    # Sparsity claims: zero-peaked, bulk of mass at/near zero.
+    assert near_zero > 0.4
+    assert near_zero_wide > 0.8
+    central = counts[4]  # the [-0.01, +0.01) bin
+    assert central >= counts.max() * 0.8

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Constraint features tour: multi-clock domains, false paths,
+multicycle paths — and what each does to GBA vs golden timing.
+
+Run:  python examples/constraints_tour.py
+"""
+
+from repro import PBAEngine, STAEngine
+from repro.designs.generator import DesignSpec, generate_design
+from repro.pba.enumerate import worst_paths_to_endpoint
+from repro.timing.slack import endpoint_clock_map
+
+
+def main() -> None:
+    spec = DesignSpec(
+        "tour", seed=9, n_flops=20, n_inputs=4, n_outputs=3,
+        depth_range=(3, 8), n_clock_domains=2,
+    )
+    design = generate_design(spec)
+    print("Two calibrated clock domains:")
+    for clock in design.constraints.clocks.values():
+        print(f"  {clock.name}: period {clock.period:.1f} ps, "
+              f"uncertainty {clock.uncertainty:.0f} ps")
+
+    engine = STAEngine(
+        design.netlist, design.constraints,
+        design.placement, design.sta_config,
+    )
+    engine.update_timing()
+    clock_map = endpoint_clock_map(engine.graph, design.constraints)
+    summary = engine.summary()
+    print(f"\nBaseline: WNS {summary.wns:.1f} ps, "
+          f"{summary.violations} violations over both domains")
+
+    worst = engine.violating_endpoints()[0]
+    worst_clock = clock_map[worst.node]
+    capture_gate = engine.graph.endpoints[worst.node].gate
+    print(f"Worst endpoint {worst.name} is in domain {worst_clock.name} "
+          f"(slack {worst.slack:.1f} ps)")
+
+    # --- multicycle: give the worst endpoint two capture cycles -------
+    design.constraints.set_multicycle_path(2, to_pattern=capture_gate)
+    engine.update_timing()
+    relaxed = next(
+        s for s in engine.setup_slacks() if s.node == worst.node
+    )
+    print(f"\nAfter set_multicycle_path 2 -to {capture_gate}:")
+    print(f"  {worst.name} slack {worst.slack:.1f} -> "
+          f"{relaxed.slack:.1f} ps (one extra period)")
+
+    # --- false path: see PBA honour what GBA cannot -------------------
+    paths = worst_paths_to_endpoint(
+        engine.graph, engine.state, worst.node, 4
+    )
+    pba = PBAEngine(engine)
+    pba.analyze(paths)
+    launches = sorted({p.launch_name.split("/")[0] for p in paths})
+    victim = launches[0]
+    design.constraints.set_false_path(
+        from_pattern=victim, to_pattern=capture_gate
+    )
+    paths = worst_paths_to_endpoint(
+        engine.graph, engine.state, worst.node, 4
+    )
+    PBAEngine(engine).analyze(paths)
+    print(f"\nAfter set_false_path -from {victim} -to {capture_gate}:")
+    for path in paths:
+        marker = "FALSE " if path.is_false else "real  "
+        print(f"  {marker} {path.launch_name:>10} -> {path.endpoint_name}"
+              f"  pba_slack {path.pba_slack:9.1f}")
+    golden = pba.golden_endpoint_slack(worst.node)
+    print(f"  golden endpoint slack (false paths excluded): {golden:.1f}")
+    print("  GBA, with no launch identity, must conservatively keep the "
+          "false paths;\n  the mGBA fit absorbs that gap like any other "
+          "pessimism source.")
+
+
+if __name__ == "__main__":
+    main()

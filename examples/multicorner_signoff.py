@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Multi-corner sign-off: SS / TT / FF, merged per endpoint.
+
+Runs a suite design at the three classic corners, prints the per-corner
+summaries and the merged worst-per-endpoint view, and shows that the
+mGBA correction carries across corners (fit at the dominant slow
+corner, check the others).
+
+Run:  python examples/multicorner_signoff.py [design]
+"""
+
+import sys
+
+from repro import MGBAConfig, MGBAFlow, build_design
+from repro.timing.corners import MultiCornerAnalysis
+from repro.timing.slack import CheckKind
+
+
+def main() -> None:
+    design_name = sys.argv[1] if len(sys.argv) > 1 else "D3"
+    design = build_design(design_name)
+    analysis = MultiCornerAnalysis(
+        design.netlist, design.constraints,
+        design.placement, design.sta_config,
+    )
+    analysis.update_all()
+    print(f"{design_name} across corners:\n")
+    print(analysis.report())
+
+    dominant = analysis.dominant_corner(CheckKind.SETUP)
+    print(f"\nFitting mGBA at the dominant corner ({dominant})...")
+    engine = analysis.engine(dominant)
+    result = MGBAFlow(MGBAConfig(k_per_endpoint=15, seed=0)).run(engine)
+    print(f"pass ratio at {dominant}: {result.pass_ratio_gba:.1%} -> "
+          f"{result.pass_ratio_mgba:.1%}")
+
+    print("\nCorrected summaries (weights installed per corner):")
+    for corner_name, corner_engine in analysis.engines.items():
+        if corner_name != dominant:
+            corner_engine.set_gate_weights(engine.weights)
+        summary = corner_engine.summary()
+        print(f"  {corner_name}: WNS {summary.wns:9.1f} ps  "
+              f"violations {summary.violations}")
+    print("\n(Weights are depth-shaped, not absolute-delay-shaped, so "
+          "one fit transfers across proportional corners; a production "
+          "flow would refit per corner for exactness.)")
+
+
+if __name__ == "__main__":
+    main()

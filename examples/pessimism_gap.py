@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 2 worked example: where GBA pessimism comes from.
+
+Rebuilds the 4-flop / 8-gate circuit of the paper's preliminaries with
+100 ps unit gates and the Table 1 derating table, then walks through:
+
+* GBA worst depth vs PBA path depth per gate;
+* the resulting 740 ps (GBA) vs 690 ps (PBA) path delay — Eq. (2)/(3);
+* the phantom setup violation at T = 700 ps and how the mGBA fit
+  removes it.
+
+Run:  python examples/pessimism_gap.py
+"""
+
+from repro import MGBAConfig, MGBAFlow, PBAEngine, STAEngine
+from repro.aocv.depth import compute_gba_depths
+from repro.designs.paper_example import build_fig2_design
+from repro.pba.enumerate import worst_paths_to_endpoint
+from repro.timing.report import report_timing
+
+
+def main() -> None:
+    design = build_fig2_design(period=700.0)
+    engine = STAEngine(design.netlist, design.constraints, None,
+                       design.sta_config)
+    engine.update_timing()
+
+    print("Gate depths on the FF1 -> FF4 path (PBA counts the whole "
+          "path; GBA takes each gate's shortest path):")
+    depths = compute_gba_depths(design.netlist)
+    table = design.derating_table
+    print(f"  {'gate':>5} {'GBA depth':>10} {'GBA derate':>11} "
+          f"{'PBA depth':>10} {'PBA derate':>11}")
+    for gate in ("G1", "G2", "G3", "G4", "G5", "G6"):
+        print(f"  {gate:>5} {depths[gate]:>10} "
+              f"{table.derate(depths[gate], 0):>11.2f} "
+              f"{6:>10} {table.derate(6, 0):>11.2f}")
+
+    endpoint = engine.node_id("FF4", "D")
+    path = worst_paths_to_endpoint(
+        engine.graph, engine.state, endpoint, 1
+    )[0]
+    PBAEngine(engine).analyze_path(path)
+    period = design.constraints.primary_clock().period
+    print(f"\nEq. (3)  GBA path delay: {path.gba_arrival:.0f} ps "
+          "(paper: 740)")
+    print(f"Eq. (2)  PBA path delay: {period - path.pba_slack:.0f} ps "
+          "(paper: 690)")
+    print(f"Pessimism: {path.pessimism:.0f} ps on a {period:.0f} ps clock")
+
+    print(f"\nAt T = {period:.0f} ps, GBA slack = {path.gba_slack:.0f} ps "
+          f"(VIOLATED) but PBA slack = {path.pba_slack:.0f} ps (met).")
+    print("A GBA-driven optimizer would now burn area fixing a path "
+          "that was never broken.\n")
+
+    print("Running the mGBA fit...")
+    MGBAFlow(MGBAConfig(k_per_endpoint=4, solver="direct")).run(engine)
+    violations = engine.summary().violations
+    print(f"Setup violations after correction: {violations}")
+    print()
+    print(report_timing(engine, max_endpoints=1))
+
+
+if __name__ == "__main__":
+    main()

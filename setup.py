@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package.
+
+`pip install -e .` requires PEP 660 wheel building; offline boxes that
+lack `wheel` can install with `python setup.py develop` instead.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Advanced On-Chip Variation (AOCV) derating substrate.
+
+* :class:`~repro.aocv.table.DeratingTable` — depth x distance derate
+  factors with bilinear interpolation (Table 1 of the paper).
+* :func:`~repro.aocv.table.paper_table_1` — the exact example table from
+  the paper.
+* :mod:`~repro.aocv.depth` — GBA worst-depth (per gate) and PBA
+  per-path depth computation.  The inequality
+  ``gba_depth(gate) <= pba_depth(any path through gate)`` is what makes
+  GBA pessimistic, and is enforced by property tests.
+"""
+
+from repro.aocv.table import (
+    DeratingTable,
+    make_derating_table,
+    make_early_derating_table,
+    paper_table_1,
+    parse_aocv,
+    write_aocv,
+)
+from repro.aocv.depth import (
+    compute_gba_depths,
+    forward_min_depths,
+    backward_min_depths,
+)
+
+__all__ = [
+    "DeratingTable",
+    "make_derating_table",
+    "make_early_derating_table",
+    "paper_table_1",
+    "parse_aocv",
+    "write_aocv",
+    "compute_gba_depths",
+    "forward_min_depths",
+    "backward_min_depths",
+]

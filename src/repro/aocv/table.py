@@ -1,0 +1,254 @@
+"""AOCV derating tables.
+
+A derating table maps (cell depth, path distance) to a late derate
+factor >= 1.  Foundry tables are monotone: more cells on a path means
+more variation cancellation (derate decreases with depth), while longer
+distance means less spatial correlation (derate increases with
+distance).  :meth:`DeratingTable.validate_monotonic` checks both.
+
+Queries are bilinearly interpolated and clamped to the characterized
+window, matching how sign-off tools consume AOCV tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import AOCVError
+
+
+def _axis(values, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise AOCVError(f"{name} axis must be a non-empty 1-D sequence")
+    if arr.size > 1 and not np.all(np.diff(arr) > 0):
+        raise AOCVError(f"{name} axis must be strictly increasing")
+    return arr
+
+
+@dataclass(frozen=True)
+class DeratingTable:
+    """Late derate factors over (depth, distance).
+
+    Parameters
+    ----------
+    depths:
+        Strictly increasing cell-depth breakpoints.
+    distances:
+        Strictly increasing distance breakpoints (nm).
+    values:
+        ``len(distances) x len(depths)`` grid of derate factors — rows
+        are distances, columns are depths, matching Table 1's layout.
+    """
+
+    depths: np.ndarray
+    distances: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        depths = _axis(self.depths, "depth")
+        distances = _axis(self.distances, "distance")
+        values = np.asarray(self.values, dtype=float)
+        if values.shape != (distances.size, depths.size):
+            raise AOCVError(
+                f"grid shape {values.shape} does not match "
+                f"(distances={distances.size}, depths={depths.size})"
+            )
+        if np.any(values <= 0):
+            raise AOCVError("derate factors must be positive")
+        object.__setattr__(self, "depths", depths)
+        object.__setattr__(self, "distances", distances)
+        object.__setattr__(self, "values", values)
+
+    def derate(self, depth: float, distance: float) -> float:
+        """Interpolated late derate at (depth, distance), clamped."""
+        d = float(np.clip(depth, self.depths[0], self.depths[-1]))
+        x = float(np.clip(distance, self.distances[0], self.distances[-1]))
+        j = self._bracket(self.depths, d)
+        i = self._bracket(self.distances, x)
+        if self.depths.size == 1 and self.distances.size == 1:
+            return float(self.values[0, 0])
+        if self.distances.size == 1:
+            t = (d - self.depths[j]) / (self.depths[j + 1] - self.depths[j])
+            return float((1 - t) * self.values[0, j] + t * self.values[0, j + 1])
+        if self.depths.size == 1:
+            u = (x - self.distances[i]) / (
+                self.distances[i + 1] - self.distances[i]
+            )
+            return float((1 - u) * self.values[i, 0] + u * self.values[i + 1, 0])
+        t = (d - self.depths[j]) / (self.depths[j + 1] - self.depths[j])
+        u = (x - self.distances[i]) / (self.distances[i + 1] - self.distances[i])
+        v00 = self.values[i, j]
+        v01 = self.values[i, j + 1]
+        v10 = self.values[i + 1, j]
+        v11 = self.values[i + 1, j + 1]
+        return float(
+            (1 - u) * ((1 - t) * v00 + t * v01)
+            + u * ((1 - t) * v10 + t * v11)
+        )
+
+    @staticmethod
+    def _bracket(axis: np.ndarray, value: float) -> int:
+        if axis.size == 1:
+            return 0
+        idx = int(np.searchsorted(axis, value, side="right") - 1)
+        return min(max(idx, 0), axis.size - 2)
+
+    def validate_monotonic(self, early: bool = False) -> "list[str]":
+        """Return descriptions of monotonicity violations (empty = clean).
+
+        Physical *late* tables decrease along depth (variation
+        cancellation) and increase along distance (decorrelation);
+        *early* tables (factors < 1 subtracted margin) run the opposite
+        way — toward 1 with depth, away from 1 with distance.
+        """
+        problems: list[str] = []
+        depth_diff = np.diff(self.values, axis=1)
+        dist_diff = np.diff(self.values, axis=0)
+        if early:
+            if np.any(depth_diff < -1e-12):
+                problems.append("early derate decreases with depth somewhere")
+            if np.any(dist_diff > 1e-12):
+                problems.append(
+                    "early derate increases with distance somewhere"
+                )
+        else:
+            if np.any(depth_diff > 1e-12):
+                problems.append("derate increases with depth somewhere")
+            if np.any(dist_diff < -1e-12):
+                problems.append("derate decreases with distance somewhere")
+        return problems
+
+    def max_derate(self) -> float:
+        """Largest factor in the grid (worst-case pessimism bound)."""
+        return float(self.values.max())
+
+    def min_derate(self) -> float:
+        """Smallest factor in the grid."""
+        return float(self.values.min())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DeratingTable):
+            return NotImplemented
+        return (
+            np.array_equal(self.depths, other.depths)
+            and np.array_equal(self.distances, other.distances)
+            and np.allclose(self.values, other.values)
+        )
+
+    def __hash__(self):
+        return id(self)
+
+
+def paper_table_1() -> DeratingTable:
+    """The exact example lookup table from Table 1 of the paper."""
+    return DeratingTable(
+        depths=np.array([3.0, 4.0, 5.0, 6.0]),
+        distances=np.array([500.0, 1000.0, 1500.0]),
+        values=np.array([
+            [1.30, 1.25, 1.20, 1.15],
+            [1.32, 1.27, 1.23, 1.18],
+            [1.35, 1.31, 1.28, 1.25],
+        ]),
+    )
+
+
+def make_derating_table(
+    depths=(1, 2, 4, 8, 16, 32, 64),
+    distances=(500.0, 2000.0, 8000.0, 32000.0),
+    sigma: float = 0.35,
+    distance_slope: float = 0.015,
+) -> DeratingTable:
+    """Generate a physically-shaped derating table.
+
+    Models derate = 1 + 3*sigma_effective where per-stage variation
+    cancels as ``sigma / sqrt(depth)`` and spatial decorrelation adds a
+    logarithmic distance term.  The result is monotone by construction.
+    """
+    depth_arr = np.asarray(depths, dtype=float)
+    dist_arr = np.asarray(distances, dtype=float)
+    base = 1.0 + sigma / np.sqrt(depth_arr)[None, :]
+    spread = 1.0 + distance_slope * np.log1p(dist_arr / dist_arr[0])[:, None]
+    return DeratingTable(depth_arr, dist_arr, base * spread)
+
+
+def make_early_derating_table(
+    depths=(1, 2, 4, 8, 16, 32, 64),
+    distances=(500.0, 2000.0, 8000.0, 32000.0),
+    sigma: float = 0.35,
+    distance_slope: float = 0.015,
+) -> DeratingTable:
+    """Generate the early (hold-side) counterpart of
+    :func:`make_derating_table`.
+
+    Early factors are < 1 (delays can only be *faster* than nominal by
+    the same 3-sigma window), approach 1 as depth cancels variation,
+    and shrink with distance as correlation decays.  Monotone by
+    construction (``validate_monotonic(early=True)``).
+    """
+    depth_arr = np.asarray(depths, dtype=float)
+    dist_arr = np.asarray(distances, dtype=float)
+    base = 1.0 - sigma / np.sqrt(depth_arr)[None, :]
+    spread = 1.0 - distance_slope * np.log1p(dist_arr / dist_arr[0])[:, None]
+    values = np.clip(base * spread, 0.05, 1.0)
+    return DeratingTable(depth_arr, dist_arr, values)
+
+
+def parse_aocv(text: str, filename: str = "<string>") -> DeratingTable:
+    """Parse the simple AOCV text format.
+
+    Format (``#`` comments allowed)::
+
+        depth 3 4 5 6
+        distance 500 1000 1500
+        1.30 1.25 1.20 1.15
+        1.32 1.27 1.23 1.18
+        1.35 1.31 1.28 1.25
+    """
+    from repro.errors import ParseError
+
+    depths: np.ndarray | None = None
+    distances: np.ndarray | None = None
+    rows: list[np.ndarray] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        try:
+            if parts[0] == "depth":
+                depths = np.array([float(v) for v in parts[1:]])
+            elif parts[0] == "distance":
+                distances = np.array([float(v) for v in parts[1:]])
+            else:
+                rows.append(np.array([float(v) for v in parts]))
+        except ValueError as exc:
+            raise ParseError(f"bad number in {line!r}", filename, lineno) from exc
+    if depths is None or distances is None:
+        raise ParseError("missing depth or distance header", filename, 0)
+    if not rows:
+        raise ParseError("missing value rows", filename, 0)
+    try:
+        return DeratingTable(depths, distances, np.vstack(rows))
+    except AOCVError as exc:
+        raise ParseError(str(exc), filename, 0) from exc
+
+
+def write_aocv(table: DeratingTable) -> str:
+    """Serialize a derating table in the simple AOCV text format."""
+    out = ["# AOCV derating table (late)"]
+    out.append("depth " + " ".join(f"{d:g}" for d in table.depths))
+    out.append("distance " + " ".join(f"{d:g}" for d in table.distances))
+    for row in table.values:
+        out.append(" ".join(f"{v:.6g}" for v in row))
+    out.append("")
+    return "\n".join(out)
+
+
+def load_aocv(path) -> DeratingTable:
+    """Parse an AOCV table file from disk."""
+    path = Path(path)
+    return parse_aocv(path.read_text(), str(path))

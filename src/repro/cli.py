@@ -1,0 +1,320 @@
+"""Command-line interface: ``repro-sta <subcommand>``.
+
+Subcommands
+-----------
+``sta``       report GBA timing of a suite design (or Verilog files).
+``mgba``      run the mGBA flow and report correlation before/after.
+``closure``   run the closure optimizer (GBA- or mGBA-driven).
+``generate``  emit a suite design as Verilog + SDC + AOCV files.
+``designs``   list the D1-D10 suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.aocv.table import write_aocv
+from repro.designs import build_design, design_names
+from repro.mgba.flow import MGBAConfig, MGBAFlow
+from repro.netlist.verilog import save_verilog
+from repro.opt.closure import ClosureConfig, TimingClosureOptimizer
+from repro.sdc.writer import save_sdc
+from repro.timing.report import report_summary, report_timing
+from repro.timing.sta import STAEngine
+from repro.utils.log import enable_console_logging
+
+
+def _engine_for(design_name: str) -> STAEngine:
+    design = build_design(design_name)
+    return STAEngine(
+        design.netlist, design.constraints,
+        design.placement, design.sta_config,
+    )
+
+
+def _cmd_designs(args) -> int:
+    if not getattr(args, "detail", False):
+        for name in design_names():
+            print(name)
+        return 0
+    header = (
+        f"{'design':<7} {'gates':>6} {'flops':>6} {'nets':>6} "
+        f"{'endpoints':>9} {'period(ps)':>11} {'violations':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in design_names():
+        engine = _engine_for(name)
+        stats = engine.netlist.stats()
+        summary = engine.summary()
+        period = min(
+            c.period for c in engine.constraints.clocks.values()
+        )
+        print(
+            f"{name:<7} {stats['gates']:>6} {stats['flops']:>6} "
+            f"{stats['nets']:>6} {summary.endpoints:>9} "
+            f"{period:>11.1f} {summary.violations:>10}"
+        )
+    return 0
+
+
+def _cmd_sta(args) -> int:
+    engine = _engine_for(args.design)
+    if args.weights:
+        from repro.mgba.persistence import load_weights
+
+        engine.set_gate_weights(
+            load_weights(args.weights, engine.netlist)
+        )
+        print(f"applied mGBA weights from {args.weights}\n")
+    print(report_timing(engine, max_endpoints=args.paths))
+    return 0
+
+
+def _cmd_mgba(args) -> int:
+    engine = _engine_for(args.design)
+    flow = MGBAFlow(MGBAConfig(
+        k_per_endpoint=args.k, solver=args.solver, seed=args.seed
+    ))
+    result = flow.run(engine)
+    print(f"design:            {args.design}")
+    print(f"paths fitted:      {result.problem.num_paths}")
+    print(f"gates (variables): {result.problem.num_gates}")
+    print(f"solver:            {result.solution.solver} "
+          f"({result.solution.iterations} iters, "
+          f"{result.solution.runtime:.2f}s)")
+    print(f"mse   GBA -> mGBA: {result.mse_gba:.3e} -> {result.mse_mgba:.3e}")
+    print(f"pass  GBA -> mGBA: {result.pass_ratio_gba:.2%} -> "
+          f"{result.pass_ratio_mgba:.2%}")
+    if args.save_weights:
+        from repro.mgba.persistence import save_weights
+
+        save_weights(result.weights, engine.netlist, args.save_weights)
+        print(f"weights saved to {args.save_weights}")
+    print()
+    print(report_summary(engine))
+    return 0
+
+
+def _cmd_closure(args) -> int:
+    design = build_design(args.design)
+    config = ClosureConfig(
+        use_mgba=args.mgba,
+        max_transforms=args.max_transforms,
+        acceptable_violations=args.acceptable,
+    )
+    optimizer = TimingClosureOptimizer(
+        design.netlist, design.constraints,
+        design.placement, design.sta_config, config,
+    )
+    report = optimizer.run()
+    if args.eco:
+        from repro.opt.eco import save_eco
+
+        save_eco(report.eco_commands, args.eco, args.design)
+        print(f"wrote {len(report.eco_commands)} ECO command(s) "
+              f"to {args.eco}")
+    flavor = "mGBA" if args.mgba else "GBA"
+    print(f"{flavor} closure on {args.design}:")
+    print(f"  transforms: {report.transforms_applied} applied / "
+          f"{report.transforms_tried} tried")
+    print(f"  runtime:    {report.seconds_total:.2f}s "
+          f"(mGBA fit {report.seconds_mgba:.2f}s)")
+    for label, qor in (("before", report.initial), ("after", report.final)):
+        print(f"  {label:<7} WNS={qor.wns:9.1f}  TNS={qor.tns:11.1f}  "
+              f"area={qor.area:9.1f}  leakage={qor.leakage:9.1f}  "
+              f"buffers={qor.buffers:4d}  violations={qor.violations}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.netlist.parasitics import extract_parasitics, write_spef
+    from repro.netlist.plfile import write_placement
+
+    design = build_design(args.design)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    save_verilog(design.netlist, out / f"{args.design}.v")
+    save_sdc(design.constraints, out / f"{args.design}.sdc")
+    (out / f"{args.design}.aocv").write_text(
+        write_aocv(design.derating_table)
+    )
+    (out / f"{args.design}.pl").write_text(
+        write_placement(design.placement)
+    )
+    parasitics = extract_parasitics(
+        design.netlist, design.placement,
+        design.sta_config.wire_r_per_nm, design.sta_config.wire_c_per_nm,
+    )
+    (out / f"{args.design}.spef").write_text(write_spef(parasitics))
+    print(f"wrote {args.design}.v / .sdc / .aocv / .pl / .spef under {out}")
+    return 0
+
+
+def _cmd_corners(args) -> int:
+    from repro.timing.corners import MultiCornerAnalysis
+
+    design = build_design(args.design)
+    analysis = MultiCornerAnalysis(
+        design.netlist, design.constraints,
+        design.placement, design.sta_config,
+    )
+    analysis.update_all()
+    print(f"{args.design} multi-corner analysis:\n")
+    print(analysis.report())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.netlist.validate import Severity, validate_netlist
+
+    design = build_design(args.design)
+    findings = validate_netlist(design.netlist)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    warnings = [f for f in findings if f.severity is Severity.WARNING]
+    print(f"{args.design}: {design.netlist.stats()}")
+    print(f"  {len(errors)} error(s), {len(warnings)} warning(s)")
+    for finding in findings[:args.rows]:
+        print(f"  {finding}")
+    if len(findings) > args.rows:
+        print(f"  ... ({len(findings) - args.rows} more)")
+    return 1 if errors else 0
+
+
+def _cmd_pessimism(args) -> int:
+    from repro.analysis import format_pessimism_report, pessimism_report
+
+    engine = _engine_for(args.design)
+    rows = pessimism_report(engine, k_paths=args.k_paths)
+    print(f"Pessimism report for {args.design} (GBA vs golden PBA):\n")
+    print(format_pessimism_report(rows, max_rows=args.rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.designs.suite import design_factory
+    from repro.mgba.flow import MGBAConfig
+    from repro.opt.compare import run_flow_comparison
+    from repro.reporting import comparison_to_dict, save_json
+
+    comparison = run_flow_comparison(
+        args.design,
+        design_factory(args.design),
+        ClosureConfig(
+            max_transforms=args.max_transforms,
+            mgba=MGBAConfig(seed=0),
+        ),
+    )
+    gains = comparison.qor_improvement()
+    runtime = comparison.runtime_row()
+    print(f"{args.design}: mGBA flow vs GBA flow")
+    print("  QoR improvement (%):  "
+          + "  ".join(f"{k}={gains[k]:+.2f}"
+                      for k in ("wns", "tns", "area", "leakage", "buffer")))
+    print(f"  runtime (s): GBA {runtime['gba_flow']:.2f}  "
+          f"mGBA {runtime['total']:.2f} "
+          f"(fit {runtime['mgba']:.2f})  speedup {runtime['speedup']:.2f}x")
+    if args.json:
+        save_json(comparison_to_dict(comparison), args.json)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sta",
+        description="mGBA pessimism-reduction framework (DAC'18 repro)",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_designs = sub.add_parser("designs", help="list the design suite")
+    p_designs.add_argument(
+        "--detail", action="store_true",
+        help="build each design and print size/timing statistics",
+    )
+
+    p_sta = sub.add_parser("sta", help="report GBA timing")
+    p_sta.add_argument("design")
+    p_sta.add_argument("--paths", type=int, default=3)
+    p_sta.add_argument(
+        "--weights", help="apply a saved mGBA weight file before reporting"
+    )
+
+    p_mgba = sub.add_parser("mgba", help="run the mGBA flow")
+    p_mgba.add_argument("design")
+    p_mgba.add_argument("--k", type=int, default=20)
+    p_mgba.add_argument(
+        "--solver", default="scg+rs",
+        choices=["gd", "scg", "scg+rs", "direct"],
+    )
+    p_mgba.add_argument("--seed", type=int, default=0)
+    p_mgba.add_argument(
+        "--save-weights", help="write the fitted weights to this JSON file"
+    )
+
+    p_clo = sub.add_parser("closure", help="run closure optimization")
+    p_clo.add_argument("design")
+    p_clo.add_argument("--mgba", action="store_true")
+    p_clo.add_argument("--max-transforms", type=int, default=200)
+    p_clo.add_argument("--acceptable", type=int, default=0)
+    p_clo.add_argument(
+        "--eco", help="write accepted moves as a replayable ECO script"
+    )
+
+    p_gen = sub.add_parser("generate", help="emit design files")
+    p_gen.add_argument("design")
+    p_gen.add_argument("-o", "--output", default="out")
+
+    p_cmp = sub.add_parser(
+        "compare", help="A/B the GBA and mGBA closure flows"
+    )
+    p_cmp.add_argument("design")
+    p_cmp.add_argument("--max-transforms", type=int, default=150)
+    p_cmp.add_argument("--json", help="also write the record as JSON")
+
+    p_pess = sub.add_parser(
+        "pessimism", help="per-endpoint GBA-vs-golden pessimism report"
+    )
+    p_pess.add_argument("design")
+    p_pess.add_argument("--k-paths", type=int, default=16)
+    p_pess.add_argument("--rows", type=int, default=20)
+
+    p_val = sub.add_parser("validate", help="structural netlist lint")
+    p_val.add_argument("design")
+    p_val.add_argument("--rows", type=int, default=25)
+
+    p_corners = sub.add_parser(
+        "corners", help="SS/TT/FF multi-corner summary"
+    )
+    p_corners.add_argument("design")
+
+    return parser
+
+
+_COMMANDS = {
+    "designs": _cmd_designs,
+    "sta": _cmd_sta,
+    "mgba": _cmd_mgba,
+    "closure": _cmd_closure,
+    "generate": _cmd_generate,
+    "compare": _cmd_compare,
+    "pessimism": _cmd_pessimism,
+    "validate": _cmd_validate,
+    "corners": _cmd_corners,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        enable_console_logging()
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Synthetic industrial-like design suite.
+
+The paper evaluates on ten proprietary industrial designs (65 nm-16 nm).
+This package substitutes deterministic synthetic designs with the same
+*structural* ingredients — flop-to-flop logic cones of varying depth,
+cross-cone sharing (the source of GBA worst-depth pessimism), clustered
+placement (the source of AOCV distance spread), and a buffered clock
+tree (the source of CRPR) — scaled to laptop size.  See DESIGN.md,
+"Substitutions".
+"""
+
+from repro.designs.generator import Design, DesignSpec, generate_design
+from repro.designs.suite import (
+    DESIGN_SPECS,
+    build_design,
+    design_factory,
+    design_names,
+)
+
+__all__ = [
+    "Design",
+    "DesignSpec",
+    "generate_design",
+    "DESIGN_SPECS",
+    "build_design",
+    "design_factory",
+    "design_names",
+]

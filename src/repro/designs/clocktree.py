@@ -1,0 +1,101 @@
+"""Buffered clock-tree generation.
+
+Recursive geometric bisection: the flop set is split along its wider
+placement dimension until groups fit under a leaf buffer, and every
+group gets a buffer placed at its centroid.  The result is a true tree,
+so each CK pin has a unique clock path and launch/capture pairs share
+exactly the prefix above their lowest common group — the structure CRPR
+credits against.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import NetlistError
+from repro.netlist.core import Netlist
+from repro.netlist.placement import Placement
+
+
+def _buffer_for_group(netlist: Netlist, size: int) -> str:
+    """Pick a buffer drive matched to the group size."""
+    buffers = netlist.library.buffers()
+    if not buffers:
+        raise NetlistError("library has no buffer cells for the clock tree")
+    if size >= 64:
+        want = 16.0
+    elif size >= 16:
+        want = 8.0
+    elif size >= 4:
+        want = 4.0
+    else:
+        want = 2.0
+    best = min(buffers, key=lambda c: abs(c.drive_strength - want))
+    return best.name
+
+
+def _centroid(placement: Placement, names: "list[str]") -> tuple[float, float]:
+    points = [placement.location(n) for n in names]
+    return (
+        sum(p.x for p in points) / len(points),
+        sum(p.y for p in points) / len(points),
+    )
+
+
+def _split(placement: Placement, names: "list[str]") -> tuple[list[str], list[str]]:
+    xs = [placement.location(n).x for n in names]
+    ys = [placement.location(n).y for n in names]
+    wide_x = (max(xs) - min(xs)) >= (max(ys) - min(ys))
+    key = (lambda n: placement.location(n).x) if wide_x else (
+        lambda n: placement.location(n).y
+    )
+    ordered = sorted(names, key=key)
+    half = len(ordered) // 2
+    return ordered[:half], ordered[half:]
+
+
+def build_clock_tree(
+    netlist: Netlist,
+    placement: Placement,
+    clock_port: str,
+    flops: "list[str]",
+    max_leaf_fanout: int = 8,
+    name_prefix: str | None = None,
+) -> list[str]:
+    """Wire every flop's CK pin through a buffered tree from the port.
+
+    Returns the names of the created clock buffers (root first-ish).
+    ``name_prefix`` namespaces the created instances/nets (defaults to
+    the clock port name, so multiple domains never collide).
+    """
+    if not flops:
+        return []
+    prefix = name_prefix if name_prefix is not None else clock_port
+    created: list[str] = []
+    uid = itertools.count()  # local counter keeps naming deterministic
+
+    def wire(group: "list[str]", source_net: str) -> None:
+        buffer_cell = _buffer_for_group(netlist, len(group))
+        index = next(uid)
+        name = f"ckbuf_{prefix}_{index}"
+        out_net = f"cknet_{prefix}_{index}"
+        netlist.add_gate(name, buffer_cell)
+        cell = netlist.library.cell(buffer_cell)
+        netlist.connect(name, cell.input_pins[0].name, source_net)
+        netlist.connect(name, cell.output_pins[0].name, out_net)
+        cx, cy = _centroid(placement, group)
+        placement.place(name, cx, cy)
+        created.append(name)
+        if len(group) <= max_leaf_fanout:
+            for flop in group:
+                clock_pin = netlist.cell_of(flop).clock_pin
+                if clock_pin is None:
+                    raise NetlistError(f"{flop} has no clock pin")
+                netlist.connect(flop, clock_pin.name, out_net)
+        else:
+            left, right = _split(placement, group)
+            wire(left, out_net)
+            wire(right, out_net)
+
+    wire(list(flops), clock_port)
+    return created

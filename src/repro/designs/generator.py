@@ -1,0 +1,340 @@
+"""Synthetic design generation.
+
+``generate_design`` builds a complete, valid design bundle:
+
+* a flat gate-level netlist of flop-to-flop logic cones with
+  cross-cone sharing — shared gates lie on paths of very different
+  lengths, which is precisely what makes GBA's worst-depth derating
+  pessimistic;
+* clustered placement on a die scaled to the gate count, so AOCV
+  distances spread over the derating table's range;
+* a buffered clock tree (see :mod:`repro.designs.clocktree`);
+* SDC constraints whose clock period is *calibrated*: a probe STA run
+  measures every endpoint's critical period and the final period is set
+  at a quantile, so each design violates on a controlled fraction of
+  its endpoints — the regime the paper's closure experiments live in.
+
+Everything is driven by one integer seed; the same spec always yields
+the identical design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.aocv.table import DeratingTable, make_derating_table
+from repro.liberty.builder import make_default_library
+from repro.liberty.library import Library
+from repro.netlist.core import Netlist, PortDirection
+from repro.netlist.placement import Placement
+from repro.sdc.constraints import Clock, Constraints
+from repro.timing.sta import STAConfig, STAEngine
+from repro.designs.clocktree import build_clock_tree
+from repro.utils.rng import make_rng
+
+#: Combinational footprints the generator samples, weighted toward the
+#: cheap 2-input gates real synthesis emits most.
+_FOOTPRINT_POOL = (
+    "NAND2", "NAND2", "NOR2", "AND2", "OR2",
+    "XOR2", "AOI21", "OAI21", "NAND3", "MUX2", "INV", "INV",
+)
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Parameters of one synthetic design."""
+
+    name: str
+    seed: int
+    n_flops: int = 64
+    n_inputs: int = 8
+    n_outputs: int = 8
+    depth_range: tuple[int, int] = (4, 12)
+    width_range: tuple[int, int] = (1, 3)
+    cross_source_prob: float = 0.35   # extra fanin from the global pool
+    #: Footprints the cone builder samples (weighted by repetition).
+    #: An INV-heavy pool yields chain-like cones whose gates each lie
+    #: on one path (no depth pessimism); the default synthesis-like mix
+    #: spreads pessimism widely.
+    footprint_pool: tuple[str, ...] = _FOOTPRINT_POOL
+    pitch: float = 800.0              # nm; die side ~ pitch*sqrt(gates)
+    cluster_sigma: float = 2500.0     # nm of in-cone placement jitter
+    derate_sigma: float = 0.35
+    derate_distance_slope: float = 0.015
+    violation_quantile: float = 0.8   # fraction of endpoints left passing
+    clock_uncertainty: float = 20.0   # ps
+    input_delay: float = 50.0         # ps
+    output_delay: float = 40.0        # ps
+    max_leaf_fanout: int = 8
+    #: Independent clock domains; flops are dealt round-robin, each
+    #: domain gets its own port, tree, and calibrated period.
+    n_clock_domains: int = 1
+
+
+@dataclass
+class Design:
+    """A ready-to-analyze design bundle."""
+
+    name: str
+    spec: DesignSpec
+    netlist: Netlist
+    constraints: Constraints
+    placement: Placement
+    sta_config: STAConfig
+    derating_table: DeratingTable = field(repr=False, default=None)
+
+
+def _pick_cell(library: Library, rng,
+               pool: tuple[str, ...] = _FOOTPRINT_POOL) -> str:
+    """Random combinational cell name at a synthesis-like drive mix."""
+    footprint = pool[rng.integers(len(pool))]
+    group = library.footprint_group(footprint)
+    drive = (1, 1, 1, 2, 2, 4)[rng.integers(6)]
+    for candidate in group:
+        if candidate.drive_strength == drive:
+            return candidate.name
+    return group[0].name
+
+
+def _build_cone(
+    netlist: Netlist,
+    rng,
+    spec: DesignSpec,
+    sources: "list[str]",
+    global_pool: "list[str]",
+    cone_index: int,
+) -> str:
+    """Create one logic cone; returns the net of its final output.
+
+    Levels guarantee a DAG; every gate takes its first input from the
+    previous level (so the cone's nominal depth is realized) and the
+    rest from sources, earlier levels, or the cross-cone pool (so the
+    same gates appear on paths of different lengths).
+    """
+    depth = int(rng.integers(spec.depth_range[0], spec.depth_range[1] + 1))
+    previous_level: list[str] = []
+    last_net = ""
+    for level in range(depth):
+        width = (
+            1 if level == depth - 1
+            else int(rng.integers(spec.width_range[0], spec.width_range[1] + 1))
+        )
+        current_level: list[str] = []
+        for lane in range(width):
+            cell_name = _pick_cell(netlist.library, rng, spec.footprint_pool)
+            cell = netlist.library.cell(cell_name)
+            gate_name = f"g_{cone_index}_{level}_{lane}"
+            out_net = f"n_{gate_name}"
+            netlist.add_gate(gate_name, cell_name)
+            netlist.connect(gate_name, cell.output_pins[0].name, out_net)
+            input_pins = [p.name for p in cell.input_pins]
+            # First input pins the cone's spine to the previous level.
+            if previous_level:
+                spine = previous_level[int(rng.integers(len(previous_level)))]
+            else:
+                spine = sources[int(rng.integers(len(sources)))]
+            netlist.connect(gate_name, input_pins[0], spine)
+            used = {spine}
+            for pin_name in input_pins[1:]:
+                # A few resamples to keep one gate's inputs on distinct
+                # nets — tying two pins of a gate to the same net is
+                # logic real synthesis would have simplified away, and
+                # it creates exactly-tied parallel timing arcs.
+                net = spine
+                for _ in range(4):
+                    use_pool = (
+                        global_pool
+                        and rng.random() < spec.cross_source_prob
+                    )
+                    if use_pool:
+                        net = global_pool[int(rng.integers(len(global_pool)))]
+                    elif previous_level and rng.random() < 0.5:
+                        net = previous_level[
+                            int(rng.integers(len(previous_level)))
+                        ]
+                    else:
+                        net = sources[int(rng.integers(len(sources)))]
+                    if net not in used:
+                        break
+                used.add(net)
+                netlist.connect(gate_name, pin_name, net)
+            current_level.append(out_net)
+            global_pool.append(out_net)
+            last_net = out_net
+        previous_level = current_level
+    return last_net
+
+
+def _place_design(
+    netlist: Netlist, rng, spec: DesignSpec,
+    cone_of_gate: dict[str, int], n_cones: int,
+) -> Placement:
+    placement = Placement()
+    die_side = max(
+        spec.pitch * np.sqrt(max(len(netlist.gates), 1)) * 1.2,
+        4.0 * spec.cluster_sigma,
+    )
+    centers = {
+        cone: (
+            rng.uniform(0.1 * die_side, 0.9 * die_side),
+            rng.uniform(0.1 * die_side, 0.9 * die_side),
+        )
+        for cone in range(n_cones)
+    }
+    for gate_name in netlist.gates:
+        cone = cone_of_gate.get(gate_name)
+        if cone is None:
+            continue  # clock buffers are placed by the tree builder
+        cx, cy = centers[cone]
+        x = float(np.clip(rng.normal(cx, spec.cluster_sigma), 0.0, die_side))
+        y = float(np.clip(rng.normal(cy, spec.cluster_sigma), 0.0, die_side))
+        placement.place(gate_name, x, y)
+    for port_name, port in netlist.ports.items():
+        if port.direction is PortDirection.INPUT:
+            placement.place(port_name, 0.0, rng.uniform(0.0, die_side))
+        else:
+            placement.place(port_name, die_side, rng.uniform(0.0, die_side))
+    return placement
+
+
+def _clock_names(spec: DesignSpec) -> list[str]:
+    return [
+        "clk" if d == 0 else f"clk{d}"
+        for d in range(max(spec.n_clock_domains, 1))
+    ]
+
+
+def _calibrate_periods(
+    netlist: Netlist,
+    placement: Placement,
+    sta_config: STAConfig,
+    spec: DesignSpec,
+) -> Constraints:
+    """Probe STA to pick per-domain periods violating on ~(1-q) of each
+    domain's endpoints."""
+    from repro.timing.slack import endpoint_clock_map
+
+    probe_period = 1e6
+    clock_names = _clock_names(spec)
+    probe = Constraints()
+    for name in clock_names:
+        probe.add_clock(Clock(
+            name=name, period=probe_period, source_port=name,
+            uncertainty=spec.clock_uncertainty,
+        ))
+    for port_name, port in netlist.ports.items():
+        if port_name in clock_names:
+            continue
+        if port.direction is PortDirection.INPUT:
+            probe.set_input_delay(port_name, "clk", spec.input_delay)
+        else:
+            probe.set_output_delay(port_name, "clk", spec.output_delay)
+    engine = STAEngine(netlist, probe, placement, sta_config)
+    slacks = engine.setup_slacks()
+    clock_map = endpoint_clock_map(engine.graph, probe)
+    criticals: dict[str, list[float]] = {name: [] for name in clock_names}
+    for s in slacks:
+        criticals[clock_map[s.node].name].append(probe_period - s.slack)
+    final = Constraints()
+    for name in clock_names:
+        values = criticals[name] or [1000.0]
+        period = max(
+            float(np.quantile(np.array(values), spec.violation_quantile)),
+            1.0,
+        )
+        final.add_clock(Clock(
+            name=name, period=round(period, 1), source_port=name,
+            uncertainty=spec.clock_uncertainty,
+        ))
+    final.io_delays = list(probe.io_delays)
+    return final
+
+
+def generate_design(spec: DesignSpec,
+                    library: Library | None = None) -> Design:
+    """Build the complete design bundle for a spec (deterministic)."""
+    rng = make_rng(spec.seed)
+    library = library or make_default_library()
+    netlist = Netlist(spec.name, library)
+    clock_names = _clock_names(spec)
+    for name in clock_names:
+        netlist.add_port(name, PortDirection.INPUT)
+    input_nets = []
+    for i in range(spec.n_inputs):
+        netlist.add_port(f"in{i}", PortDirection.INPUT)
+        input_nets.append(f"in{i}")
+    flop_cell = library.footprint_group("DFF")[0].name
+    flops = []
+    q_nets = []
+    for i in range(spec.n_flops):
+        name = f"ff{i}"
+        q_net = f"q{i}"
+        netlist.add_gate(name, flop_cell)
+        netlist.connect(name, "Q", q_net)
+        flops.append(name)
+        q_nets.append(q_net)
+    sources = q_nets + input_nets
+    global_pool: list[str] = []
+    cone_of_gate: dict[str, int] = {}
+    for i, flop in enumerate(flops):
+        before = set(netlist.gates)
+        final_net = _build_cone(netlist, rng, spec, sources, global_pool, i)
+        netlist.connect(flop, "D", final_net)
+        for gate_name in set(netlist.gates) - before:
+            cone_of_gate[gate_name] = i
+    for i in range(spec.n_outputs):
+        netlist.add_port(f"out{i}", PortDirection.OUTPUT)
+        # An output port observes a flop's Q (registered output).
+        source = q_nets[int(rng.integers(len(q_nets)))]
+        driver = netlist.net_driver(source)
+        assert driver is not None
+        # Re-route: the port's net is the port name itself; tie the flop
+        # output to it by adding the port as a load of the source net is
+        # not possible (ports own their net), so drive the port net with
+        # a buffer.
+        buffers = library.buffers()
+        buf = buffers[0].name
+        buf_name = f"obuf{i}"
+        netlist.add_gate(buf_name, buf)
+        cell = library.cell(buf)
+        netlist.connect(buf_name, cell.input_pins[0].name, source)
+        netlist.connect(buf_name, cell.output_pins[0].name, f"out{i}")
+        cone_of_gate[buf_name] = int(rng.integers(spec.n_flops))
+    # Flop placement: each flop sits near its cone's gates, so place
+    # after cones exist.  Cone index of a flop = its own index.
+    for i, flop in enumerate(flops):
+        cone_of_gate[flop] = i
+    placement = _place_design(
+        netlist, rng, spec, cone_of_gate, spec.n_flops
+    )
+    n_domains = len(clock_names)
+    for domain, clock_name in enumerate(clock_names):
+        domain_flops = [
+            flop for i, flop in enumerate(flops) if i % n_domains == domain
+        ]
+        build_clock_tree(
+            netlist, placement, clock_name, domain_flops,
+            spec.max_leaf_fanout,
+        )
+    table = make_derating_table(
+        sigma=spec.derate_sigma,
+        distance_slope=spec.derate_distance_slope,
+    )
+    sta_config = STAConfig(derating_table=table)
+    constraints = _calibrate_periods(netlist, placement, sta_config, spec)
+    return Design(
+        name=spec.name,
+        spec=spec,
+        netlist=netlist,
+        constraints=constraints,
+        placement=placement,
+        sta_config=sta_config,
+        derating_table=table,
+    )
+
+
+def scaled_spec(spec: DesignSpec, factor: float) -> DesignSpec:
+    """A spec with the flop count scaled (quick-vs-full bench modes)."""
+    return replace(spec, n_flops=max(4, int(spec.n_flops * factor)))

@@ -1,0 +1,102 @@
+"""The paper's Fig. 1/Fig. 2 worked example, reconstructed exactly.
+
+The paper's example: every gate has a 100 ps delay, the derating table
+is Table 1, and the 6-gate data path FF1 -> FF4 times at
+
+* **PBA**:  100 ps x 1.15 x 6            = 690 ps   (Eq. 2)
+* **GBA**:  100 ps x (three gates at worst-depth 5, two at 4, one at 3)
+            = 100 x (1.20*3 + 1.25*2 + 1.30) = 740 ps   (Eq. 3)
+
+The figure's full topology is not recoverable from the paper, but the
+derate *multiset* {1.20 x3, 1.25 x2, 1.30} pins the worst-depth
+multiset {5,5,5,4,4,3}, and the circuit below realizes it (worst depth
+along the path runs 4,4,3,5,5,5):
+
+* main path: FF1 -> G1 -> G2 -> G3 -> G4 -> G5 -> G6 -> FF4
+* FF2 -> K1 -> (second input of G3): gives G3 a 2-gate prefix, pulling
+  its worst depth (and its upstream neighbours') down;
+* G3 -> L1 -> FF5: gives G3 a 2-gate suffix, pulling it down to 3.
+
+With zero-delay flops, unit 100 ps gates, and no placement (distance
+clamps to Table 1's 500 nm row) the numbers come out exactly 690/740.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aocv.table import DeratingTable, paper_table_1
+from repro.liberty.builder import make_unit_delay_library
+from repro.netlist.core import Netlist, PortDirection
+from repro.sdc.constraints import Clock, Constraints
+from repro.timing.sta import STAConfig
+
+#: Worst (GBA) depth of each main-path gate, in path order G1..G6.
+EXPECTED_GBA_DEPTHS = {
+    "G1": 4, "G2": 4, "G3": 3, "G4": 5, "G5": 5, "G6": 5,
+    # off-path gates
+    "K1": 3, "L1": 3,
+}
+
+#: The paper's numbers (ps).
+PBA_PATH_DELAY = 690.0
+GBA_PATH_DELAY = 740.0
+
+
+@dataclass
+class Fig2Design:
+    """The example bundle (same shape as a suite design)."""
+
+    netlist: Netlist
+    constraints: Constraints
+    sta_config: STAConfig
+    derating_table: DeratingTable
+
+
+def build_fig2_design(period: float = 700.0) -> Fig2Design:
+    """Build the example; default period makes GBA fail but PBA pass.
+
+    At T = 700 ps the FF1->FF4 path has GBA slack -40 ps (a *phantom*
+    violation) and PBA slack +10 ps — the exact situation that makes
+    GBA pessimism expensive in a closure flow.
+    """
+    library = make_unit_delay_library(gate_delay=100.0)
+    netlist = Netlist("paper_fig2", library)
+    netlist.add_port("clk", PortDirection.INPUT)
+    for name in ("FF1", "FF2", "FF4", "FF5"):
+        netlist.add_gate(name, "DFF_U", {"CK": "clk"})
+    netlist.connect("FF1", "Q", "q1")
+    netlist.connect("FF2", "Q", "q2")
+    # Launch flops re-register each other so no pin dangles.
+    netlist.connect("FF1", "D", "q2")
+    netlist.connect("FF2", "D", "q1")
+    # Main 6-gate path FF1 -> FF4.
+    netlist.add_gate("G1", "INV_U", {"A": "q1", "Z": "n1"})
+    netlist.add_gate("G2", "INV_U", {"A": "n1", "Z": "n2"})
+    netlist.add_gate("G3", "NAND2_U", {"A": "n2", "B": "k1", "Z": "n3"})
+    netlist.add_gate("G4", "INV_U", {"A": "n3", "Z": "n4"})
+    netlist.add_gate("G5", "INV_U", {"A": "n4", "Z": "n5"})
+    netlist.add_gate("G6", "INV_U", {"A": "n5", "Z": "n6"})
+    netlist.connect("FF4", "D", "n6")
+    # Short prefix into G3 (FF2 -> K1 -> G3.B).
+    netlist.add_gate("K1", "INV_U", {"A": "q2", "Z": "k1"})
+    # Short suffix out of G3 (G3 -> L1 -> FF5.D).
+    netlist.add_gate("L1", "INV_U", {"A": "n3", "Z": "l1"})
+    netlist.connect("FF5", "D", "l1")
+    constraints = Constraints()
+    constraints.add_clock(Clock("clk", period=period, source_port="clk"))
+    table = paper_table_1()
+    config = STAConfig(
+        derating_table=table,
+        clock_derate_late=1.0,
+        clock_derate_early=1.0,
+        data_early_derate=1.0,
+        wire_r_per_nm=0.0,
+        wire_c_per_nm=0.0,
+    )
+    return Fig2Design(
+        netlist=netlist,
+        constraints=constraints,
+        sta_config=config,
+        derating_table=table,
+    )

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers embedding the flow can catch a single base class.  Parse errors
+carry the offending location to make hand-written netlists debuggable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class LibertyError(ReproError):
+    """Invalid cell-library data (bad table axes, unknown pin, ...)."""
+
+
+class NetlistError(ReproError):
+    """Structural netlist problem (unknown cell, multi-driven net, ...)."""
+
+
+class SDCError(ReproError):
+    """Invalid timing constraint specification."""
+
+
+class AOCVError(ReproError):
+    """Invalid derating-table data."""
+
+
+class TimingError(ReproError):
+    """Timing-graph construction or propagation failure."""
+
+
+class SolverError(ReproError):
+    """Optimization-solver failure (divergence, bad shapes, ...)."""
+
+
+class ParseError(ReproError):
+    """Syntax error in one of the text formats (Verilog/Liberty/SDC/AOCV).
+
+    Attributes
+    ----------
+    filename:
+        Name of the source being parsed, or ``"<string>"``.
+    line:
+        1-based line number of the offending token, 0 when unknown.
+    """
+
+    def __init__(self, message: str, filename: str = "<string>", line: int = 0):
+        self.filename = filename
+        self.line = line
+        location = f"{filename}:{line}: " if line else f"{filename}: "
+        super().__init__(location + message)

@@ -1,0 +1,36 @@
+"""Cell-library substrate: NLDM-style lookup tables and Liberty-lite I/O.
+
+The library models the subset of Liberty needed for gate-level STA with
+AOCV derating:
+
+* :class:`~repro.liberty.lut.LookupTable2D` — delay / output-slew tables
+  indexed by (input slew, output load) with bilinear interpolation.
+* :class:`~repro.liberty.cell.Cell` / :class:`~repro.liberty.cell.Pin` /
+  :class:`~repro.liberty.cell.TimingArc` — cell structure.
+* :class:`~repro.liberty.library.Library` — named cells plus footprint
+  groups ("size families") used by the sizing transforms.
+* :func:`~repro.liberty.builder.make_default_library` — the realistic
+  built-in library used by the design suite.
+* :func:`~repro.liberty.parser.parse_liberty` /
+  :func:`~repro.liberty.writer.write_liberty` — Liberty-lite text format.
+"""
+
+from repro.liberty.lut import LookupTable2D
+from repro.liberty.cell import ArcKind, Cell, Pin, PinDirection, TimingArc
+from repro.liberty.library import Library
+from repro.liberty.builder import make_default_library
+from repro.liberty.parser import parse_liberty
+from repro.liberty.writer import write_liberty
+
+__all__ = [
+    "LookupTable2D",
+    "ArcKind",
+    "Cell",
+    "Pin",
+    "PinDirection",
+    "TimingArc",
+    "Library",
+    "make_default_library",
+    "parse_liberty",
+    "write_liberty",
+]

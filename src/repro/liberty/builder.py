@@ -1,0 +1,258 @@
+"""Programmatic construction of a realistic default cell library.
+
+The default library models a generic nanometre standard-cell family.
+Delay follows the usual first-order model
+
+    delay(slew, load) = intrinsic + slew_sens * slew + R_drive * load
+
+sampled onto NLDM grids, where ``R_drive`` shrinks with drive strength
+and input capacitance grows with it — so upsizing a gate speeds up the
+gate itself but loads its fanin, exactly the trade-off the closure
+optimizer has to navigate.  Area and leakage grow with drive strength
+(sub-linearly and super-linearly respectively), which is what makes
+pessimism expensive: every unnecessary upsize costs leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.liberty.cell import ArcKind, Cell, Pin, PinDirection, TimingArc
+from repro.liberty.library import Library
+from repro.liberty.lut import LookupTable2D
+
+#: Input-slew breakpoints (ps) shared by all characterized tables.
+SLEW_AXIS = (5.0, 20.0, 60.0, 150.0)
+#: Output-load breakpoints (fF) shared by all characterized tables.
+LOAD_AXIS = (1.0, 4.0, 16.0, 64.0)
+
+#: Drive strengths characterized for ordinary gates.
+GATE_DRIVES = (1, 2, 4, 8)
+#: Drive strengths characterized for buffers (used as repeaters).
+BUFFER_DRIVES = (1, 2, 4, 8, 16)
+
+#: Threshold-voltage flavours: (suffix, delay multiplier, leakage
+#: multiplier).  LVT trades leakage for speed, HVT the reverse; SVT is
+#: the default flavour instances start at.
+VT_FLAVOURS = (
+    ("svt", 1.00, 1.00),
+    ("lvt", 0.85, 2.50),
+    ("hvt", 1.25, 0.40),
+)
+
+
+@dataclass(frozen=True)
+class _GateSpec:
+    """Base parameters of one logic function at drive strength X1."""
+
+    footprint: str
+    inputs: tuple[str, ...]
+    output: str
+    intrinsic: float      # ps
+    r_drive: float        # ps per fF at X1
+    input_cap: float      # fF per input at X1
+    area: float           # um^2 at X1
+    leakage: float        # nW at X1
+    is_buffer: bool = False
+
+
+_GATE_SPECS = (
+    _GateSpec("INV", ("A",), "Z", 8.0, 3.2, 1.0, 0.5, 1.5),
+    _GateSpec("BUF", ("A",), "Z", 16.0, 3.0, 1.0, 0.8, 2.2, is_buffer=True),
+    _GateSpec("NAND2", ("A", "B"), "Z", 12.0, 3.6, 1.2, 0.8, 2.4),
+    _GateSpec("NOR2", ("A", "B"), "Z", 14.0, 4.2, 1.3, 0.8, 2.6),
+    _GateSpec("AND2", ("A", "B"), "Z", 20.0, 3.4, 1.2, 1.1, 3.0),
+    _GateSpec("OR2", ("A", "B"), "Z", 22.0, 3.5, 1.3, 1.1, 3.1),
+    _GateSpec("XOR2", ("A", "B"), "Z", 30.0, 4.5, 1.8, 1.6, 4.5),
+    _GateSpec("XNOR2", ("A", "B"), "Z", 31.0, 4.5, 1.8, 1.6, 4.6),
+    _GateSpec("NAND3", ("A", "B", "C"), "Z", 16.0, 4.0, 1.3, 1.1, 3.2),
+    _GateSpec("NOR3", ("A", "B", "C"), "Z", 19.0, 4.8, 1.4, 1.1, 3.4),
+    _GateSpec("AOI21", ("A", "B", "C"), "Z", 17.0, 4.1, 1.3, 1.0, 3.0),
+    _GateSpec("OAI21", ("A", "B", "C"), "Z", 18.0, 4.2, 1.3, 1.0, 3.0),
+    _GateSpec("MUX2", ("A", "B", "S"), "Z", 26.0, 4.0, 1.5, 1.5, 4.0),
+)
+
+#: Design-rule slew ceiling characterized for every pin (ps).
+MAX_TRANSITION = 180.0
+
+# First-order sensitivities shared by all gates.
+_DELAY_SLEW_SENS = 0.18      # ps of delay per ps of input slew
+_OUT_SLEW_INTRINSIC = 0.55   # output slew fraction of intrinsic delay
+_OUT_SLEW_SLEW_SENS = 0.08   # ps of output slew per ps of input slew
+_OUT_SLEW_LOAD_FACTOR = 1.9  # output slew load sensitivity vs delay's
+
+# Flip-flop base characterization (X1).
+_DFF_INTRINSIC = 45.0
+_DFF_R_DRIVE = 3.4
+_DFF_D_CAP = 1.4
+_DFF_CK_CAP = 1.1
+_DFF_AREA = 4.5
+_DFF_LEAKAGE = 9.0
+_DFF_SETUP = 28.0
+_DFF_HOLD = 6.0
+
+
+def _delay_table(intrinsic: float, r_drive: float) -> LookupTable2D:
+    slews = np.asarray(SLEW_AXIS)
+    loads = np.asarray(LOAD_AXIS)
+    values = (
+        intrinsic
+        + _DELAY_SLEW_SENS * slews[:, None]
+        + r_drive * loads[None, :]
+    )
+    return LookupTable2D(slews, loads, values)
+
+
+def _slew_table(intrinsic: float, r_drive: float) -> LookupTable2D:
+    slews = np.asarray(SLEW_AXIS)
+    loads = np.asarray(LOAD_AXIS)
+    values = (
+        _OUT_SLEW_INTRINSIC * intrinsic
+        + _OUT_SLEW_SLEW_SENS * slews[:, None]
+        + _OUT_SLEW_LOAD_FACTOR * r_drive * loads[None, :]
+    )
+    return LookupTable2D(slews, loads, values)
+
+
+def _constraint_table(base: float, slew_sens: float) -> LookupTable2D:
+    """Setup/hold vs (data slew, clock slew): mild slew dependence."""
+    slews = np.asarray(SLEW_AXIS)
+    values = base + slew_sens * slews[:, None] + 0.02 * slews[None, :]
+    return LookupTable2D(slews, slews, values)
+
+
+def _drive_scaling(drive: int) -> tuple[float, float, float, float]:
+    """(r_drive, input_cap, area, leakage) multipliers at drive X{drive}."""
+    r_mult = 1.0 / drive
+    cap_mult = 0.55 + 0.45 * drive       # cap grows sub-linearly
+    area_mult = drive ** 0.85
+    leak_mult = drive ** 1.1             # leakage grows super-linearly
+    return r_mult, cap_mult, area_mult, leak_mult
+
+
+def _build_gate(spec: _GateSpec, drive: int, vt: str = "svt",
+                delay_mult: float = 1.0, leak_mult_vt: float = 1.0) -> Cell:
+    r_mult, cap_mult, area_mult, leak_mult = _drive_scaling(drive)
+    suffix = "" if vt == "svt" else f"_{vt.upper()}"
+    cell = Cell(
+        name=f"{spec.footprint}_X{drive}{suffix}",
+        area=round(spec.area * area_mult, 4),
+        leakage=round(spec.leakage * leak_mult * leak_mult_vt, 4),
+        drive_strength=float(drive),
+        footprint=f"{spec.footprint}{suffix}",
+        function=spec.footprint,
+        vt=vt,
+        is_buffer=spec.is_buffer,
+    )
+    for pin_name in spec.inputs:
+        cell.add_pin(Pin(
+            pin_name, PinDirection.INPUT,
+            capacitance=spec.input_cap * cap_mult,
+            max_transition=MAX_TRANSITION,
+        ))
+    max_cap = LOAD_AXIS[-1] * drive
+    cell.add_pin(Pin(
+        spec.output, PinDirection.OUTPUT,
+        max_capacitance=max_cap, max_transition=MAX_TRANSITION,
+    ))
+    r_drive = spec.r_drive * r_mult
+    delay = _delay_table(spec.intrinsic * delay_mult, r_drive * delay_mult)
+    slew = _slew_table(spec.intrinsic * delay_mult, r_drive * delay_mult)
+    for pin_name in spec.inputs:
+        cell.add_arc(
+            TimingArc(pin_name, spec.output, ArcKind.COMBINATIONAL, delay, slew)
+        )
+    return cell
+
+
+def _build_dff(drive: int) -> Cell:
+    r_mult, cap_mult, area_mult, leak_mult = _drive_scaling(drive)
+    cell = Cell(
+        name=f"DFF_X{drive}",
+        area=round(_DFF_AREA * area_mult, 4),
+        leakage=round(_DFF_LEAKAGE * leak_mult, 4),
+        drive_strength=float(drive),
+        footprint="DFF",
+        is_sequential=True,
+    )
+    cell.add_pin(Pin("D", PinDirection.INPUT, capacitance=_DFF_D_CAP * cap_mult))
+    cell.add_pin(
+        Pin("CK", PinDirection.INPUT, capacitance=_DFF_CK_CAP * cap_mult,
+            is_clock=True)
+    )
+    max_cap = LOAD_AXIS[-1] * drive
+    cell.add_pin(Pin("Q", PinDirection.OUTPUT, max_capacitance=max_cap))
+    r_drive = _DFF_R_DRIVE * r_mult
+    cell.add_arc(
+        TimingArc("CK", "Q", ArcKind.CLK_TO_Q,
+                  _delay_table(_DFF_INTRINSIC, r_drive),
+                  _slew_table(_DFF_INTRINSIC, r_drive))
+    )
+    cell.add_arc(
+        TimingArc("D", "CK", ArcKind.SETUP, _constraint_table(_DFF_SETUP, 0.12))
+    )
+    cell.add_arc(
+        TimingArc("D", "CK", ArcKind.HOLD, _constraint_table(_DFF_HOLD, 0.05))
+    )
+    return cell
+
+
+def make_default_library(name: str = "repro_generic") -> Library:
+    """Build the default characterized library used by the design suite.
+
+    13 combinational footprints at drives X1-X8 (buffers up to X16) plus
+    DFFs at X1-X4; every non-buffer combinational cell additionally has
+    LVT (fast/leaky) and HVT (slow/frugal) flavours for the VT-swap
+    transforms — 157 cells total.
+    """
+    library = Library(name)
+    for spec in _GATE_SPECS:
+        drives = BUFFER_DRIVES if spec.is_buffer else GATE_DRIVES
+        flavours = (VT_FLAVOURS[0],) if spec.is_buffer else VT_FLAVOURS
+        for drive in drives:
+            for vt, delay_mult, leak_mult in flavours:
+                library.add_cell(
+                    _build_gate(spec, drive, vt, delay_mult, leak_mult)
+                )
+    for drive in (1, 2, 4):
+        library.add_cell(_build_dff(drive))
+    return library
+
+
+def make_unit_delay_library(gate_delay: float = 100.0,
+                            name: str = "unit_delay") -> Library:
+    """A tiny library whose every gate has a fixed delay.
+
+    Used to replicate the paper's Fig. 2 example, where every gate is
+    "simply assumed to be 100 ps": constant tables remove slew/load
+    dependence so path delay = 100 ps x depth x derate exactly.
+    """
+    library = Library(name)
+    delay = LookupTable2D.constant(gate_delay)
+    slew = LookupTable2D.constant(10.0)
+    for footprint, inputs in (("INV", ("A",)), ("BUF", ("A",)),
+                              ("NAND2", ("A", "B")), ("NOR2", ("A", "B"))):
+        cell = Cell(name=f"{footprint}_U", area=1.0, leakage=1.0,
+                    footprint=footprint, is_buffer=footprint == "BUF")
+        for pin_name in inputs:
+            cell.add_pin(Pin(pin_name, PinDirection.INPUT, capacitance=1.0))
+        cell.add_pin(Pin("Z", PinDirection.OUTPUT))
+        for pin_name in inputs:
+            cell.add_arc(
+                TimingArc(pin_name, "Z", ArcKind.COMBINATIONAL, delay, slew)
+            )
+        library.add_cell(cell)
+    dff = Cell(name="DFF_U", area=4.0, leakage=4.0, footprint="DFF",
+               is_sequential=True)
+    dff.add_pin(Pin("D", PinDirection.INPUT, capacitance=1.0))
+    dff.add_pin(Pin("CK", PinDirection.INPUT, capacitance=1.0, is_clock=True))
+    dff.add_pin(Pin("Q", PinDirection.OUTPUT))
+    dff.add_arc(TimingArc("CK", "Q", ArcKind.CLK_TO_Q,
+                          LookupTable2D.constant(0.0),
+                          LookupTable2D.constant(10.0)))
+    dff.add_arc(TimingArc("D", "CK", ArcKind.SETUP, LookupTable2D.constant(0.0)))
+    dff.add_arc(TimingArc("D", "CK", ArcKind.HOLD, LookupTable2D.constant(0.0)))
+    library.add_cell(dff)
+    return library

@@ -1,0 +1,109 @@
+"""Library container: cells by name plus footprint (size-family) groups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LibertyError
+from repro.liberty.cell import Cell
+
+
+@dataclass
+class Library:
+    """A named collection of cells.
+
+    Cells sharing a ``footprint`` form a size family (e.g. NAND2_X1,
+    NAND2_X2, NAND2_X4): same pins and function, different drive.  The
+    sizing transforms of :mod:`repro.opt` step through a family in
+    drive-strength order.
+    """
+
+    name: str
+    cells: dict[str, Cell] = field(default_factory=dict)
+
+    def add_cell(self, cell: Cell) -> Cell:
+        """Register a cell; raises on duplicate names."""
+        if cell.name in self.cells:
+            raise LibertyError(f"library {self.name}: duplicate cell {cell.name}")
+        self.cells[cell.name] = cell
+        return cell
+
+    def cell(self, name: str) -> Cell:
+        """Return the named cell, raising :class:`LibertyError` if absent."""
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise LibertyError(f"library {self.name} has no cell {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def footprint_group(self, footprint: str) -> list[Cell]:
+        """All cells of a footprint, sorted by ascending drive strength."""
+        group = [c for c in self.cells.values() if c.footprint == footprint]
+        group.sort(key=lambda c: (c.drive_strength, c.name))
+        return group
+
+    def size_variants(self, cell_name: str) -> list[Cell]:
+        """Size family of the named cell (including the cell itself)."""
+        return self.footprint_group(self.cell(cell_name).footprint)
+
+    def next_size_up(self, cell_name: str) -> Cell | None:
+        """The next stronger variant of a cell, or None at the top."""
+        cell = self.cell(cell_name)
+        group = self.size_variants(cell_name)
+        idx = group.index(cell)
+        return group[idx + 1] if idx + 1 < len(group) else None
+
+    def next_size_down(self, cell_name: str) -> Cell | None:
+        """The next weaker variant of a cell, or None at the bottom."""
+        cell = self.cell(cell_name)
+        group = self.size_variants(cell_name)
+        idx = group.index(cell)
+        return group[idx - 1] if idx > 0 else None
+
+    def vt_variant(self, cell_name: str, vt: str) -> Cell | None:
+        """The same function + drive at another threshold voltage.
+
+        Returns None when the library has no such flavour (e.g. buffers
+        and flops are characterized at SVT only).
+        """
+        cell = self.cell(cell_name)
+        if cell.vt == vt:
+            return cell
+        for candidate in self.cells.values():
+            if (
+                candidate.function == cell.function
+                and candidate.drive_strength == cell.drive_strength
+                and candidate.vt == vt
+            ):
+                return candidate
+        return None
+
+    def vt_flavours(self, cell_name: str) -> list[Cell]:
+        """All VT flavours of a cell at its drive, leakiest first."""
+        cell = self.cell(cell_name)
+        flavours = [
+            c for c in self.cells.values()
+            if c.function == cell.function
+            and c.drive_strength == cell.drive_strength
+        ]
+        flavours.sort(key=lambda c: -c.leakage)
+        return flavours
+
+    def buffers(self) -> list[Cell]:
+        """All buffer cells, sorted by ascending drive strength."""
+        bufs = [c for c in self.cells.values() if c.is_buffer]
+        bufs.sort(key=lambda c: (c.drive_strength, c.name))
+        return bufs
+
+    def sequential_cells(self) -> list[Cell]:
+        """All sequential cells."""
+        return [c for c in self.cells.values() if c.is_sequential]
+
+    def combinational_cells(self) -> list[Cell]:
+        """All non-sequential cells."""
+        return [c for c in self.cells.values() if not c.is_sequential]

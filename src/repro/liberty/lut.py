@@ -1,0 +1,168 @@
+"""Two-dimensional lookup tables with bilinear interpolation.
+
+NLDM characterizes each timing arc by a table of values over
+(input slew, output load).  Queries between grid points are bilinearly
+interpolated; queries outside the characterized window are clamped to
+the nearest edge, which is the conservative choice industrial tools
+default to when extrapolation is disabled.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LibertyError
+
+
+def _as_axis(values, name: str) -> np.ndarray:
+    axis = np.asarray(values, dtype=float)
+    if axis.ndim != 1 or axis.size == 0:
+        raise LibertyError(f"{name} axis must be a non-empty 1-D sequence")
+    if axis.size > 1 and not np.all(np.diff(axis) > 0):
+        raise LibertyError(f"{name} axis must be strictly increasing: {axis.tolist()}")
+    return axis
+
+
+@dataclass(frozen=True)
+class LookupTable2D:
+    """A value grid over (row axis = input slew, column axis = load).
+
+    Parameters
+    ----------
+    rows:
+        Strictly increasing input-slew breakpoints (ps).
+    cols:
+        Strictly increasing output-load breakpoints (fF).
+    values:
+        ``len(rows) x len(cols)`` grid of table values (ps).
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    # Plain-Python mirrors: lookup() runs millions of times per closure
+    # run, and scalar numpy indexing/clipping costs ~10x a float
+    # compare + bisect on these tiny (<=8 entry) axes.
+    _rows_list: list = field(init=False, repr=False)
+    _cols_list: list = field(init=False, repr=False)
+    _values_list: list = field(init=False, repr=False)
+
+    def __post_init__(self):
+        rows = _as_axis(self.rows, "row")
+        cols = _as_axis(self.cols, "column")
+        values = np.asarray(self.values, dtype=float)
+        if values.shape != (rows.size, cols.size):
+            raise LibertyError(
+                f"table shape {values.shape} does not match axes "
+                f"({rows.size}, {cols.size})"
+            )
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_rows_list", rows.tolist())
+        object.__setattr__(self, "_cols_list", cols.tolist())
+        object.__setattr__(self, "_values_list", values.tolist())
+
+    @classmethod
+    def constant(cls, value: float) -> "LookupTable2D":
+        """A 1x1 table returning ``value`` for every query."""
+        return cls(np.array([0.0]), np.array([0.0]), np.array([[value]]))
+
+    def lookup(self, slew: float, load: float) -> float:
+        """Bilinearly interpolate the table at (slew, load), clamped."""
+        rows = self._rows_list
+        cols = self._cols_list
+        values = self._values_list
+        n_rows = len(rows)
+        n_cols = len(cols)
+        r = rows[0] if slew < rows[0] else (
+            rows[-1] if slew > rows[-1] else slew
+        )
+        c = cols[0] if load < cols[0] else (
+            cols[-1] if load > cols[-1] else load
+        )
+        if n_rows == 1 and n_cols == 1:
+            return values[0][0]
+        if n_rows == 1:
+            j = bisect_right(cols, c) - 1
+            j = 0 if j < 0 else (n_cols - 2 if j > n_cols - 2 else j)
+            t = (c - cols[j]) / (cols[j + 1] - cols[j])
+            row0 = values[0]
+            return (1 - t) * row0[j] + t * row0[j + 1]
+        if n_cols == 1:
+            i = bisect_right(rows, r) - 1
+            i = 0 if i < 0 else (n_rows - 2 if i > n_rows - 2 else i)
+            u = (r - rows[i]) / (rows[i + 1] - rows[i])
+            return (1 - u) * values[i][0] + u * values[i + 1][0]
+        i = bisect_right(rows, r) - 1
+        i = 0 if i < 0 else (n_rows - 2 if i > n_rows - 2 else i)
+        j = bisect_right(cols, c) - 1
+        j = 0 if j < 0 else (n_cols - 2 if j > n_cols - 2 else j)
+        u = (r - rows[i]) / (rows[i + 1] - rows[i])
+        t = (c - cols[j]) / (cols[j + 1] - cols[j])
+        row_i = values[i]
+        row_i1 = values[i + 1]
+        return (
+            (1 - u) * ((1 - t) * row_i[j] + t * row_i[j + 1])
+            + u * ((1 - t) * row_i1[j] + t * row_i1[j + 1])
+        )
+
+    def lookup_many(self, slews, loads) -> np.ndarray:
+        """Vectorized :meth:`lookup` over equal-length arrays."""
+        r = np.clip(np.asarray(slews, dtype=float),
+                    self.rows[0], self.rows[-1])
+        c = np.clip(np.asarray(loads, dtype=float),
+                    self.cols[0], self.cols[-1])
+        if self.rows.size == 1 and self.cols.size == 1:
+            return np.full(r.shape, self.values[0, 0])
+        i = np.clip(
+            np.searchsorted(self.rows, r, side="right") - 1,
+            0, max(self.rows.size - 2, 0),
+        )
+        j = np.clip(
+            np.searchsorted(self.cols, c, side="right") - 1,
+            0, max(self.cols.size - 2, 0),
+        )
+        if self.rows.size == 1:
+            t = (c - self.cols[j]) / (self.cols[j + 1] - self.cols[j])
+            return (1 - t) * self.values[0, j] + t * self.values[0, j + 1]
+        if self.cols.size == 1:
+            u = (r - self.rows[i]) / (self.rows[i + 1] - self.rows[i])
+            return (1 - u) * self.values[i, 0] + u * self.values[i + 1, 0]
+        u = (r - self.rows[i]) / (self.rows[i + 1] - self.rows[i])
+        t = (c - self.cols[j]) / (self.cols[j + 1] - self.cols[j])
+        v00 = self.values[i, j]
+        v01 = self.values[i, j + 1]
+        v10 = self.values[i + 1, j]
+        v11 = self.values[i + 1, j + 1]
+        return (
+            (1 - u) * ((1 - t) * v00 + t * v01)
+            + u * ((1 - t) * v10 + t * v11)
+        )
+
+    def scaled(self, factor: float) -> "LookupTable2D":
+        """Return a copy with every value multiplied by ``factor``."""
+        return LookupTable2D(self.rows.copy(), self.cols.copy(), self.values * factor)
+
+    def min_value(self) -> float:
+        """Smallest value in the grid."""
+        return float(self.values.min())
+
+    def max_value(self) -> float:
+        """Largest value in the grid."""
+        return float(self.values.max())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LookupTable2D):
+            return NotImplemented
+        return (
+            np.array_equal(self.rows, other.rows)
+            and np.array_equal(self.cols, other.cols)
+            and np.allclose(self.values, other.values)
+        )
+
+    def __hash__(self):  # frozen dataclass with arrays: identity hash
+        return id(self)

@@ -1,0 +1,379 @@
+"""Liberty-lite parser.
+
+Parses the subset of the Liberty grammar this project emits (see
+:mod:`repro.liberty.writer`).  The grammar has three member forms inside
+a group body::
+
+    simple_attribute  : name : value ;
+    complex_attribute : name ( "arg", "arg", ... ) ;
+    group             : name ( args ) { members }
+
+The parser is two-stage — a generic group-tree parse followed by
+semantic interpretation — so malformed syntax and malformed semantics
+produce distinct, located errors.
+
+Supported semantic structure::
+
+    library (NAME) {
+      cell (CELL) {
+        area : 0.8;
+        cell_leakage_power : 2.4;
+        drive_strength : 1;
+        cell_footprint : "NAND2";
+        is_buffer : true;        /* extension attribute */
+        ff () { }                /* marks the cell sequential */
+        pin (A) {
+          direction : input;
+          capacitance : 1.2;
+          clock : true;
+          max_capacitance : 64;
+          timing () {
+            related_pin : "B";
+            timing_type : combinational;  /* | rising_edge |
+                                             setup_rising | hold_rising */
+            cell_rise (tmpl) {
+              index_1 ("5, 20");
+              index_2 ("1, 4");
+              values ("1, 2", "3, 4");
+            }
+            rise_transition (tmpl) { ... }
+          }
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParseError
+from repro.liberty.cell import ArcKind, Cell, Pin, PinDirection, TimingArc
+from repro.liberty.library import Library
+from repro.liberty.lut import LookupTable2D
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>/\*.*?\*/)
+  | (?P<string>"[^"]*")
+  | (?P<punct>[(){};:,])
+  | (?P<word>[^\s(){};:,"]+)
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_TIMING_TYPE_TO_KIND = {
+    "combinational": ArcKind.COMBINATIONAL,
+    "rising_edge": ArcKind.CLK_TO_Q,
+    "setup_rising": ArcKind.SETUP,
+    "hold_rising": ArcKind.HOLD,
+}
+
+_KIND_TO_TIMING_TYPE = {v: k for k, v in _TIMING_TYPE_TO_KIND.items()}
+
+
+@dataclass
+class _Token:
+    text: str
+    line: int
+    is_string: bool = False
+
+    def is_punct(self, char: str) -> bool:
+        return not self.is_string and self.text == char
+
+
+@dataclass
+class Group:
+    """Generic parsed Liberty group: ``kind (args) { members }``."""
+
+    kind: str
+    args: list[str]
+    line: int
+    attributes: dict[str, str] = field(default_factory=dict)
+    complex_attributes: dict[str, list[str]] = field(default_factory=dict)
+    subgroups: list["Group"] = field(default_factory=list)
+
+    def first(self, kind: str) -> "Group | None":
+        """First subgroup of the given kind, or None."""
+        for group in self.subgroups:
+            if group.kind == kind:
+                return group
+        return None
+
+    def all(self, kind: str) -> list["Group"]:
+        """All subgroups of the given kind."""
+        return [g for g in self.subgroups if g.kind == kind]
+
+
+def _tokenize(text: str, filename: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", filename, line)
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "string":
+            tokens.append(_Token(value[1:-1], line, is_string=True))
+        elif kind in ("punct", "word"):
+            tokens.append(_Token(value, line))
+        line += value.count("\n")
+        pos = match.end()
+    return tokens
+
+
+class _GroupParser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token], filename: str):
+        self._tokens = tokens
+        self._pos = 0
+        self._filename = filename
+
+    def _peek(self, offset: int = 0) -> _Token | None:
+        idx = self._pos + offset
+        return self._tokens[idx] if idx < len(self._tokens) else None
+
+    def _next(self, expected: str | None = None) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(
+                f"unexpected end of input (expected {expected or 'more input'})",
+                self._filename,
+                self._tokens[-1].line if self._tokens else 0,
+            )
+        if expected is not None and not token.is_punct(expected):
+            raise ParseError(
+                f"expected {expected!r}, got {token.text!r}",
+                self._filename, token.line,
+            )
+        self._pos += 1
+        return token
+
+    def _parse_args(self) -> list[str]:
+        """Consume ``( a, b, ... )`` and return the argument texts."""
+        self._next("(")
+        args: list[str] = []
+        while True:
+            token = self._next()
+            if token.is_punct(")"):
+                break
+            if token.is_punct(","):
+                continue
+            args.append(token.text)
+        return args
+
+    def parse_group(self) -> Group:
+        name = self._next()
+        args = self._parse_args()
+        self._next("{")
+        group = Group(kind=name.text, args=args, line=name.line)
+        while True:
+            token = self._peek()
+            if token is None:
+                raise ParseError(
+                    f"unterminated group {name.text!r}",
+                    self._filename, name.line,
+                )
+            if token.is_punct("}"):
+                self._next()
+                break
+            self._parse_member(group)
+        return group
+
+    def _parse_member(self, group: Group) -> None:
+        name = self._peek()
+        assert name is not None
+        after = self._peek(1)
+        if after is not None and after.is_punct(":"):
+            self._next()          # name
+            self._next(":")
+            value_parts: list[str] = []
+            while True:
+                token = self._next()
+                if token.is_punct(";"):
+                    break
+                value_parts.append(token.text)
+            group.attributes[name.text] = " ".join(value_parts)
+            return
+        if after is not None and after.is_punct("("):
+            self._next()          # name
+            args = self._parse_args()
+            follow = self._peek()
+            if follow is not None and follow.is_punct(";"):
+                self._next(";")
+                group.complex_attributes[name.text] = args
+                return
+            self._next("{")
+            subgroup = Group(kind=name.text, args=args, line=name.line)
+            while True:
+                token = self._peek()
+                if token is None:
+                    raise ParseError(
+                        f"unterminated group {name.text!r}",
+                        self._filename, name.line,
+                    )
+                if token.is_punct("}"):
+                    self._next()
+                    break
+                self._parse_member(subgroup)
+            group.subgroups.append(subgroup)
+            return
+        raise ParseError(
+            f"expected attribute or group after {name.text!r}",
+            self._filename, name.line,
+        )
+
+    def expect_end(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise ParseError(
+                f"trailing input {token.text!r}", self._filename, token.line
+            )
+
+
+def parse_group_tree(text: str, filename: str = "<string>") -> Group:
+    """Parse Liberty-lite text into the generic :class:`Group` tree."""
+    tokens = _tokenize(text, filename)
+    if not tokens:
+        raise ParseError("empty input", filename, 1)
+    parser = _GroupParser(tokens, filename)
+    group = parser.parse_group()
+    parser.expect_end()
+    return group
+
+
+def _parse_number_list(text: str) -> np.ndarray:
+    values = [v for v in text.replace(",", " ").split() if v]
+    return np.array([float(v) for v in values])
+
+
+def _read_table(group: Group, filename: str) -> LookupTable2D:
+    complex_attrs = group.complex_attributes
+    value_rows = complex_attrs.get("values")
+    if not value_rows:
+        raise ParseError("table group lacks values()", filename, group.line)
+    grid = np.vstack([_parse_number_list(row) for row in value_rows])
+    index_1 = complex_attrs.get("index_1")
+    index_2 = complex_attrs.get("index_2")
+    row_axis = (
+        _parse_number_list(index_1[0])
+        if index_1 else np.arange(grid.shape[0], dtype=float)
+    )
+    col_axis = (
+        _parse_number_list(index_2[0])
+        if index_2 else np.arange(grid.shape[1], dtype=float)
+    )
+    return LookupTable2D(row_axis, col_axis, grid)
+
+
+def _read_bool(value: str) -> bool:
+    return value.strip().lower() in ("true", "1", "yes")
+
+
+def _read_arc(timing: Group, pin_name: str, filename: str) -> TimingArc:
+    related = timing.attributes.get("related_pin", "").strip('"')
+    if not related:
+        raise ParseError("timing group lacks related_pin", filename, timing.line)
+    timing_type = timing.attributes.get("timing_type", "combinational")
+    kind = _TIMING_TYPE_TO_KIND.get(timing_type)
+    if kind is None:
+        raise ParseError(
+            f"unsupported timing_type {timing_type!r}", filename, timing.line
+        )
+    if kind in (ArcKind.SETUP, ArcKind.HOLD):
+        table_group = timing.first("rise_constraint")
+        if table_group is None:
+            raise ParseError(
+                "constraint timing group lacks rise_constraint",
+                filename, timing.line,
+            )
+        # Constraint arcs live on the data pin: from=data, to=clock.
+        return TimingArc(pin_name, related, kind,
+                         _read_table(table_group, filename))
+    delay_group = timing.first("cell_rise")
+    slew_group = timing.first("rise_transition")
+    if delay_group is None or slew_group is None:
+        raise ParseError(
+            "delay timing group needs cell_rise and rise_transition",
+            filename, timing.line,
+        )
+    return TimingArc(
+        related, pin_name, kind,
+        _read_table(delay_group, filename),
+        _read_table(slew_group, filename),
+    )
+
+
+def _read_pin(pin_group: Group, cell: Cell, filename: str) -> None:
+    if not pin_group.args:
+        raise ParseError("pin group lacks a name", filename, pin_group.line)
+    attrs = pin_group.attributes
+    direction_text = attrs.get("direction", "input")
+    try:
+        direction = PinDirection(direction_text)
+    except ValueError:
+        raise ParseError(
+            f"pin {pin_group.args[0]}: bad direction {direction_text!r}",
+            filename, pin_group.line,
+        ) from None
+    cell.add_pin(Pin(
+        name=pin_group.args[0],
+        direction=direction,
+        capacitance=float(attrs.get("capacitance", 0.0)),
+        max_capacitance=float(attrs.get("max_capacitance", "inf")),
+        max_transition=float(attrs.get("max_transition", "inf")),
+        is_clock=_read_bool(attrs.get("clock", "false")),
+    ))
+
+
+def _read_cell(cell_group: Group, filename: str) -> Cell:
+    if not cell_group.args:
+        raise ParseError("cell group lacks a name", filename, cell_group.line)
+    attrs = cell_group.attributes
+    cell = Cell(
+        name=cell_group.args[0],
+        area=float(attrs.get("area", 0.0)),
+        leakage=float(attrs.get("cell_leakage_power", 0.0)),
+        drive_strength=float(attrs.get("drive_strength", 1.0)),
+        footprint=attrs.get("cell_footprint", "").strip('"'),
+        function=attrs.get("function_class", "").strip('"'),
+        vt=attrs.get("threshold_voltage_group", "svt"),
+        is_sequential=cell_group.first("ff") is not None,
+        is_buffer=_read_bool(attrs.get("is_buffer", "false")),
+    )
+    # Two passes: pins first so arcs can validate their endpoints.
+    for pin_group in cell_group.all("pin"):
+        _read_pin(pin_group, cell, filename)
+    for pin_group in cell_group.all("pin"):
+        pin_name = pin_group.args[0]
+        for timing in pin_group.all("timing"):
+            cell.add_arc(_read_arc(timing, pin_name, filename))
+    return cell
+
+
+def parse_liberty(text: str, filename: str = "<string>") -> Library:
+    """Parse Liberty-lite text into a :class:`Library`."""
+    root = parse_group_tree(text, filename)
+    if root.kind != "library":
+        raise ParseError(
+            f"top-level group must be 'library', got {root.kind!r}",
+            filename, root.line,
+        )
+    library = Library(root.args[0] if root.args else "unnamed")
+    for cell_group in root.all("cell"):
+        library.add_cell(_read_cell(cell_group, filename))
+    return library
+
+
+def load_liberty(path) -> Library:
+    """Parse a Liberty-lite file from disk."""
+    path = Path(path)
+    return parse_liberty(path.read_text(), str(path))

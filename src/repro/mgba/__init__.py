@@ -1,0 +1,44 @@
+"""mGBA — the paper's primary contribution.
+
+Fits a per-gate correction ``x`` so that corrected-GBA path slacks match
+golden PBA slacks on selected critical paths, subject to never being
+more than ``epsilon`` optimistic:
+
+* :class:`~repro.mgba.problem.MGBAProblem` — sparse least-squares
+  formulation (Eq. 5-9 of the paper).
+* :mod:`~repro.mgba.selection` — critical-path selection schemes
+  (global top-m' vs per-endpoint top-k', §3.2).
+* :mod:`~repro.mgba.solvers` — GD baseline, stochastic CG (Alg. 2),
+  uniform row sampling (Alg. 1), and a direct scipy reference.
+* :mod:`~repro.mgba.metrics` — phi (Eq. 10), mse (Eq. 12), and the
+  5%/5ps pass ratio (Table 3).
+* :class:`~repro.mgba.flow.MGBAFlow` — the full right-hand side of the
+  paper's Fig. 5: select, analyze, fit, update the timing graph.
+"""
+
+from repro.mgba.problem import MGBAProblem, build_problem
+from repro.mgba.selection import (
+    gate_coverage,
+    global_topk,
+    per_endpoint_topk,
+    violating_paths,
+)
+from repro.mgba.metrics import mse, pass_ratio, relative_error_phi
+from repro.mgba.apply import weights_from_solution
+from repro.mgba.flow import MGBAConfig, MGBAFlow, MGBAResult
+
+__all__ = [
+    "MGBAProblem",
+    "build_problem",
+    "gate_coverage",
+    "global_topk",
+    "per_endpoint_topk",
+    "violating_paths",
+    "mse",
+    "pass_ratio",
+    "relative_error_phi",
+    "weights_from_solution",
+    "MGBAConfig",
+    "MGBAFlow",
+    "MGBAResult",
+]

@@ -1,0 +1,66 @@
+"""Accuracy metrics from the paper.
+
+* :func:`relative_error_phi` — Eq. (10), the phi used in the §3.2
+  path-selection study.
+* :func:`mse` — Eq. (12), the modelling squared error of Table 4.
+* :func:`pass_ratio` — Table 3's metric: a path "passes" when its slack
+  error vs golden PBA is < 5% relative or < 5 ps absolute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+
+#: Default pass thresholds suggested by the paper's engineers.
+PASS_REL_TOL = 0.05
+PASS_ABS_TOL_PS = 5.0
+
+
+def _as_pair(model, golden) -> tuple[np.ndarray, np.ndarray]:
+    model_arr = np.asarray(model, dtype=float)
+    golden_arr = np.asarray(golden, dtype=float)
+    if model_arr.shape != golden_arr.shape:
+        raise SolverError(
+            f"shape mismatch: model {model_arr.shape} vs golden "
+            f"{golden_arr.shape}"
+        )
+    return model_arr, golden_arr
+
+
+def relative_error_phi(model, golden) -> float:
+    """Eq. (10): ||s_model - s_golden||_2 / ||s_golden||_2."""
+    model_arr, golden_arr = _as_pair(model, golden)
+    denom = np.linalg.norm(golden_arr)
+    if denom == 0.0:
+        return 0.0 if np.linalg.norm(model_arr) == 0.0 else float("inf")
+    return float(np.linalg.norm(model_arr - golden_arr) / denom)
+
+
+def mse(model, golden) -> float:
+    """Eq. (12): ||s_model - s_golden||^2 / ||s_golden||^2."""
+    return relative_error_phi(model, golden) ** 2
+
+
+def pass_vector(model, golden,
+                rel_tol: float = PASS_REL_TOL,
+                abs_tol: float = PASS_ABS_TOL_PS) -> np.ndarray:
+    """Boolean per-path pass flags under the 5%/5ps rule."""
+    model_arr, golden_arr = _as_pair(model, golden)
+    err = np.abs(model_arr - golden_arr)
+    denom = np.abs(golden_arr)
+    rel_ok = np.zeros_like(err, dtype=bool)
+    nonzero = denom > 0
+    rel_ok[nonzero] = err[nonzero] / denom[nonzero] < rel_tol
+    return rel_ok | (err < abs_tol)
+
+
+def pass_ratio(model, golden,
+               rel_tol: float = PASS_REL_TOL,
+               abs_tol: float = PASS_ABS_TOL_PS) -> float:
+    """Fraction of paths passing the 5%/5ps correlation rule."""
+    flags = pass_vector(model, golden, rel_tol, abs_tol)
+    if flags.size == 0:
+        return 1.0
+    return float(flags.mean())

@@ -1,0 +1,209 @@
+"""Sparse least-squares formulation of the mGBA fitting problem.
+
+The paper's Eq. (5)-(9) with the correction-form interpretation
+documented in DESIGN.md: per-gate weighting ``lambda_j (1 + x_j)``
+makes the corrected slack of path i::
+
+    s_mgba,i(x) = s_gba,i - (A x)_i ,   A_ij = d_ij * lambda_j
+
+where ``d_ij`` is the base delay of the arc path i takes through gate j
+and ``lambda_j`` the GBA derate.  Matching PBA means ``A x ~ b`` with
+``b_i = s_gba,i - s_pba,i <= 0`` (the pessimism, negated), and the
+"never more than epsilon optimistic" constraint of Eq. (5) becomes the
+one-sided bound ``(A x)_i >= b_i - epsilon |s_pba,i|``, handled by the
+quadratic penalty of Eq. (6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import SolverError
+from repro.pba.paths import TimingPath
+
+
+@dataclass
+class MGBAProblem:
+    """One instance of the mGBA quadratic program.
+
+    Attributes
+    ----------
+    matrix:
+        ``m x n`` CSR matrix A (path x gate, entries ``d * lambda``).
+    rhs:
+        ``b = s_gba - s_pba`` per path (<= 0 entries are pessimism).
+    s_gba / s_pba:
+        The original slack vectors (for metrics).
+    gates:
+        Column order: ``gates[j]`` is the gate of column j.
+    epsilon:
+        Relative optimism tolerance of Eq. (5).
+    penalty:
+        Quadratic penalty weight w of Eq. (6).
+    """
+
+    matrix: sparse.csr_matrix
+    rhs: np.ndarray
+    s_gba: np.ndarray
+    s_pba: np.ndarray
+    gates: list[str]
+    epsilon: float = 0.05
+    penalty: float = 10.0
+    _lower: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        m, n = self.matrix.shape
+        if self.rhs.shape != (m,):
+            raise SolverError(
+                f"rhs shape {self.rhs.shape} does not match m={m}"
+            )
+        if len(self.gates) != n:
+            raise SolverError(
+                f"{len(self.gates)} gates do not match n={n} columns"
+            )
+        self._lower = self.rhs - self.epsilon * np.abs(self.s_pba)
+
+    @property
+    def num_paths(self) -> int:
+        """m, the number of fitted paths (rows)."""
+        return self.matrix.shape[0]
+
+    @property
+    def num_gates(self) -> int:
+        """n, the number of correction variables (columns)."""
+        return self.matrix.shape[1]
+
+    @property
+    def lower_bound(self) -> np.ndarray:
+        """Per-row lower bound on (A x) enforcing the epsilon constraint."""
+        return self._lower
+
+    # ------------------------------------------------------------------
+    # Objective / gradient (penalty form, Eq. 6)
+    # ------------------------------------------------------------------
+    def residual(self, x: np.ndarray) -> np.ndarray:
+        """A x - b."""
+        return self.matrix @ x - self.rhs
+
+    def violation(self, x: np.ndarray) -> np.ndarray:
+        """Positive part of (lower - A x): how optimistic each row is."""
+        return np.maximum(self._lower - self.matrix @ x, 0.0)
+
+    def objective(self, x: np.ndarray) -> float:
+        """Penalized objective f(x) = ||Ax-b||^2 + w * ||violation||^2."""
+        res = self.residual(x)
+        vio = self.violation(x)
+        return float(res @ res + self.penalty * (vio @ vio))
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """Gradient of the penalized objective."""
+        ax = self.matrix @ x
+        grad = 2.0 * (self.matrix.T @ (ax - self.rhs))
+        vio_mask = ax < self._lower
+        if np.any(vio_mask):
+            vio = ax[vio_mask] - self._lower[vio_mask]  # negative values
+            grad += 2.0 * self.penalty * (
+                self.matrix[vio_mask].T @ vio
+            )
+        return np.asarray(grad).ravel()
+
+    def row_gradient(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Gradient restricted to a row subset (stochastic solvers).
+
+        Scaled by m/len(rows) so it is an unbiased estimate of the full
+        gradient under uniform sampling (probability-weighted sampling
+        applies its own importance correction upstream).
+        """
+        sub = self.matrix[rows]
+        ax = sub @ x
+        grad = 2.0 * (sub.T @ (ax - self.rhs[rows]))
+        lower = self._lower[rows]
+        vio_mask = ax < lower
+        if np.any(vio_mask):
+            vio = ax[vio_mask] - lower[vio_mask]
+            grad += 2.0 * self.penalty * (sub[vio_mask].T @ vio)
+        scale = self.num_paths / max(len(rows), 1)
+        return np.asarray(grad).ravel() * scale
+
+    def row_norms_squared(self) -> np.ndarray:
+        """||a_i||^2 per row — the Kaczmarz sampling distribution (Eq. 11)."""
+        return np.asarray(
+            self.matrix.multiply(self.matrix).sum(axis=1)
+        ).ravel()
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def corrected_slacks(self, x: np.ndarray) -> np.ndarray:
+        """s_mgba(x) = s_gba - A x on the fitted paths."""
+        return self.s_gba - self.matrix @ x
+
+    def subproblem(self, rows: np.ndarray) -> "MGBAProblem":
+        """The problem restricted to a row subset (Algorithm 1 sampling)."""
+        rows = np.asarray(rows)
+        return MGBAProblem(
+            matrix=self.matrix[rows].tocsr(),
+            rhs=self.rhs[rows],
+            s_gba=self.s_gba[rows],
+            s_pba=self.s_pba[rows],
+            gates=self.gates,
+            epsilon=self.epsilon,
+            penalty=self.penalty,
+        )
+
+
+def build_problem(
+    paths: "list[TimingPath]",
+    epsilon: float = 0.05,
+    penalty: float = 10.0,
+) -> MGBAProblem:
+    """Assemble the sparse system from analyzed paths.
+
+    Every path must have been through
+    :meth:`repro.pba.engine.PBAEngine.analyze_path` (it needs
+    ``contributions`` and both slacks).  Columns are created for every
+    gate that appears on at least one fitted path, in first-seen order
+    (deterministic given the path list).
+    """
+    if not paths:
+        raise SolverError("cannot build an mGBA problem from zero paths")
+    gate_index: dict[str, int] = {}
+    gates: list[str] = []
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    s_gba = np.empty(len(paths))
+    s_pba = np.empty(len(paths))
+    for i, path in enumerate(paths):
+        if not path.analyzed and not path.contributions:
+            raise SolverError(
+                f"path to {path.endpoint_name} is unanalyzed; "
+                "run PBAEngine.analyze first"
+            )
+        s_gba[i] = path.gba_slack
+        s_pba[i] = path.pba_slack
+        for gate, base_delay, gba_derate in path.contributions:
+            j = gate_index.get(gate)
+            if j is None:
+                j = len(gates)
+                gate_index[gate] = j
+                gates.append(gate)
+            rows.append(i)
+            cols.append(j)
+            data.append(base_delay * gba_derate)
+    matrix = sparse.coo_matrix(
+        (data, (rows, cols)), shape=(len(paths), len(gates))
+    ).tocsr()
+    matrix.sum_duplicates()
+    return MGBAProblem(
+        matrix=matrix,
+        rhs=s_gba - s_pba,
+        s_gba=s_gba,
+        s_pba=s_pba,
+        gates=gates,
+        epsilon=epsilon,
+        penalty=penalty,
+    )

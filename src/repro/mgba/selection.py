@@ -1,0 +1,82 @@
+"""Critical-path selection schemes (§3.2 of the paper).
+
+The naive scheme — globally sort every violating path by GBA slack and
+keep the worst m' — concentrates on a few critical gates and leaves most
+correction variables unobserved (47.5% gate coverage, phi = 72.4% in
+the paper's small case).  The paper's scheme — keep the top k' paths
+*per endpoint* — spreads the same budget across the design (95.3%
+coverage, phi = 5.11%).  Both are implemented here over a common path
+pool so the benchmark can compare them fairly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.pba.paths import TimingPath
+
+
+def global_topk(paths: "list[TimingPath]", m: int) -> "list[TimingPath]":
+    """Scheme 1: the m globally-worst paths by GBA slack."""
+    ranked = sorted(paths, key=lambda p: p.gba_slack)
+    return ranked[:m]
+
+
+def per_endpoint_topk(
+    paths: "list[TimingPath]",
+    k: int,
+    max_total: int | None = None,
+) -> "list[TimingPath]":
+    """Scheme 2: the k worst paths of every endpoint.
+
+    Only paths sharing an endpoint are compared, so the sort cost drops
+    from m log m to sum of per-endpoint sorts — and every endpoint's
+    neighbourhood of gates gets covered.  ``max_total`` caps the result
+    (the paper's m' <= 5e6), dropping the *least* critical of the kept
+    paths first.
+    """
+    by_endpoint: dict[int, list[TimingPath]] = defaultdict(list)
+    for path in paths:
+        by_endpoint[path.endpoint].append(path)
+    kept: list[TimingPath] = []
+    for endpoint in sorted(by_endpoint):
+        bucket = sorted(by_endpoint[endpoint], key=lambda p: p.gba_slack)
+        kept.extend(bucket[:k])
+    if max_total is not None and len(kept) > max_total:
+        kept.sort(key=lambda p: p.gba_slack)
+        kept = kept[:max_total]
+    return kept
+
+
+def violating_paths(paths: "list[TimingPath]") -> "list[TimingPath]":
+    """Paths with negative GBA slack — the ones closure must fix."""
+    return [p for p in paths if p.gba_slack < 0]
+
+
+def gate_coverage(
+    paths: "list[TimingPath]",
+    universe: "set[str] | None" = None,
+) -> tuple[float, int, int]:
+    """(fraction, covered, total) of gates observed by a path set.
+
+    ``universe`` defaults to the gates of the *full* pool being
+    subsampled — pass the union over all candidate paths to reproduce
+    the paper's coverage numbers.
+    """
+    covered: set[str] = set()
+    for path in paths:
+        covered.update(path.gates())
+    if universe is None:
+        universe = set(covered)
+    total = len(universe)
+    hit = len(covered & universe)
+    fraction = hit / total if total else 0.0
+    return fraction, hit, total
+
+
+def path_pool_gates(paths: "list[TimingPath]") -> set[str]:
+    """Union of gates across a path pool (the coverage universe)."""
+    gates: set[str] = set()
+    for path in paths:
+        gates.update(path.gates())
+    return gates

@@ -1,0 +1,175 @@
+"""Generalization validation of a fitted mGBA model.
+
+The flow fits weights on the selected critical paths; everything else
+in the design is then *corrected by extrapolation*.  Two validators
+quantify how safe that is:
+
+* :func:`holdout_validation` — fit on each endpoint's top-k paths,
+  evaluate on its next (deeper) paths.  Measures generalization to
+  unfitted paths through *seen* gates — the common case during
+  optimization, where transforms expose previously sub-critical paths.
+* :func:`endpoint_split_validation` — fit on a random subset of
+  endpoints, evaluate on the rest.  Measures generalization to unseen
+  *regions*; weights for gates never observed default to 1.0 (plain
+  GBA), so the evaluation can degrade toward GBA but never below it in
+  expectation.
+
+Both report the fit-side and eval-side pass ratio / mse plus how many
+evaluation-path gates were actually covered by the fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.mgba.metrics import mse, pass_ratio
+from repro.mgba.problem import build_problem
+from repro.mgba.selection import per_endpoint_topk
+from repro.mgba.solvers import solve_direct
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import enumerate_worst_paths
+from repro.pba.paths import TimingPath
+from repro.timing.sta import STAEngine
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Fit-vs-evaluation quality of one validation experiment."""
+
+    fit_paths: int
+    eval_paths: int
+    pass_ratio_fit: float
+    pass_ratio_eval: float
+    pass_ratio_eval_gba: float
+    mse_fit: float
+    mse_eval: float
+    mse_eval_gba: float
+    gate_coverage_eval: float
+
+    @property
+    def eval_improvement(self) -> float:
+        """Pass-ratio points gained on unfitted paths."""
+        return self.pass_ratio_eval - self.pass_ratio_eval_gba
+
+    @property
+    def generalizes(self) -> bool:
+        """True when the correction helps (not hurts) held-out paths."""
+        return (
+            self.pass_ratio_eval >= self.pass_ratio_eval_gba - 1e-9
+            and self.mse_eval <= self.mse_eval_gba + 1e-12
+        )
+
+
+def _evaluate(weights: dict[str, float],
+              eval_paths: "list[TimingPath]") -> tuple[float, float, float,
+                                                       float, float]:
+    problem = build_problem(eval_paths)
+    x = np.array([weights.get(g, 0.0) for g in problem.gates])
+    corrected = problem.corrected_slacks(x)
+    covered = sum(1 for g in problem.gates if g in weights)
+    coverage = covered / len(problem.gates) if problem.gates else 1.0
+    return (
+        pass_ratio(corrected, problem.s_pba),
+        pass_ratio(problem.s_gba, problem.s_pba),
+        mse(corrected, problem.s_pba),
+        mse(problem.s_gba, problem.s_pba),
+        coverage,
+    )
+
+
+def _fit(paths: "list[TimingPath]", epsilon: float,
+         penalty: float) -> tuple[dict[str, float], float, float]:
+    problem = build_problem(paths, epsilon=epsilon, penalty=penalty)
+    x = solve_direct(problem).x
+    corrected = problem.corrected_slacks(x)
+    weights = dict(zip(problem.gates, x))
+    return (
+        weights,
+        pass_ratio(corrected, problem.s_pba),
+        mse(corrected, problem.s_pba),
+    )
+
+
+def holdout_validation(
+    engine: STAEngine,
+    k_fit: int = 10,
+    k_eval: int = 25,
+    epsilon: float = 0.05,
+    penalty: float = 10.0,
+) -> ValidationReport:
+    """Fit on each endpoint's top-k_fit paths, evaluate on ranks
+    (k_fit, k_eval]."""
+    if k_eval <= k_fit:
+        raise SolverError("k_eval must exceed k_fit")
+    engine.ensure_timing()
+    pool = enumerate_worst_paths(engine.graph, engine.state, k_eval)
+    PBAEngine(engine).analyze(pool)
+    fit_set = {p.key() for p in per_endpoint_topk(pool, k_fit)}
+    fit_paths = [p for p in pool if p.key() in fit_set]
+    eval_paths = [p for p in pool if p.key() not in fit_set]
+    if not eval_paths:
+        raise SolverError(
+            "no held-out paths; the design's endpoints have too few paths"
+        )
+    weights, ratio_fit, mse_fit = _fit(fit_paths, epsilon, penalty)
+    ratio_eval, ratio_gba, mse_eval, mse_gba, coverage = _evaluate(
+        weights, eval_paths
+    )
+    return ValidationReport(
+        fit_paths=len(fit_paths),
+        eval_paths=len(eval_paths),
+        pass_ratio_fit=ratio_fit,
+        pass_ratio_eval=ratio_eval,
+        pass_ratio_eval_gba=ratio_gba,
+        mse_fit=mse_fit,
+        mse_eval=mse_eval,
+        mse_eval_gba=mse_gba,
+        gate_coverage_eval=coverage,
+    )
+
+
+def endpoint_split_validation(
+    engine: STAEngine,
+    k_per_endpoint: int = 15,
+    fit_fraction: float = 0.6,
+    epsilon: float = 0.05,
+    penalty: float = 10.0,
+    seed=None,
+) -> ValidationReport:
+    """Fit on a random endpoint subset, evaluate on the others."""
+    if not 0.0 < fit_fraction < 1.0:
+        raise SolverError("fit_fraction must be in (0, 1)")
+    engine.ensure_timing()
+    rng = make_rng(seed)
+    endpoints = engine.graph.endpoint_nodes()
+    if len(endpoints) < 4:
+        raise SolverError("too few endpoints to split")
+    shuffled = list(endpoints)
+    rng.shuffle(shuffled)
+    cut = max(1, int(round(fit_fraction * len(shuffled))))
+    fit_endpoints = set(shuffled[:cut])
+    pool = enumerate_worst_paths(engine.graph, engine.state, k_per_endpoint)
+    PBAEngine(engine).analyze(pool)
+    fit_paths = [p for p in pool if p.endpoint in fit_endpoints]
+    eval_paths = [p for p in pool if p.endpoint not in fit_endpoints]
+    if not fit_paths or not eval_paths:
+        raise SolverError("degenerate endpoint split")
+    weights, ratio_fit, mse_fit = _fit(fit_paths, epsilon, penalty)
+    ratio_eval, ratio_gba, mse_eval, mse_gba, coverage = _evaluate(
+        weights, eval_paths
+    )
+    return ValidationReport(
+        fit_paths=len(fit_paths),
+        eval_paths=len(eval_paths),
+        pass_ratio_fit=ratio_fit,
+        pass_ratio_eval=ratio_eval,
+        pass_ratio_eval_gba=ratio_gba,
+        mse_fit=mse_fit,
+        mse_eval=mse_eval,
+        mse_eval_gba=mse_gba,
+        gate_coverage_eval=coverage,
+    )

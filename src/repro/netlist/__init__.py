@@ -1,0 +1,44 @@
+"""Gate-level netlist substrate.
+
+* :class:`~repro.netlist.core.Netlist` — gates, nets, ports,
+  connectivity indexes, and editing primitives.
+* :mod:`~repro.netlist.verilog` — structural-Verilog-subset parser and
+  writer.
+* :mod:`~repro.netlist.validate` — structural lint (multi-driven nets,
+  dangling pins, combinational loops).
+* :class:`~repro.netlist.placement.Placement` — gate coordinates and the
+  bounding-box distances AOCV derating depends on.
+* :mod:`~repro.netlist.edit` — higher-level edits (resize, buffer
+  insertion/removal) returning change records for incremental timing.
+"""
+
+from repro.netlist.core import Gate, Net, Netlist, PinRef, Port, PortDirection
+from repro.netlist.parasitics import (
+    Parasitics,
+    extract_parasitics,
+    parse_spef,
+    write_spef,
+)
+from repro.netlist.placement import Placement
+from repro.netlist.plfile import parse_placement, write_placement
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.netlist.validate import validate_netlist
+
+__all__ = [
+    "Gate",
+    "Net",
+    "Netlist",
+    "PinRef",
+    "Port",
+    "PortDirection",
+    "Placement",
+    "Parasitics",
+    "extract_parasitics",
+    "parse_spef",
+    "write_spef",
+    "parse_placement",
+    "write_placement",
+    "parse_verilog",
+    "write_verilog",
+    "validate_netlist",
+]

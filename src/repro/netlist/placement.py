@@ -1,0 +1,70 @@
+"""Placement model: gate coordinates and bounding-box distances.
+
+AOCV derating depends on the *distance* of a path — the half-perimeter
+of the bounding box of its endpoints (the metric the Synopsys AOCV
+application note uses).  The placement also feeds the Elmore-lite wire
+delay model: wire length between a driver and a load is their Manhattan
+distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A placement location in nm."""
+
+    x: float
+    y: float
+
+    def manhattan(self, other: "Point") -> float:
+        """Manhattan distance to another point (nm)."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+@dataclass
+class Placement:
+    """Coordinates for every gate (and optionally ports) of a design."""
+
+    locations: dict[str, Point] = field(default_factory=dict)
+
+    def place(self, name: str, x: float, y: float) -> None:
+        """Set the location of a gate or port."""
+        self.locations[name] = Point(float(x), float(y))
+
+    def location(self, name: str) -> Point:
+        """Location of a gate/port; raises when unplaced."""
+        try:
+            return self.locations[name]
+        except KeyError:
+            raise NetlistError(f"{name} is not placed") from None
+
+    def has(self, name: str) -> bool:
+        """True when the name has a location."""
+        return name in self.locations
+
+    def distance(self, a: str, b: str) -> float:
+        """Manhattan distance between two placed objects (nm)."""
+        return self.location(a).manhattan(self.location(b))
+
+    def bbox_half_perimeter(self, names: "list[str]") -> float:
+        """Half-perimeter of the bounding box of the named objects (nm).
+
+        This is the AOCV *distance* of a path whose endpoints (and
+        optionally intermediate gates) are ``names``.
+        """
+        if not names:
+            return 0.0
+        points = [self.location(n) for n in names]
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def midpoint_of(self, a: str, b: str) -> Point:
+        """Midpoint between two placed objects (for buffer insertion)."""
+        pa, pb = self.location(a), self.location(b)
+        return Point((pa.x + pb.x) / 2.0, (pa.y + pb.y) / 2.0)

@@ -1,0 +1,165 @@
+"""Structural netlist validation (lint).
+
+:func:`validate_netlist` returns a list of :class:`Violation` records;
+an empty list means the netlist is clean.  The timing-graph builder
+refuses netlists with ``ERROR``-severity violations, because every one
+of them (multi-driver, combinational loop, unknown cell) would corrupt
+the analysis silently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.liberty.cell import PinDirection
+from repro.netlist.core import Netlist, PortDirection
+
+
+class Severity(enum.Enum):
+    """How bad a lint finding is."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+def _check_nets(netlist: Netlist, findings: list[Violation]) -> None:
+    for net_name in netlist.nets:
+        driver = netlist.net_driver(net_name)
+        loads = netlist.net_loads(net_name)
+        if driver is None:
+            severity = (
+                Severity.WARNING if not loads else Severity.ERROR
+            )
+            findings.append(Violation(
+                severity, "UNDRIVEN",
+                f"net {net_name} has no driver"
+                + (f" but {len(loads)} load(s)" if loads else ""),
+            ))
+        if driver is not None and not loads:
+            findings.append(Violation(
+                Severity.WARNING, "UNLOADED",
+                f"net {net_name} driven by {driver} has no loads",
+            ))
+
+
+def _check_pins(netlist: Netlist, findings: list[Violation]) -> None:
+    for gate_name, gate in netlist.gates.items():
+        cell = netlist.cell_of(gate_name)
+        for pin in cell.pins.values():
+            if pin.name not in gate.connections:
+                severity = (
+                    Severity.ERROR
+                    if pin.direction is PinDirection.INPUT
+                    else Severity.WARNING
+                )
+                findings.append(Violation(
+                    severity, "DANGLING",
+                    f"{gate_name}/{pin.name} ({pin.direction.value}) "
+                    "is unconnected",
+                ))
+
+
+def _check_max_cap(netlist: Netlist, findings: list[Violation]) -> None:
+    for gate_name, gate in netlist.gates.items():
+        cell = netlist.cell_of(gate_name)
+        for pin in cell.output_pins:
+            net_name = gate.connections.get(pin.name)
+            if net_name is None:
+                continue
+            load = netlist.net_load_capacitance(net_name)
+            if load > pin.max_capacitance:
+                findings.append(Violation(
+                    Severity.WARNING, "MAXCAP",
+                    f"{gate_name}/{pin.name} drives {load:.2f} fF "
+                    f"> max {pin.max_capacitance:.2f} fF",
+                ))
+
+
+def find_combinational_loops(netlist: Netlist) -> list[list[str]]:
+    """Find cycles in the combinational gate graph.
+
+    Sequential gates break cycles (their D->Q dependency goes through the
+    clock edge), so only combinational instances participate.  Returns a
+    list of cycles, each as a list of gate names.
+    """
+    comb = set(netlist.combinational_gates())
+    # Iterative DFS with colouring; records one cycle per back edge.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {g: WHITE for g in comb}
+    parent: dict[str, str | None] = {}
+    cycles: list[list[str]] = []
+
+    def successors(gate: str) -> list[str]:
+        return [g for g in netlist.fanout_gates(gate) if g in comb]
+
+    for root in comb:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[str, int]] = [(root, 0)]
+        parent[root] = None
+        color[root] = GRAY
+        succ_cache = {root: successors(root)}
+        while stack:
+            node, idx = stack[-1]
+            succs = succ_cache[node]
+            if idx < len(succs):
+                stack[-1] = (node, idx + 1)
+                child = succs[idx]
+                if color[child] == GRAY:
+                    # Back edge: reconstruct the cycle through parents.
+                    cycle = [child, node]
+                    walker = parent[node]
+                    while walker is not None and walker != child:
+                        cycle.append(walker)
+                        walker = parent[walker]
+                    cycles.append(list(reversed(cycle[1:])) + [child])
+                elif color[child] == WHITE:
+                    color[child] = GRAY
+                    parent[child] = node
+                    succ_cache[child] = successors(child)
+                    stack.append((child, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return cycles
+
+
+def validate_netlist(netlist: Netlist) -> list[Violation]:
+    """Run all structural checks; returns findings (empty = clean)."""
+    findings: list[Violation] = []
+    _check_nets(netlist, findings)
+    _check_pins(netlist, findings)
+    _check_max_cap(netlist, findings)
+    for cycle in find_combinational_loops(netlist):
+        findings.append(Violation(
+            Severity.ERROR, "COMBLOOP",
+            "combinational loop: " + " -> ".join(cycle),
+        ))
+    return findings
+
+
+def assert_clean(netlist: Netlist) -> None:
+    """Raise :class:`~repro.errors.NetlistError` on any ERROR finding."""
+    from repro.errors import NetlistError
+
+    errors = [
+        f for f in validate_netlist(netlist) if f.severity is Severity.ERROR
+    ]
+    if errors:
+        raise NetlistError(
+            f"netlist {netlist.name} has {len(errors)} structural error(s):\n"
+            + "\n".join(str(e) for e in errors[:20])
+        )

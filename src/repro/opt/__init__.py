@@ -1,0 +1,24 @@
+"""Timing-closure optimization framework (left half of the paper's Fig. 5).
+
+* :class:`~repro.opt.qor.QoRMetrics` — WNS/TNS/area/leakage/buffers.
+* :mod:`~repro.opt.transforms` — sizing and buffering moves evaluated
+  under incremental timing, with clean revert.
+* :class:`~repro.opt.closure.TimingClosureOptimizer` — the greedy
+  fix-violations / recover-area loop, run with plain GBA or with the
+  mGBA-corrected engine.
+* :func:`~repro.opt.compare.run_flow_comparison` — GBA-flow vs
+  mGBA-flow A/B on one design (Tables 2 and 5).
+"""
+
+from repro.opt.qor import QoRMetrics
+from repro.opt.closure import ClosureConfig, ClosureReport, TimingClosureOptimizer
+from repro.opt.compare import FlowComparison, run_flow_comparison
+
+__all__ = [
+    "QoRMetrics",
+    "ClosureConfig",
+    "ClosureReport",
+    "TimingClosureOptimizer",
+    "FlowComparison",
+    "run_flow_comparison",
+]

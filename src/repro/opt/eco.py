@@ -1,0 +1,158 @@
+"""ECO (engineering change order) export and replay.
+
+A closure run's value is the *netlist delta* it found; this module
+serializes that delta as a PrimeTime-style ECO script and replays it
+onto a pristine netlist.  Round trip guarantee (tested): replaying a
+run's ECO onto a fresh copy of the design reproduces the optimized
+netlist gate-for-gate.
+
+Script grammar (one command per line, ``#`` comments)::
+
+    size_cell <gate> <new_cell>
+    insert_buffer <net> <buffer_cell> <new_gate> <new_net> <load> [...]
+    remove_buffer <gate>
+
+``insert_buffer`` records the names the original run generated so the
+replay is exact (fresh-name counters differ between sessions); loads
+are ``gate/pin`` references.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import NetlistError, ParseError
+from repro.netlist.core import Netlist, PinRef
+from repro.netlist.edit import remove_buffer
+from repro.netlist.placement import Placement
+
+
+class EcoRecorder:
+    """Collects replayable commands during an optimization run."""
+
+    def __init__(self):
+        self.commands: list[str] = []
+
+    def record_size(self, gate: str, new_cell: str) -> None:
+        """A resize or VT swap (both are cell substitutions)."""
+        self.commands.append(f"size_cell {gate} {new_cell}")
+
+    def record_insert_buffer(self, net: str, buffer_cell: str,
+                             buffer_name: str, new_net: str,
+                             loads: "list[PinRef]") -> None:
+        """A buffer insertion with its generated names and moved loads."""
+        load_refs = " ".join(str(ref) for ref in loads)
+        self.commands.append(
+            f"insert_buffer {net} {buffer_cell} {buffer_name} "
+            f"{new_net} {load_refs}"
+        )
+
+    def record_remove_buffer(self, gate: str) -> None:
+        """A buffer removal."""
+        self.commands.append(f"remove_buffer {gate}")
+
+    def pop_last(self, count: int = 1) -> None:
+        """Drop the most recent commands (a reverted transform)."""
+        del self.commands[len(self.commands) - count:]
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+def write_eco(commands: "list[str]", design: str = "") -> str:
+    """Serialize an ECO command list."""
+    out = [f"# repro ECO{' for ' + design if design else ''}",
+           f"# {len(commands)} command(s)"]
+    out.extend(commands)
+    out.append("")
+    return "\n".join(out)
+
+
+def save_eco(commands: "list[str]", path, design: str = "") -> None:
+    """Write an ECO script to disk."""
+    Path(path).write_text(write_eco(commands, design))
+
+
+def _parse_pin_ref(text: str, filename: str, lineno: int) -> PinRef:
+    if "/" not in text:
+        raise ParseError(
+            f"load reference {text!r} must be gate/pin", filename, lineno
+        )
+    gate, pin = text.rsplit("/", 1)
+    return PinRef(gate, pin)
+
+
+def apply_eco(netlist: Netlist, text: str,
+              placement: Placement | None = None,
+              filename: str = "<eco>") -> int:
+    """Replay an ECO script onto a netlist; returns commands applied.
+
+    The replay uses the exact instance/net names recorded at capture
+    time, so the resulting netlist is identical to the optimized one.
+    """
+    applied = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        command = parts[0]
+        try:
+            if command == "size_cell":
+                if len(parts) != 3:
+                    raise ParseError(
+                        "size_cell expects: gate new_cell", filename, lineno
+                    )
+                netlist.swap_cell(parts[1], parts[2])
+            elif command == "insert_buffer":
+                if len(parts) < 6:
+                    raise ParseError(
+                        "insert_buffer expects: net cell name new_net "
+                        "load...", filename, lineno,
+                    )
+                net, buffer_cell, buffer_name, new_net = parts[1:5]
+                loads = [
+                    _parse_pin_ref(p, filename, lineno) for p in parts[5:]
+                ]
+                cell = netlist.library.cell(buffer_cell)
+                netlist.add_gate(buffer_name, buffer_cell)
+                netlist.connect(buffer_name, cell.input_pins[0].name, net)
+                netlist.connect(
+                    buffer_name, cell.output_pins[0].name, new_net
+                )
+                for ref in loads:
+                    netlist.connect(ref.gate, ref.pin, new_net)
+                if placement is not None:
+                    driver = netlist.net_driver(net)
+                    if (
+                        driver is not None and driver.gate is not None
+                        and placement.has(driver.gate)
+                        and loads and placement.has(loads[0].gate or "")
+                    ):
+                        src = placement.location(driver.gate)
+                        dst = placement.location(loads[0].gate)
+                        placement.place(
+                            buffer_name,
+                            (src.x + dst.x) / 2, (src.y + dst.y) / 2,
+                        )
+            elif command == "remove_buffer":
+                if len(parts) != 2:
+                    raise ParseError(
+                        "remove_buffer expects: gate", filename, lineno
+                    )
+                remove_buffer(netlist, parts[1])
+            else:
+                raise ParseError(
+                    f"unknown ECO command {command!r}", filename, lineno
+                )
+        except NetlistError as exc:
+            raise ParseError(
+                f"replay failed: {exc}", filename, lineno
+            ) from exc
+        applied += 1
+    return applied
+
+
+def load_eco(path) -> str:
+    """Read an ECO script from disk."""
+    return Path(path).read_text()

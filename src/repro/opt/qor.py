@@ -1,0 +1,63 @@
+"""Quality-of-result metrics — the columns of the paper's Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.core import Netlist
+from repro.timing.slack import CheckKind
+from repro.timing.sta import STAEngine
+
+
+@dataclass(frozen=True)
+class QoRMetrics:
+    """One design's quality snapshot.
+
+    ``wns``/``tns`` are setup values in ps; ``area`` um^2; ``leakage``
+    nW; ``buffers`` instance count; ``violations`` the number of
+    negative-slack setup endpoints.
+    """
+
+    wns: float
+    tns: float
+    area: float
+    leakage: float
+    buffers: int
+    violations: int
+
+    @classmethod
+    def measure(cls, engine: STAEngine) -> "QoRMetrics":
+        """Snapshot QoR from an engine's current (GBA or mGBA) view."""
+        summary = engine.summary(CheckKind.SETUP)
+        netlist = engine.netlist
+        return cls(
+            wns=summary.wns,
+            tns=summary.tns,
+            area=netlist.total_area(),
+            leakage=netlist.total_leakage(),
+            buffers=netlist.buffer_count(),
+            violations=summary.violations,
+        )
+
+    def improvement_over(self, baseline: "QoRMetrics") -> dict[str, float]:
+        """Percent improvements relative to a baseline (Table 2's rows).
+
+        Positive means better: smaller area/leakage/buffers, less
+        negative WNS/TNS.  WNS/TNS improvements are normalized by the
+        baseline magnitude (0 when the baseline is already clean).
+        """
+
+        def shrink(ours: float, theirs: float) -> float:
+            return 100.0 * (theirs - ours) / theirs if theirs else 0.0
+
+        def slack_gain(ours: float, theirs: float) -> float:
+            scale = abs(theirs)
+            return 100.0 * (ours - theirs) / scale if scale else 0.0
+
+        return {
+            "wns": slack_gain(self.wns, baseline.wns),
+            "tns": slack_gain(self.tns, baseline.tns),
+            "area": shrink(self.area, baseline.area),
+            "leakage": shrink(self.leakage, baseline.leakage),
+            "buffer": shrink(float(self.buffers), float(baseline.buffers)),
+        }

@@ -1,0 +1,236 @@
+"""Optimization transforms evaluated under incremental timing.
+
+Each transform applies a netlist edit, mirrors it into the engine
+incrementally, and can revert itself exactly — the greedy closure loop
+tries candidates and keeps only improvements.  Transforms never touch
+the clock network or sequential cells (clock-tree surgery is a
+different discipline than data-path closure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.core import Netlist, PinRef
+from repro.netlist.edit import insert_buffer, remove_buffer, resize_gate, swap_vt
+from repro.timing.sta import STAEngine
+
+
+@dataclass
+class AppliedTransform:
+    """A successfully applied, revertible transform.
+
+    ``eco`` holds the replayable ECO command(s) representing the move
+    (see :mod:`repro.opt.eco`); the closure loop collects them for
+    accepted moves only.
+    """
+
+    kind: str
+    description: str
+    _undo: "callable"
+    eco: list[str] = None
+
+    def __post_init__(self):
+        if self.eco is None:
+            self.eco = []
+
+    def revert(self, engine: STAEngine) -> None:
+        """Undo the transform and update the engine incrementally."""
+        self._undo(engine)
+
+
+def _clock_gates(engine: STAEngine) -> set[str]:
+    gates: set[str] = set()
+    for node in engine.graph.live_nodes():
+        if node.is_clock_tree and node.ref.gate is not None:
+            gates.add(node.ref.gate)
+    return gates
+
+
+class TransformEngine:
+    """Applies and reverts sizing/buffering moves on one engine."""
+
+    def __init__(self, engine: STAEngine):
+        self.engine = engine
+        self.netlist: Netlist = engine.netlist
+        self._clock_gates = _clock_gates(engine)
+
+    def refresh_clock_gates(self) -> None:
+        """Re-derive the untouchable clock-gate set after structure edits."""
+        self._clock_gates = _clock_gates(self.engine)
+
+    def is_touchable(self, gate_name: str) -> bool:
+        """True when the optimizer may modify this gate."""
+        if gate_name in self._clock_gates:
+            return False
+        return not self.netlist.cell_of(gate_name).is_sequential
+
+    # ------------------------------------------------------------------
+    # Individual transforms
+    # ------------------------------------------------------------------
+    def upsize(self, gate_name: str) -> AppliedTransform | None:
+        """One size step up; None when impossible or untouchable."""
+        if not self.is_touchable(gate_name):
+            return None
+        old_cell = self.netlist.gate(gate_name).cell_name
+        change = resize_gate(self.netlist, gate_name, up=True)
+        if change is None:
+            return None
+        self.engine.apply_change(change)
+        new_cell = self.netlist.gate(gate_name).cell_name
+
+        def undo(engine: STAEngine) -> None:
+            engine.netlist.swap_cell(gate_name, old_cell)
+            engine.apply_change(change)
+
+        return AppliedTransform(
+            "upsize", change.description, undo,
+            eco=[f"size_cell {gate_name} {new_cell}"],
+        )
+
+    def downsize(self, gate_name: str) -> AppliedTransform | None:
+        """One size step down; None when impossible or untouchable."""
+        if not self.is_touchable(gate_name):
+            return None
+        old_cell = self.netlist.gate(gate_name).cell_name
+        change = resize_gate(self.netlist, gate_name, up=False)
+        if change is None:
+            return None
+        self.engine.apply_change(change)
+        new_cell = self.netlist.gate(gate_name).cell_name
+
+        def undo(engine: STAEngine) -> None:
+            engine.netlist.swap_cell(gate_name, old_cell)
+            engine.apply_change(change)
+
+        return AppliedTransform(
+            "downsize", change.description, undo,
+            eco=[f"size_cell {gate_name} {new_cell}"],
+        )
+
+    def swap_to_vt(self, gate_name: str, vt: str) -> AppliedTransform | None:
+        """Move a gate to another VT flavour (``"lvt"`` to speed a
+        critical gate up, ``"hvt"`` to recover leakage on a slack-rich
+        one); None when no such flavour exists."""
+        if not self.is_touchable(gate_name):
+            return None
+        old_cell = self.netlist.gate(gate_name).cell_name
+        change = swap_vt(self.netlist, gate_name, vt)
+        if change is None:
+            return None
+        self.engine.apply_change(change)
+        new_cell = self.netlist.gate(gate_name).cell_name
+
+        def undo(engine: STAEngine) -> None:
+            engine.netlist.swap_cell(gate_name, old_cell)
+            engine.apply_change(change)
+
+        return AppliedTransform(
+            "vt_swap", change.description, undo,
+            eco=[f"size_cell {gate_name} {new_cell}"],
+        )
+
+    def pad_hold_path(self, endpoint_ref: PinRef,
+                      buffer_cell: str | None = None) -> AppliedTransform | None:
+        """Insert a delay buffer immediately before a hold endpoint.
+
+        Reroutes only the endpoint's own load through the buffer, so
+        other sinks of the net (and their setup paths) are untouched;
+        the padded pin gains the buffer's insertion delay on *every*
+        path, early and late — helping hold at a bounded setup cost the
+        acceptance check verifies.
+        """
+        if endpoint_ref.is_port or endpoint_ref.gate is None:
+            return None
+        net_name = self.netlist.gate(endpoint_ref.gate).connections.get(
+            endpoint_ref.pin
+        )
+        if net_name is None:
+            return None
+        driver = self.netlist.net_driver(net_name)
+        if driver is None:
+            return None
+        if buffer_cell is None:
+            buffers = self.netlist.library.buffers()
+            if not buffers:
+                return None
+            buffer_cell = buffers[0].name  # smallest = most delay/cheap
+        change = insert_buffer(
+            self.netlist, net_name, buffer_cell,
+            loads=[endpoint_ref], placement=self.engine.placement,
+        )
+        self.engine.apply_change(change)
+        buffer_name = change.gates[0]
+
+        def undo(engine: STAEngine) -> None:
+            inverse = remove_buffer(engine.netlist, buffer_name)
+            inverse.gates.append(buffer_name)
+            inverse.nets.extend(change.nets)
+            if engine.placement is not None:
+                engine.placement.locations.pop(buffer_name, None)
+            engine.apply_change(inverse)
+
+        meta = change.metadata
+        eco_command = (
+            f"insert_buffer {meta['net']} {meta['buffer_cell']} "
+            f"{meta['buffer']} {meta['new_net']} "
+            + " ".join(str(r) for r in meta["loads"])
+        )
+        return AppliedTransform(
+            "hold_pad", change.description, undo, eco=[eco_command]
+        )
+
+    def buffer_net(self, net_name: str,
+                   buffer_cell: str | None = None) -> AppliedTransform | None:
+        """Insert a buffer isolating the off-path loads of a net.
+
+        Keeps the single most critical load (the one with the latest
+        required-arrival pressure is approximated by the largest arrival)
+        on the original net and moves the rest behind a buffer, cutting
+        the load the critical arc sees.
+        """
+        driver = self.netlist.net_driver(net_name)
+        if driver is None or (driver.gate and not self.is_touchable(driver.gate)):
+            return None
+        loads = [r for r in self.netlist.net_loads(net_name) if not r.is_port]
+        if len(loads) < 2:
+            return None
+        arrivals = []
+        for ref in loads:
+            node_id = self.engine.graph.node_of.get(ref)
+            arrivals.append(
+                float(self.engine.state.arrival_late[node_id])
+                if node_id is not None else 0.0
+            )
+        critical_idx = max(range(len(loads)), key=lambda i: arrivals[i])
+        rerouted = [r for i, r in enumerate(loads) if i != critical_idx]
+        if buffer_cell is None:
+            bufs = self.netlist.library.buffers()
+            if not bufs:
+                return None
+            buffer_cell = bufs[len(bufs) // 2].name
+        change = insert_buffer(
+            self.netlist, net_name, buffer_cell,
+            loads=rerouted, placement=self.engine.placement,
+        )
+        self.engine.apply_change(change)
+        buffer_name = change.gates[0]
+
+        def undo(engine: STAEngine) -> None:
+            inverse = remove_buffer(engine.netlist, buffer_name)
+            # The buffer's own nodes must leave the graph too.
+            inverse.gates.append(buffer_name)
+            inverse.nets.extend(change.nets)
+            if engine.placement is not None:
+                engine.placement.locations.pop(buffer_name, None)
+            engine.apply_change(inverse)
+
+        meta = change.metadata
+        eco_command = (
+            f"insert_buffer {meta['net']} {meta['buffer_cell']} "
+            f"{meta['buffer']} {meta['new_net']} "
+            + " ".join(str(r) for r in meta["loads"])
+        )
+        return AppliedTransform(
+            "buffer", change.description, undo, eco=[eco_command]
+        )

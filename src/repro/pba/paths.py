@@ -1,0 +1,67 @@
+"""Path records shared by the PBA engine and the mGBA problem builder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimingPath:
+    """One launch-to-endpoint data path.
+
+    Structure (filled by enumeration)
+    ---------------------------------
+    endpoint / launch:
+        Timing-node ids of the capture pin and the launch pin (a flop Q
+        output or an input port).
+    edges:
+        Edge ids from launch to endpoint, in path order.
+    endpoint_name / launch_name:
+        Printable pin names.
+
+    Analysis (filled by :class:`~repro.pba.engine.PBAEngine`)
+    ---------------------------------------------------------
+    gba_slack / pba_slack:
+        Slack of this path under graph-based and path-based derating.
+        ``gba_slack <= pba_slack`` always (property-tested).
+    depth:
+        PBA cell depth (number of combinational data cells on the path).
+    distance:
+        AOCV bounding-box half-perimeter of the path (nm).
+    crpr_credit:
+        Exact launch/capture common-clock-path credit (PBA only).
+    contributions:
+        ``(gate, base_delay, gba_derate)`` per data cell, in path order —
+        the raw material of one row of the mGBA matrix ``A``.
+    """
+
+    endpoint: int
+    launch: int
+    edges: tuple[int, ...]
+    endpoint_name: str = ""
+    launch_name: str = ""
+    analyzed: bool = False
+    is_false: bool = False
+    gba_arrival: float = 0.0
+    gba_slack: float = 0.0
+    pba_slack: float = 0.0
+    depth: int = 0
+    distance: float = 0.0
+    crpr_credit: float = 0.0
+    contributions: list[tuple[str, float, float]] = field(default_factory=list)
+
+    @property
+    def pessimism(self) -> float:
+        """GBA pessimism on this path: ``pba_slack - gba_slack`` (>= 0)."""
+        return self.pba_slack - self.gba_slack
+
+    def gates(self) -> list[str]:
+        """Data cells on the path, in path order."""
+        return [gate for gate, _, _ in self.contributions]
+
+    def key(self) -> tuple[int, tuple[int, ...]]:
+        """Hashable identity of the path (endpoint + edge sequence)."""
+        return (self.endpoint, self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)

@@ -1,0 +1,97 @@
+"""Machine-readable result export (JSON) for flows and comparisons.
+
+Every experiment object in the library can be flattened to plain dicts
+for dashboards, regression tracking, or notebook post-processing.  The
+schema is stable: keys are documented in each function and covered by
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.mgba.flow import MGBAResult
+from repro.mgba.validation import ValidationReport
+from repro.opt.closure import ClosureReport
+from repro.opt.compare import FlowComparison
+from repro.opt.qor import QoRMetrics
+
+
+def qor_to_dict(qor: QoRMetrics) -> dict:
+    """``{wns, tns, area, leakage, buffers, violations}``."""
+    return asdict(qor)
+
+
+def mgba_result_to_dict(result: MGBAResult) -> dict:
+    """Flow outcome: problem size, solver stats, accuracy, runtimes."""
+    return {
+        "paths": result.problem.num_paths,
+        "gates": result.problem.num_gates,
+        "nonzeros": int(result.problem.matrix.nnz),
+        "solver": result.solution.solver,
+        "iterations": result.solution.iterations,
+        "converged": result.solution.converged,
+        "mse_gba": result.mse_gba,
+        "mse_mgba": result.mse_mgba,
+        "pass_ratio_gba": result.pass_ratio_gba,
+        "pass_ratio_mgba": result.pass_ratio_mgba,
+        "weights_installed": len(result.weights),
+        "seconds": {
+            "select": result.seconds_select,
+            "pba": result.seconds_pba,
+            "solve": result.seconds_solve,
+            "apply": result.seconds_apply,
+            "total": result.total_seconds,
+        },
+    }
+
+
+def closure_report_to_dict(report: ClosureReport) -> dict:
+    """Closure outcome: before/after QoR, move counts, runtimes."""
+    payload = {
+        "initial": qor_to_dict(report.initial),
+        "final": qor_to_dict(report.final),
+        "transforms_applied": report.transforms_applied,
+        "transforms_tried": report.transforms_tried,
+        "iterations": report.iterations,
+        "seconds_total": report.seconds_total,
+        "seconds_mgba": report.seconds_mgba,
+    }
+    if report.mgba_result is not None:
+        payload["mgba"] = mgba_result_to_dict(report.mgba_result)
+    return payload
+
+
+def comparison_to_dict(comparison: FlowComparison) -> dict:
+    """One Table 2 + Table 5 record for a design."""
+    return {
+        "design": comparison.design,
+        "gba_flow": closure_report_to_dict(comparison.gba),
+        "mgba_flow": closure_report_to_dict(comparison.mgba),
+        "signoff": {
+            "gba": asdict(comparison.gba_signoff),
+            "mgba": asdict(comparison.mgba_signoff),
+        },
+        "qor_improvement_percent": comparison.qor_improvement(),
+        "runtime": comparison.runtime_row(),
+    }
+
+
+def validation_to_dict(report: ValidationReport) -> dict:
+    """Generalization record (plus derived verdict fields)."""
+    payload = asdict(report)
+    payload["eval_improvement"] = report.eval_improvement
+    payload["generalizes"] = report.generalizes
+    return payload
+
+
+def save_json(payload: dict, path) -> None:
+    """Write a result dict as pretty JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_json(path) -> dict:
+    """Read back a result JSON."""
+    return json.loads(Path(path).read_text())

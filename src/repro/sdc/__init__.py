@@ -1,0 +1,23 @@
+"""Timing-constraint substrate (SDC-lite).
+
+* :class:`~repro.sdc.constraints.Clock`,
+  :class:`~repro.sdc.constraints.IODelay`,
+  :class:`~repro.sdc.constraints.Constraints` — in-memory model.
+* :func:`~repro.sdc.parser.parse_sdc` /
+  :func:`~repro.sdc.writer.write_sdc` — SDC-lite text format
+  (create_clock, set_input_delay, set_output_delay,
+  set_clock_uncertainty, set_timing_derate).
+"""
+
+from repro.sdc.constraints import Clock, Constraints, IODelay, PathException
+from repro.sdc.parser import parse_sdc
+from repro.sdc.writer import write_sdc
+
+__all__ = [
+    "Clock",
+    "Constraints",
+    "IODelay",
+    "PathException",
+    "parse_sdc",
+    "write_sdc",
+]

@@ -1,0 +1,190 @@
+"""In-memory timing-constraint model.
+
+Times follow the library convention (ps) even though SDC files quote
+nanoseconds; the parser/writer convert at the boundary.
+
+Timing exceptions
+-----------------
+``set_false_path -from A -to B`` declares launch/capture pairs whose
+paths are not real (synchronizers, configuration signals).  Graph-based
+analysis cannot honour pair-wise exceptions (it has no launch identity
+at an endpoint) and conservatively keeps them — one more pessimism
+source the mGBA fit absorbs; path-based analysis drops matching paths
+exactly.  ``set_multicycle_path N -to B`` relaxes an endpoint's capture
+to ``N`` cycles; being endpoint-local it is graph-safe and both views
+apply it.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+from repro.errors import SDCError
+
+
+@dataclass
+class Clock:
+    """A clock definition.
+
+    Attributes
+    ----------
+    name:
+        Clock name (``"clk"``).
+    period:
+        Clock period in ps.
+    source_port:
+        Top-level port the clock enters through.
+    uncertainty:
+        Setup uncertainty (jitter + margin) subtracted from the capture
+        edge, in ps.
+    """
+
+    name: str
+    period: float
+    source_port: str
+    uncertainty: float = 0.0
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise SDCError(f"clock {self.name}: period must be > 0")
+        if self.uncertainty < 0:
+            raise SDCError(f"clock {self.name}: uncertainty must be >= 0")
+
+
+@dataclass
+class IODelay:
+    """External delay budget on a top-level port, relative to a clock."""
+
+    port: str
+    clock: str
+    delay: float          # ps
+    is_input: bool        # True: set_input_delay, False: set_output_delay
+
+
+@dataclass(frozen=True)
+class PathException:
+    """One ``set_false_path`` / ``set_multicycle_path`` record.
+
+    ``from_pattern`` / ``to_pattern`` are fnmatch globs over *instance
+    or port names* (``"ff3"``, ``"sync_*"``, ``"*"``); an empty pattern
+    matches everything.  ``multiplier`` is the multicycle factor (1 for
+    false paths, which ignore it).
+    """
+
+    kind: str                 # "false" | "multicycle"
+    from_pattern: str = "*"
+    to_pattern: str = "*"
+    multiplier: int = 1
+
+    def matches(self, launch_name: str, capture_name: str) -> bool:
+        """Does (launch, capture) fall under this exception?"""
+        return (
+            fnmatch.fnmatchcase(launch_name, self.from_pattern or "*")
+            and fnmatch.fnmatchcase(capture_name, self.to_pattern or "*")
+        )
+
+    def matches_endpoint(self, capture_name: str) -> bool:
+        """Does the capture side alone fall under this exception?"""
+        return fnmatch.fnmatchcase(capture_name, self.to_pattern or "*")
+
+
+@dataclass
+class Constraints:
+    """All constraints of one design."""
+
+    clocks: dict[str, Clock] = field(default_factory=dict)
+    io_delays: list[IODelay] = field(default_factory=list)
+    exceptions: list[PathException] = field(default_factory=list)
+    #: Flat (non-AOCV) late derate applied when no derating table is in
+    #: force; 1.0 means no flat derating.
+    flat_derate_late: float = 1.0
+
+    def add_clock(self, clock: Clock) -> Clock:
+        """Register a clock; raises on duplicate names."""
+        if clock.name in self.clocks:
+            raise SDCError(f"duplicate clock {clock.name}")
+        self.clocks[clock.name] = clock
+        return clock
+
+    def clock(self, name: str) -> Clock:
+        """Return the named clock, raising :class:`SDCError` if absent."""
+        try:
+            return self.clocks[name]
+        except KeyError:
+            raise SDCError(f"unknown clock {name}") from None
+
+    def primary_clock(self) -> Clock:
+        """The single clock of a one-clock design (the common case)."""
+        if len(self.clocks) != 1:
+            raise SDCError(
+                f"expected exactly one clock, have {len(self.clocks)}"
+            )
+        return next(iter(self.clocks.values()))
+
+    def set_input_delay(self, port: str, clock: str, delay: float) -> None:
+        """Budget external delay before an input port."""
+        self.io_delays.append(IODelay(port, clock, delay, is_input=True))
+
+    def set_output_delay(self, port: str, clock: str, delay: float) -> None:
+        """Budget external delay after an output port."""
+        self.io_delays.append(IODelay(port, clock, delay, is_input=False))
+
+    def input_delay_of(self, port: str) -> float:
+        """External input delay for a port (0.0 when unconstrained)."""
+        for entry in self.io_delays:
+            if entry.is_input and entry.port == port:
+                return entry.delay
+        return 0.0
+
+    def output_delay_of(self, port: str) -> float:
+        """External output delay for a port (0.0 when unconstrained)."""
+        for entry in self.io_delays:
+            if not entry.is_input and entry.port == port:
+                return entry.delay
+        return 0.0
+
+    def clock_of_port(self, port: str) -> str | None:
+        """The clock name a port's IO delay references, or None."""
+        for entry in self.io_delays:
+            if entry.port == port:
+                return entry.clock
+        return None
+
+    # ------------------------------------------------------------------
+    # Timing exceptions
+    # ------------------------------------------------------------------
+    def set_false_path(self, from_pattern: str = "*",
+                       to_pattern: str = "*") -> None:
+        """Declare launch/capture pairs as not-a-real-path."""
+        self.exceptions.append(PathException(
+            kind="false", from_pattern=from_pattern, to_pattern=to_pattern,
+        ))
+
+    def set_multicycle_path(self, multiplier: int,
+                            to_pattern: str = "*") -> None:
+        """Give matching endpoints ``multiplier`` capture cycles."""
+        if multiplier < 1:
+            raise SDCError("multicycle multiplier must be >= 1")
+        self.exceptions.append(PathException(
+            kind="multicycle", to_pattern=to_pattern, multiplier=multiplier,
+        ))
+
+    def is_false_path(self, launch_name: str, capture_name: str) -> bool:
+        """Is this launch/capture pair covered by a false-path rule?"""
+        return any(
+            e.kind == "false" and e.matches(launch_name, capture_name)
+            for e in self.exceptions
+        )
+
+    def multicycle_of(self, capture_name: str) -> int:
+        """Capture-cycle multiplier for an endpoint (1 = single cycle)."""
+        best = 1
+        for e in self.exceptions:
+            if e.kind == "multicycle" and e.matches_endpoint(capture_name):
+                best = max(best, e.multiplier)
+        return best
+
+    def has_exceptions(self) -> bool:
+        """True when any false-path/multicycle rule exists."""
+        return bool(self.exceptions)

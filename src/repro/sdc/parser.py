@@ -1,0 +1,212 @@
+"""SDC-lite parser.
+
+Supports the command subset the writer emits, one command per line
+(backslash continuations allowed)::
+
+    create_clock -name clk -period 1.2 [get_ports clk]
+    set_clock_uncertainty 0.05 [get_clocks clk]
+    set_input_delay 0.2 -clock clk [get_ports in0]
+    set_output_delay 0.3 -clock clk [get_ports out0]
+    set_timing_derate -late 1.2
+    set_false_path -from [get_cells sync_*] -to [get_cells cfg_reg]
+    set_multicycle_path 2 -to [get_cells slow_*]
+
+Periods and delays are in ns in the file (SDC convention) and converted
+to ps in the model.  ``get_cells`` arguments are fnmatch patterns over
+instance/port names.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from pathlib import Path
+
+from repro.errors import ParseError, SDCError
+from repro.sdc.constraints import Clock, Constraints
+from repro.units import ns_to_ps
+
+_GETTER_RE = re.compile(
+    r"\[\s*(get_ports|get_clocks|get_pins|get_cells)\s+([^\]]+?)\s*\]"
+)
+
+
+def _extract_getters(line: str) -> tuple[str, list[tuple[str, str]]]:
+    """Replace ``[get_xxx name]`` constructs with placeholders.
+
+    Returns the cleaned line and the (getter, argument) pairs in order.
+    """
+    getters: list[tuple[str, str]] = []
+
+    def _sub(match: re.Match) -> str:
+        getters.append((match.group(1), match.group(2)))
+        return f"__OBJ{len(getters) - 1}__"
+
+    return _GETTER_RE.sub(_sub, line), getters
+
+
+def _logical_lines(text: str) -> "list[tuple[int, str]]":
+    """Split into logical lines, honouring backslash continuations."""
+    lines: list[tuple[int, str]] = []
+    pending = ""
+    pending_line = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].rstrip()
+        if not stripped and not pending:
+            continue
+        if not pending:
+            pending_line = lineno
+        if stripped.endswith("\\"):
+            pending += stripped[:-1] + " "
+            continue
+        pending += stripped
+        if pending.strip():
+            lines.append((pending_line, pending.strip()))
+        pending = ""
+    if pending.strip():
+        lines.append((pending_line, pending.strip()))
+    return lines
+
+
+class _Command:
+    """One parsed SDC command: flags, positionals, and object getters."""
+
+    def __init__(self, line: str, lineno: int, filename: str):
+        self.lineno = lineno
+        self.filename = filename
+        cleaned, self.getters = _extract_getters(line)
+        try:
+            tokens = shlex.split(cleaned)
+        except ValueError as exc:
+            raise ParseError(str(exc), filename, lineno) from exc
+        self.name = tokens[0]
+        self.flags: dict[str, str] = {}
+        self.positionals: list[str] = []
+        i = 1
+        while i < len(tokens):
+            token = tokens[i]
+            if token.startswith("-"):
+                flag = token[1:]
+                if i + 1 < len(tokens) and not tokens[i + 1].startswith("-"):
+                    self.flags[flag] = tokens[i + 1]
+                    i += 2
+                else:
+                    self.flags[flag] = ""
+                    i += 1
+            else:
+                self.positionals.append(token)
+                i += 1
+
+    def getter(self, kind: str) -> str:
+        """First getter argument of the given kind; raises when absent."""
+        for getter_kind, arg in self.getters:
+            if getter_kind == kind:
+                return arg.split()[0]
+        raise ParseError(
+            f"{self.name}: missing [{kind} ...]", self.filename, self.lineno
+        )
+
+    def getter_after_flag(self, flag: str) -> str | None:
+        """The getter argument following ``-flag`` in source order.
+
+        ``-from [get_cells a] -to [get_cells b]``: the cleaned token
+        stream holds ``-from __OBJ0__ -to __OBJ1__``; the flag's value
+        is the placeholder naming the getter index.
+        """
+        value = self.flags.get(flag, "")
+        if value.startswith("__OBJ") and value.endswith("__"):
+            index = int(value[5:-2])
+            return self.getters[index][1].split()[0]
+        return value or None
+
+    def flag_float(self, name: str) -> float:
+        try:
+            return float(self.flags[name])
+        except KeyError:
+            raise ParseError(
+                f"{self.name}: missing -{name}", self.filename, self.lineno
+            ) from None
+        except ValueError:
+            raise ParseError(
+                f"{self.name}: -{name} expects a number, got "
+                f"{self.flags[name]!r}",
+                self.filename, self.lineno,
+            ) from None
+
+    def first_positional_float(self) -> float:
+        for value in self.positionals:
+            if value.startswith("__OBJ"):
+                continue
+            try:
+                return float(value)
+            except ValueError:
+                continue
+        raise ParseError(
+            f"{self.name}: expected a numeric argument",
+            self.filename, self.lineno,
+        )
+
+
+def parse_sdc(text: str, filename: str = "<string>") -> Constraints:
+    """Parse SDC-lite text into :class:`Constraints`."""
+    constraints = Constraints()
+    pending_uncertainty: list[tuple[str, float]] = []
+    for lineno, line in _logical_lines(text):
+        command = _Command(line, lineno, filename)
+        if command.name == "create_clock":
+            name = command.flags.get("name") or command.getter("get_ports")
+            constraints.add_clock(Clock(
+                name=name,
+                period=ns_to_ps(command.flag_float("period")),
+                source_port=command.getter("get_ports"),
+            ))
+        elif command.name == "set_clock_uncertainty":
+            value = ns_to_ps(command.first_positional_float())
+            clock_name = command.getter("get_clocks")
+            pending_uncertainty.append((clock_name, value))
+        elif command.name == "set_input_delay":
+            constraints.set_input_delay(
+                command.getter("get_ports"),
+                command.flags.get("clock", ""),
+                ns_to_ps(command.first_positional_float()),
+            )
+        elif command.name == "set_output_delay":
+            constraints.set_output_delay(
+                command.getter("get_ports"),
+                command.flags.get("clock", ""),
+                ns_to_ps(command.first_positional_float()),
+            )
+        elif command.name == "set_timing_derate":
+            if "late" in command.flags:
+                value = (
+                    float(command.flags["late"])
+                    if command.flags["late"]
+                    else command.first_positional_float()
+                )
+                constraints.flat_derate_late = value
+        elif command.name == "set_false_path":
+            constraints.set_false_path(
+                from_pattern=command.getter_after_flag("from") or "*",
+                to_pattern=command.getter_after_flag("to") or "*",
+            )
+        elif command.name == "set_multicycle_path":
+            constraints.set_multicycle_path(
+                int(command.first_positional_float()),
+                to_pattern=command.getter_after_flag("to") or "*",
+            )
+        else:
+            raise ParseError(
+                f"unsupported SDC command {command.name!r}", filename, lineno
+            )
+    for clock_name, value in pending_uncertainty:
+        try:
+            constraints.clock(clock_name).uncertainty = value
+        except SDCError as exc:
+            raise ParseError(str(exc), filename, 0) from exc
+    return constraints
+
+
+def load_sdc(path) -> Constraints:
+    """Parse an SDC-lite file from disk."""
+    path = Path(path)
+    return parse_sdc(path.read_text(), str(path))

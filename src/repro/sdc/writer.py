@@ -1,0 +1,53 @@
+"""SDC-lite writer: the inverse of :mod:`repro.sdc.parser`."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sdc.constraints import Constraints
+from repro.units import ps_to_ns
+
+
+def _ns(value_ps: float) -> str:
+    return f"{ps_to_ns(value_ps):.6g}"
+
+
+def write_sdc(constraints: Constraints) -> str:
+    """Serialize :class:`Constraints` to SDC-lite text."""
+    out: list[str] = []
+    for clock in constraints.clocks.values():
+        out.append(
+            f"create_clock -name {clock.name} -period {_ns(clock.period)} "
+            f"[get_ports {clock.source_port}]"
+        )
+        if clock.uncertainty:
+            out.append(
+                f"set_clock_uncertainty {_ns(clock.uncertainty)} "
+                f"[get_clocks {clock.name}]"
+            )
+    for entry in constraints.io_delays:
+        command = "set_input_delay" if entry.is_input else "set_output_delay"
+        out.append(
+            f"{command} {_ns(entry.delay)} -clock {entry.clock} "
+            f"[get_ports {entry.port}]"
+        )
+    if constraints.flat_derate_late != 1.0:
+        out.append(f"set_timing_derate -late {constraints.flat_derate_late:.6g}")
+    for exception in constraints.exceptions:
+        if exception.kind == "false":
+            out.append(
+                f"set_false_path -from [get_cells {exception.from_pattern}] "
+                f"-to [get_cells {exception.to_pattern}]"
+            )
+        else:
+            out.append(
+                f"set_multicycle_path {exception.multiplier} "
+                f"-to [get_cells {exception.to_pattern}]"
+            )
+    out.append("")
+    return "\n".join(out)
+
+
+def save_sdc(constraints: Constraints, path) -> None:
+    """Write constraints to disk in SDC-lite format."""
+    Path(path).write_text(write_sdc(constraints))

@@ -1,0 +1,38 @@
+"""Static timing analysis substrate (graph-based, GBA).
+
+* :class:`~repro.timing.graph.TimingGraph` — pin-level DAG built from a
+  netlist: cell arcs and net arcs, clock-tree marking, endpoints.
+* :class:`~repro.timing.sta.STAEngine` — the facade tying together
+  delay calculation (:mod:`~repro.timing.delaycalc`), forward
+  propagation with AOCV derates (:mod:`~repro.timing.propagation`),
+  CRPR (:mod:`~repro.timing.crpr`), setup/hold slack extraction
+  (:mod:`~repro.timing.slack`), incremental update
+  (:mod:`~repro.timing.incremental`), and reporting
+  (:mod:`~repro.timing.report`).
+
+Single-transition model: the engine tracks one late and one early value
+per node instead of rise/fall pairs — the pessimism phenomena the paper
+targets (worst depth, worst slew, missing CRPR) are all orthogonal to
+transition polarity.
+"""
+
+from repro.timing.graph import EdgeKind, NodeKind, TimingEdge, TimingGraph, TimingNode
+from repro.timing.corners import Corner, DEFAULT_CORNERS, MultiCornerAnalysis
+from repro.timing.sta import STAConfig, STAEngine
+from repro.timing.slack import EndpointSlack, SlackSummary, endpoint_clock_map
+
+__all__ = [
+    "EdgeKind",
+    "NodeKind",
+    "TimingEdge",
+    "TimingGraph",
+    "TimingNode",
+    "STAConfig",
+    "STAEngine",
+    "EndpointSlack",
+    "SlackSummary",
+    "endpoint_clock_map",
+    "Corner",
+    "DEFAULT_CORNERS",
+    "MultiCornerAnalysis",
+]

@@ -1,0 +1,114 @@
+"""Clock reconvergence pessimism removal (CRPR).
+
+Setup analysis launches through the *late* clock and captures through
+the *early* clock.  When launch and capture flops share a prefix of the
+clock network, that prefix cannot simultaneously be late and early —
+the difference accumulated on the shared segment is pure pessimism and
+may be credited back:
+
+    credit(L, C) = sum over common-prefix arcs of (late - early delay)
+
+GBA has no per-path launch information at an endpoint, so the classic
+graph-based flow leaves the credit at zero (the conservative choice);
+PBA applies the exact per-pair credit.  This asymmetry is one of the
+"general" pessimism sources the paper's mGBA weighting absorbs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TimingError
+from repro.timing.graph import TimingGraph
+from repro.timing.propagation import TimingState, effective_early, effective_late
+
+
+def clock_path_edges(graph: TimingGraph, state: TimingState,
+                     ck_node: int) -> list[int]:
+    """Edge ids of the worst (late) clock path, source-to-sink order.
+
+    Walks backward from a clock sink picking, at each clock-tree node,
+    the fanin arc that realizes the late arrival.  On tree-shaped clock
+    networks this is *the* clock path; on reconvergent networks it is
+    the dominant one.
+    """
+    if not graph.node(ck_node).is_clock_tree:
+        raise TimingError(f"node {ck_node} is not on the clock network")
+    path: list[int] = []
+    current = ck_node
+    guard = 0
+    limit = graph.node_count() + 1
+    while True:
+        in_list = graph.in_edges[current]
+        if not in_list:
+            break
+        best_edge = None
+        best_value = float("-inf")
+        for edge_id in in_list:
+            edge = graph.edge(edge_id)
+            if not graph.node(edge.src).is_clock_tree:
+                continue
+            value = state.arrival_late[edge.src] + effective_late(state, edge)
+            if value > best_value:
+                best_value = value
+                best_edge = edge_id
+        if best_edge is None:
+            break
+        path.append(best_edge)
+        current = graph.edge(best_edge).src
+        guard += 1
+        if guard > limit:
+            raise TimingError("cycle while tracing clock path")
+    path.reverse()
+    return path
+
+
+class CRPRCalculator:
+    """Caches clock paths and computes pairwise credits."""
+
+    def __init__(self, graph: TimingGraph, state: TimingState):
+        self._graph = graph
+        self._state = state
+        self._paths: dict[int, list[int]] = {}
+
+    def invalidate(self) -> None:
+        """Drop cached clock paths (after any timing update)."""
+        self._paths.clear()
+
+    def path_of(self, ck_node: int) -> list[int]:
+        """Cached worst clock path of a sink."""
+        if ck_node not in self._paths:
+            self._paths[ck_node] = clock_path_edges(
+                self._graph, self._state, ck_node
+            )
+        return self._paths[ck_node]
+
+    def credit(self, launch_ck: int | None, capture_ck: int | None) -> float:
+        """CRPR credit between two clock sinks (0 when either is None).
+
+        Port-launched or port-captured paths have no clock pair, hence
+        no common segment and no credit.
+        """
+        if launch_ck is None or capture_ck is None:
+            return 0.0
+        if launch_ck == capture_ck:
+            # Same flop launching and capturing (a self-loop path): the
+            # whole clock path is common.
+            path = self.path_of(launch_ck)
+            return self._segment_credit(path)
+        launch_path = self.path_of(launch_ck)
+        capture_path = self.path_of(capture_ck)
+        common: list[int] = []
+        for edge_a, edge_b in zip(launch_path, capture_path):
+            if edge_a != edge_b:
+                break
+            common.append(edge_a)
+        return self._segment_credit(common)
+
+    def _segment_credit(self, edge_ids: list[int]) -> float:
+        total = 0.0
+        for edge_id in edge_ids:
+            edge = self._graph.edge(edge_id)
+            total += (
+                effective_late(self._state, edge)
+                - effective_early(self._state, edge)
+            )
+        return total

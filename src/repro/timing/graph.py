@@ -1,0 +1,389 @@
+"""Pin-level timing graph.
+
+Nodes are pins (gate pins and top-level ports); edges are either *cell
+arcs* (input pin -> output pin of one gate, carrying a characterized
+:class:`~repro.liberty.cell.TimingArc`) or *net arcs* (driver pin ->
+load pin, carrying wire geometry).  Setup/hold *constraint* arcs are not
+graph edges; they live in per-endpoint records consulted at slack
+extraction time.
+
+The graph supports surgical structural updates (``rebuild_net``,
+``add_gate_nodes``, ``remove_gate_nodes``) so the incremental engine can
+track buffer insertion/removal without a full rebuild.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import TimingError
+from repro.liberty.cell import ArcKind, PinDirection, TimingArc
+from repro.netlist.core import Netlist, PinRef, PortDirection
+
+
+class NodeKind(enum.Enum):
+    """What a timing node represents."""
+
+    PORT_IN = "port_in"
+    PORT_OUT = "port_out"
+    PIN_IN = "pin_in"
+    PIN_OUT = "pin_out"
+
+
+class EdgeKind(enum.Enum):
+    """What a timing edge represents."""
+
+    CELL = "cell"
+    NET = "net"
+
+
+@dataclass
+class TimingNode:
+    """A pin in the timing graph."""
+
+    id: int
+    ref: PinRef
+    kind: NodeKind
+    is_clock_tree: bool = False   # on the clock distribution network
+    is_clock_sink: bool = False   # a flip-flop CK pin
+    is_endpoint: bool = False     # a flip-flop D pin or an output port
+
+
+@dataclass
+class TimingEdge:
+    """A delay arc in the timing graph.
+
+    ``delay`` is the *base* (underated) value filled in by the delay
+    calculator; AOCV/clock derating is applied on top by the propagation
+    engine so that re-derating never requires re-running delay
+    calculation.  ``out_slew`` is the slew this edge presents at its
+    destination (cell arcs: table lookup; net arcs: pass-through).
+    """
+
+    id: int
+    src: int
+    dst: int
+    kind: EdgeKind
+    gate: str | None = None        # CELL edges: owning gate
+    arc: TimingArc | None = None   # CELL edges: characterized arc
+    net: str | None = None         # NET edges: the net traversed
+    delay: float = 0.0
+    out_slew: float = 0.0
+
+
+@dataclass
+class EndpointInfo:
+    """Constraint data for one endpoint node."""
+
+    node: int
+    gate: str | None = None        # owning flip-flop (None for ports)
+    ck_node: int | None = None     # the flop's CK node (None for ports)
+    setup_arc: TimingArc | None = None
+    hold_arc: TimingArc | None = None
+
+
+class TimingGraph:
+    """The pin-level DAG of one netlist.
+
+    Construction walks every gate and net once; the result references
+    the netlist (for cell lookups during delay calculation) but owns its
+    own topology, so netlist edits must be mirrored through the
+    structural-update methods.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.nodes: list[TimingNode | None] = []
+        self.edges: list[TimingEdge | None] = []
+        self.node_of: dict[PinRef, int] = {}
+        self.out_edges: list[list[int]] = []
+        self.in_edges: list[list[int]] = []
+        self.endpoints: dict[int, EndpointInfo] = {}
+        self._free_nodes: list[int] = []
+        self._free_edges: list[int] = []
+        self._topo_cache: list[int] | None = None
+        self._rank_cache: dict[int, int] | None = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for name, port in self.netlist.ports.items():
+            kind = (
+                NodeKind.PORT_IN if port.direction is PortDirection.INPUT
+                else NodeKind.PORT_OUT
+            )
+            node = self._new_node(PinRef(None, name), kind)
+            if kind is NodeKind.PORT_OUT:
+                node.is_endpoint = True
+                self.endpoints[node.id] = EndpointInfo(node=node.id)
+        for gate_name in self.netlist.gates:
+            self.add_gate_nodes(gate_name)
+        for net_name in self.netlist.nets:
+            self.rebuild_net(net_name)
+
+    def _new_node(self, ref: PinRef, kind: NodeKind) -> TimingNode:
+        if ref in self.node_of:
+            raise TimingError(f"duplicate timing node for {ref}")
+        if self._free_nodes:
+            node_id = self._free_nodes.pop()
+            node = TimingNode(node_id, ref, kind)
+            self.nodes[node_id] = node
+            self.out_edges[node_id] = []
+            self.in_edges[node_id] = []
+        else:
+            node_id = len(self.nodes)
+            node = TimingNode(node_id, ref, kind)
+            self.nodes.append(node)
+            self.out_edges.append([])
+            self.in_edges.append([])
+        self.node_of[ref] = node_id
+        self._topo_cache = None
+        return node
+
+    def _new_edge(self, src: int, dst: int, kind: EdgeKind, **attrs) -> TimingEdge:
+        if self._free_edges:
+            edge_id = self._free_edges.pop()
+            edge = TimingEdge(edge_id, src, dst, kind, **attrs)
+            self.edges[edge_id] = edge
+        else:
+            edge_id = len(self.edges)
+            edge = TimingEdge(edge_id, src, dst, kind, **attrs)
+            self.edges.append(edge)
+        self.out_edges[src].append(edge_id)
+        self.in_edges[dst].append(edge_id)
+        self._topo_cache = None
+        return edge
+
+    def _drop_edge(self, edge_id: int) -> None:
+        edge = self.edges[edge_id]
+        assert edge is not None
+        self.out_edges[edge.src].remove(edge_id)
+        self.in_edges[edge.dst].remove(edge_id)
+        self.edges[edge_id] = None
+        self._free_edges.append(edge_id)
+        self._topo_cache = None
+
+    def add_gate_nodes(self, gate_name: str) -> list[int]:
+        """Create nodes and cell edges for a (new) gate instance."""
+        cell = self.netlist.cell_of(gate_name)
+        created: list[int] = []
+        for pin in cell.pins.values():
+            kind = (
+                NodeKind.PIN_OUT if pin.direction is PinDirection.OUTPUT
+                else NodeKind.PIN_IN
+            )
+            node = self._new_node(PinRef(gate_name, pin.name), kind)
+            if pin.is_clock and cell.is_sequential:
+                node.is_clock_sink = True
+            created.append(node.id)
+        for arc in cell.delay_arcs():
+            src = self.node_of[PinRef(gate_name, arc.from_pin)]
+            dst = self.node_of[PinRef(gate_name, arc.to_pin)]
+            self._new_edge(src, dst, EdgeKind.CELL, gate=gate_name, arc=arc)
+        setup = next(
+            (a for a in cell.constraint_arcs() if a.kind is ArcKind.SETUP), None
+        )
+        hold = next(
+            (a for a in cell.constraint_arcs() if a.kind is ArcKind.HOLD), None
+        )
+        if setup is not None or hold is not None:
+            data_pin = (setup or hold).from_pin
+            clock_pin = (setup or hold).to_pin
+            data_node = self.node_of[PinRef(gate_name, data_pin)]
+            self.nodes[data_node].is_endpoint = True
+            self.endpoints[data_node] = EndpointInfo(
+                node=data_node,
+                gate=gate_name,
+                ck_node=self.node_of[PinRef(gate_name, clock_pin)],
+                setup_arc=setup,
+                hold_arc=hold,
+            )
+        return created
+
+    def remove_gate_nodes(self, gate_name: str) -> None:
+        """Remove all nodes/edges of a deleted gate instance."""
+        doomed = [
+            (ref, node_id) for ref, node_id in self.node_of.items()
+            if ref.gate == gate_name
+        ]
+        for ref, node_id in doomed:
+            for edge_id in list(self.out_edges[node_id]):
+                self._drop_edge(edge_id)
+            for edge_id in list(self.in_edges[node_id]):
+                self._drop_edge(edge_id)
+            self.endpoints.pop(node_id, None)
+            del self.node_of[ref]
+            self.nodes[node_id] = None
+            self._free_nodes.append(node_id)
+        self._topo_cache = None
+
+    def rebuild_net(self, net_name: str) -> list[int]:
+        """(Re)create the net edges of one net; returns new edge ids.
+
+        Called at build time and after any edit that changes a net's
+        driver or load set.
+        """
+        stale = [
+            e.id for e in self.edges
+            if e is not None and e.kind is EdgeKind.NET and e.net == net_name
+        ]
+        for edge_id in stale:
+            self._drop_edge(edge_id)
+        driver = self.netlist.net_driver(net_name)
+        if driver is None:
+            return []
+        src = self.node_of.get(driver)
+        if src is None:
+            return []
+        created: list[int] = []
+        for load in self.netlist.net_loads(net_name):
+            dst = self.node_of.get(load)
+            if dst is None:
+                continue
+            edge = self._new_edge(src, dst, EdgeKind.NET, net=net_name)
+            created.append(edge.id)
+        return created
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> TimingNode:
+        """The live node with this id (raises on stale ids)."""
+        node = self.nodes[node_id]
+        if node is None:
+            raise TimingError(f"node {node_id} has been removed")
+        return node
+
+    def edge(self, edge_id: int) -> TimingEdge:
+        """The live edge with this id (raises on stale ids)."""
+        edge = self.edges[edge_id]
+        if edge is None:
+            raise TimingError(f"edge {edge_id} has been removed")
+        return edge
+
+    def live_nodes(self) -> "list[TimingNode]":
+        """All current nodes."""
+        return [n for n in self.nodes if n is not None]
+
+    def live_edges(self) -> "list[TimingEdge]":
+        """All current edges."""
+        return [e for e in self.edges if e is not None]
+
+    def node_count(self) -> int:
+        """Number of live nodes."""
+        return len(self.nodes) - len(self._free_nodes)
+
+    def edge_count(self) -> int:
+        """Number of live edges."""
+        return len(self.edges) - len(self._free_edges)
+
+    def topological_order(self) -> list[int]:
+        """Node ids in topological order (cached until mutation)."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+        in_degree: dict[int, int] = {}
+        for node in self.live_nodes():
+            in_degree[node.id] = len(self.in_edges[node.id])
+        queue = deque(
+            node_id for node_id, deg in in_degree.items() if deg == 0
+        )
+        order: list[int] = []
+        while queue:
+            node_id = queue.popleft()
+            order.append(node_id)
+            for edge_id in self.out_edges[node_id]:
+                edge = self.edges[edge_id]
+                assert edge is not None
+                in_degree[edge.dst] -= 1
+                if in_degree[edge.dst] == 0:
+                    queue.append(edge.dst)
+        if len(order) != self.node_count():
+            raise TimingError(
+                "timing graph contains a cycle (combinational loop?)"
+            )
+        self._topo_cache = order
+        self._rank_cache = None
+        return order
+
+    def topological_rank(self) -> dict[int, int]:
+        """node id -> position in topological order (cached).
+
+        The incremental engine keys its worklist heap on this; caching
+        it here (instead of rebuilding per update) matters because a
+        closure run performs thousands of small updates.
+        """
+        order = self.topological_order()
+        if self._rank_cache is None:
+            self._rank_cache = {
+                node_id: i for i, node_id in enumerate(order)
+            }
+        return self._rank_cache
+
+    def mark_clock_tree(self, clock_ports: "list[str]") -> None:
+        """Flag every node on the clock distribution network.
+
+        Starts at the clock source ports and floods forward; CK pins are
+        flagged but not crossed (the CK->Q arc launches the *data*
+        domain).
+        """
+        for node in self.live_nodes():
+            node.is_clock_tree = False
+        queue: deque[int] = deque()
+        for port in clock_ports:
+            node_id = self.node_of.get(PinRef(None, port))
+            if node_id is None:
+                raise TimingError(f"clock port {port} not in timing graph")
+            queue.append(node_id)
+        while queue:
+            node_id = queue.popleft()
+            node = self.node(node_id)
+            if node.is_clock_tree:
+                continue
+            node.is_clock_tree = True
+            if node.is_clock_sink:
+                continue
+            for edge_id in self.out_edges[node_id]:
+                edge = self.edges[edge_id]
+                assert edge is not None
+                queue.append(edge.dst)
+
+    def clock_sinks_by_port(self, clock_ports: "list[str]") -> dict[int, str]:
+        """Map every clock-sink (CK) node to the port clocking it.
+
+        Floods each clock port's network separately; a sink reachable
+        from several ports keeps the first port in ``clock_ports``
+        order (deterministic).  The basis of multi-clock analysis: an
+        endpoint's capture clock is the clock of its CK sink.
+        """
+        sink_port: dict[int, str] = {}
+        for port in clock_ports:
+            start = self.node_of.get(PinRef(None, port))
+            if start is None:
+                raise TimingError(f"clock port {port} not in timing graph")
+            queue: deque[int] = deque([start])
+            seen: set[int] = set()
+            while queue:
+                node_id = queue.popleft()
+                if node_id in seen:
+                    continue
+                seen.add(node_id)
+                node = self.node(node_id)
+                if node.is_clock_sink:
+                    sink_port.setdefault(node_id, port)
+                    continue
+                for edge_id in self.out_edges[node_id]:
+                    queue.append(self.edge(edge_id).dst)
+        return sink_port
+
+    def endpoint_nodes(self) -> list[int]:
+        """Ids of all endpoint nodes, in id order (deterministic)."""
+        return sorted(self.endpoints)
+
+    def launch_node_of_endpoint(self, node_id: int) -> int | None:
+        """The CK node paired with an endpoint, or None for ports."""
+        info = self.endpoints.get(node_id)
+        return info.ck_node if info is not None else None

@@ -1,0 +1,208 @@
+"""Human-readable timing reports (PrimeTime-style).
+
+``report_timing`` prints the worst path to each of the N worst
+endpoints; ``report_summary`` prints the WNS/TNS header block designers
+scan first.  Both return strings so the CLI and tests consume them
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timing.graph import TimingGraph
+from repro.timing.propagation import TimingState, effective_late
+from repro.timing.slack import CheckKind
+from repro.timing.sta import STAEngine
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One pin on a reported path."""
+
+    name: str
+    incr: float
+    arrival: float
+    derate: float
+
+
+def trace_worst_path(graph: TimingGraph, state: TimingState,
+                     endpoint: int) -> list[int]:
+    """Edge ids of the worst (late) path into an endpoint, source first.
+
+    Walks backward choosing, at every node, the fanin arc realizing the
+    late arrival — the same argmax tie the propagation computed.
+    """
+    path: list[int] = []
+    current = endpoint
+    guard = 0
+    limit = graph.node_count() + 1
+    while True:
+        in_list = graph.in_edges[current]
+        if not in_list:
+            break
+        best_edge = None
+        best_value = float("-inf")
+        for edge_id in in_list:
+            edge = graph.edge(edge_id)
+            value = state.arrival_late[edge.src] + effective_late(state, edge)
+            if value > best_value:
+                best_value = value
+                best_edge = edge_id
+        assert best_edge is not None
+        path.append(best_edge)
+        current = graph.edge(best_edge).src
+        guard += 1
+        if guard > limit:
+            break
+    path.reverse()
+    return path
+
+
+def trace_early_path(graph: TimingGraph, state: TimingState,
+                     endpoint: int) -> list[int]:
+    """Edge ids of the *earliest* (min) path into an endpoint.
+
+    The hold-check analogue of :func:`trace_worst_path`: walks backward
+    choosing the fanin arc realizing the early arrival — the short path
+    a hold fix must slow down.
+    """
+    from repro.timing.propagation import effective_early
+
+    path: list[int] = []
+    current = endpoint
+    guard = 0
+    limit = graph.node_count() + 1
+    while True:
+        in_list = graph.in_edges[current]
+        if not in_list:
+            break
+        best_edge = None
+        best_value = float("inf")
+        for edge_id in in_list:
+            edge = graph.edge(edge_id)
+            value = (
+                state.arrival_early[edge.src]
+                + effective_early(state, edge)
+            )
+            if value < best_value:
+                best_value = value
+                best_edge = edge_id
+        assert best_edge is not None
+        path.append(best_edge)
+        current = graph.edge(best_edge).src
+        guard += 1
+        if guard > limit:
+            break
+    path.reverse()
+    return path
+
+
+def path_steps(engine: STAEngine, edge_ids: list[int]) -> list[PathStep]:
+    """Expand an edge list into printable per-pin steps."""
+    graph, state = engine.graph, engine.state
+    steps: list[PathStep] = []
+    if not edge_ids:
+        return steps
+    first_src = graph.edge(edge_ids[0]).src
+    steps.append(PathStep(
+        name=str(graph.node(first_src).ref),
+        incr=0.0,
+        arrival=float(state.arrival_late[first_src]),
+        derate=1.0,
+    ))
+    for edge_id in edge_ids:
+        edge = graph.edge(edge_id)
+        steps.append(PathStep(
+            name=str(graph.node(edge.dst).ref),
+            incr=effective_late(state, edge),
+            arrival=float(state.arrival_late[edge.dst]),
+            derate=float(state.derate_late[edge.id]),
+        ))
+    return steps
+
+
+def report_summary(engine: STAEngine) -> str:
+    """WNS/TNS header block for both checks."""
+    setup = engine.summary(CheckKind.SETUP)
+    hold = engine.summary(CheckKind.HOLD)
+    lines = [
+        f"Design: {engine.netlist.name}",
+        f"  gates={len(engine.netlist.gates)} "
+        f"nets={len(engine.netlist.nets)} "
+        f"endpoints={setup.endpoints}",
+        (
+            f"  setup: WNS={setup.wns:10.2f} ps  TNS={setup.tns:12.2f} ps  "
+            f"violations={setup.violations}"
+        ),
+        (
+            f"  hold:  WNS={hold.wns:10.2f} ps  TNS={hold.tns:12.2f} ps  "
+            f"violations={hold.violations}"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def path_to_dict(engine: STAEngine, endpoint_slack) -> dict:
+    """One endpoint's worst path as a JSON-safe record."""
+    edges = trace_worst_path(engine.graph, engine.state, endpoint_slack.node)
+    steps = path_steps(engine, edges)
+    return {
+        "endpoint": endpoint_slack.name,
+        "slack": endpoint_slack.slack,
+        "arrival": endpoint_slack.arrival,
+        "required": endpoint_slack.required,
+        "pins": [
+            {
+                "name": step.name,
+                "incr": step.incr,
+                "arrival": step.arrival,
+                "derate": step.derate,
+            }
+            for step in steps
+        ],
+    }
+
+
+def report_timing_json(engine: STAEngine, max_endpoints: int = 3) -> dict:
+    """Machine-readable worst-path report (the JSON twin of
+    :func:`report_timing`)."""
+    engine.ensure_timing()
+    slacks = sorted(engine.setup_slacks(), key=lambda s: s.slack)
+    summary = engine.summary()
+    return {
+        "design": engine.netlist.name,
+        "wns": summary.wns,
+        "tns": summary.tns,
+        "violations": summary.violations,
+        "endpoints": summary.endpoints,
+        "paths": [
+            path_to_dict(engine, s) for s in slacks[:max_endpoints]
+        ],
+    }
+
+
+def report_timing(engine: STAEngine, max_endpoints: int = 3) -> str:
+    """Worst path report for the N worst setup endpoints."""
+    engine.ensure_timing()
+    slacks = sorted(engine.setup_slacks(), key=lambda s: s.slack)
+    blocks: list[str] = [report_summary(engine), ""]
+    for endpoint_slack in slacks[:max_endpoints]:
+        edges = trace_worst_path(engine.graph, engine.state, endpoint_slack.node)
+        steps = path_steps(engine, edges)
+        blocks.append(f"Endpoint: {endpoint_slack.name}")
+        blocks.append(
+            f"  arrival={endpoint_slack.arrival:.2f} ps  "
+            f"required={endpoint_slack.required:.2f} ps  "
+            f"slack={endpoint_slack.slack:.2f} ps"
+        )
+        blocks.append(
+            f"  {'pin':<28} {'incr':>9} {'arrival':>9} {'derate':>7}"
+        )
+        for step in steps:
+            blocks.append(
+                f"  {step.name:<28} {step.incr:>9.2f} "
+                f"{step.arrival:>9.2f} {step.derate:>7.3f}"
+            )
+        blocks.append("")
+    return "\n".join(blocks)

@@ -1,0 +1,324 @@
+"""Setup/hold slack extraction and required-time back-propagation.
+
+All functions are pure over (graph, state, constraints, ...) so both the
+full and incremental engines reuse them unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TimingError
+from repro.sdc.constraints import Clock, Constraints
+from repro.timing.crpr import CRPRCalculator
+from repro.timing.graph import EndpointInfo, NodeKind, TimingGraph
+from repro.timing.propagation import (
+    NEG_INF,
+    POS_INF,
+    TimingState,
+    effective_late,
+)
+
+
+class CheckKind(enum.Enum):
+    """Which timing check a slack value belongs to."""
+
+    SETUP = "setup"
+    HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class EndpointSlack:
+    """Slack at one endpoint for one check."""
+
+    node: int
+    name: str
+    kind: CheckKind
+    slack: float
+    arrival: float
+    required: float
+    crpr_credit: float = 0.0
+
+
+def endpoint_clock_map(
+    graph: TimingGraph, constraints: Constraints
+) -> dict[int, Clock]:
+    """Resolve each endpoint's capture clock.
+
+    Single-clock designs map everything to that clock.  Multi-clock
+    designs trace each CK sink back to the clock port whose network
+    reaches it; output-port endpoints use the clock named by their
+    ``set_output_delay``.  Endpoints with no resolvable clock fall back
+    to the first defined clock (and cross-domain capture uses the
+    *capture* clock's period — the standard simplification when no
+    inter-clock relation is specified).
+    """
+    clocks = constraints.clocks
+    if not clocks:
+        raise TimingError("no clocks defined")
+    fallback = next(iter(clocks.values()))
+    if len(clocks) == 1:
+        return {node_id: fallback for node_id in graph.endpoints}
+    port_to_clock = {c.source_port: c for c in clocks.values()}
+    sink_port = graph.clock_sinks_by_port(list(port_to_clock))
+    result: dict[int, Clock] = {}
+    for node_id, info in graph.endpoints.items():
+        node = graph.node(node_id)
+        if node.kind is NodeKind.PORT_OUT:
+            name = constraints.clock_of_port(node.ref.pin)
+            result[node_id] = clocks.get(name, fallback)
+        elif info.ck_node is not None and info.ck_node in sink_port:
+            result[node_id] = port_to_clock[sink_port[info.ck_node]]
+        else:
+            result[node_id] = fallback
+    return result
+
+
+@dataclass(frozen=True)
+class SlackSummary:
+    """Design-level QoR slice of one check."""
+
+    kind: CheckKind
+    wns: float
+    tns: float
+    violations: int
+    endpoints: int
+
+    @classmethod
+    def from_slacks(cls, kind: CheckKind,
+                    slacks: "list[EndpointSlack]") -> "SlackSummary":
+        """Aggregate endpoint slacks into WNS / TNS / violation count."""
+        if not slacks:
+            return cls(kind, 0.0, 0.0, 0, 0)
+        values = np.array([s.slack for s in slacks])
+        negative = values[values < 0]
+        return cls(
+            kind=kind,
+            wns=float(values.min()),
+            tns=float(negative.sum()),
+            violations=int(negative.size),
+            endpoints=len(slacks),
+        )
+
+
+def endpoint_capture_name(graph: TimingGraph, info: EndpointInfo) -> str:
+    """The name timing exceptions match the capture side against."""
+    if info.gate is not None:
+        return info.gate
+    return graph.node(info.node).ref.pin
+
+
+def setup_required(
+    graph: TimingGraph,
+    state: TimingState,
+    info: EndpointInfo,
+    clock: Clock,
+    constraints: Constraints,
+    crpr: CRPRCalculator | None = None,
+    launch_ck: int | None = None,
+) -> tuple[float, float]:
+    """(required time, crpr credit) for a setup check at an endpoint.
+
+    ``crpr``/``launch_ck`` enable exact per-path credit (PBA); omitting
+    them gives the conservative graph-based zero credit.  Multicycle
+    exceptions widen the capture window to N periods (endpoint-local,
+    hence graph-safe).
+    """
+    node = graph.node(info.node)
+    cycles = 1
+    if constraints.has_exceptions():
+        cycles = constraints.multicycle_of(
+            endpoint_capture_name(graph, info)
+        )
+    window = cycles * clock.period
+    if node.kind is NodeKind.PORT_OUT:
+        required = window - constraints.output_delay_of(node.ref.pin) \
+            - clock.uncertainty
+        return required, 0.0
+    if info.ck_node is None or info.setup_arc is None:
+        raise TimingError(f"endpoint {node.ref} lacks setup constraint data")
+    capture_ck = float(state.arrival_early[info.ck_node])
+    setup = info.setup_arc.delay.lookup(
+        float(state.slew[info.node]), float(state.slew[info.ck_node])
+    )
+    credit = 0.0
+    if crpr is not None and launch_ck is not None:
+        credit = crpr.credit(launch_ck, info.ck_node)
+    required = capture_ck + window - setup - clock.uncertainty + credit
+    return required, credit
+
+
+def hold_required(
+    graph: TimingGraph,
+    state: TimingState,
+    info: EndpointInfo,
+) -> float | None:
+    """Required time for a hold check, or None when not applicable."""
+    node = graph.node(info.node)
+    if node.kind is NodeKind.PORT_OUT:
+        return None  # port hold checks are out of scope (documented)
+    if info.ck_node is None or info.hold_arc is None:
+        return None
+    capture_ck_late = float(state.arrival_late[info.ck_node])
+    hold = info.hold_arc.delay.lookup(
+        float(state.slew[info.node]), float(state.slew[info.ck_node])
+    )
+    return capture_ck_late + hold
+
+
+def setup_slacks(
+    graph: TimingGraph,
+    state: TimingState,
+    constraints: Constraints,
+) -> list[EndpointSlack]:
+    """Graph-based setup slack at every endpoint.
+
+    GBA applies no CRPR credit — it has no launch information at an
+    endpoint, so zero credit is the conservative (and classic) choice.
+
+    Flop endpoints are grouped by setup-constraint table and their
+    setup times computed with one vectorized lookup per table: this
+    function runs once per accepted/rejected optimizer move, so the
+    per-endpoint Python cost is the closure loop's inner constant.
+    """
+    clock_map = endpoint_clock_map(graph, constraints)
+    endpoint_ids = sorted(graph.endpoints)
+    # Group flop endpoints by their (shared) setup table.
+    by_table: dict[int, list[int]] = {}
+    tables: dict[int, object] = {}
+    setup_times: dict[int, float] = {}
+    for node_id in endpoint_ids:
+        info = graph.endpoints[node_id]
+        if info.setup_arc is not None and info.ck_node is not None:
+            key = id(info.setup_arc.delay)
+            tables[key] = info.setup_arc.delay
+            by_table.setdefault(key, []).append(node_id)
+    for key, members in by_table.items():
+        data_slews = state.slew[np.array(members)]
+        ck_nodes = np.array(
+            [graph.endpoints[n].ck_node for n in members]
+        )
+        clock_slews = state.slew[ck_nodes]
+        values = tables[key].lookup_many(data_slews, clock_slews)
+        for node_id, value in zip(members, np.atleast_1d(values)):
+            setup_times[node_id] = float(value)
+    has_exceptions = constraints.has_exceptions()
+    results: list[EndpointSlack] = []
+    for node_id in endpoint_ids:
+        info = graph.endpoints[node_id]
+        node = graph.node(node_id)
+        clock = clock_map[node_id]
+        window = clock.period
+        if has_exceptions:
+            window *= constraints.multicycle_of(
+                endpoint_capture_name(graph, info)
+            )
+        if node.kind is NodeKind.PORT_OUT:
+            required = (
+                window - constraints.output_delay_of(node.ref.pin)
+                - clock.uncertainty
+            )
+        elif node_id in setup_times:
+            capture_ck = float(state.arrival_early[info.ck_node])
+            required = (
+                capture_ck + window - setup_times[node_id]
+                - clock.uncertainty
+            )
+        else:
+            raise TimingError(
+                f"endpoint {node.ref} lacks setup constraint data"
+            )
+        arrival = float(state.arrival_late[node_id])
+        results.append(EndpointSlack(
+            node=node_id,
+            name=str(node.ref),
+            kind=CheckKind.SETUP,
+            slack=required - arrival,
+            arrival=arrival,
+            required=required,
+        ))
+    return results
+
+
+def hold_slacks(
+    graph: TimingGraph,
+    state: TimingState,
+    constraints: Constraints,
+) -> list[EndpointSlack]:
+    """Graph-based hold slack at every flop endpoint."""
+    results: list[EndpointSlack] = []
+    for node_id in sorted(graph.endpoints):
+        info = graph.endpoints[node_id]
+        required = hold_required(graph, state, info)
+        if required is None:
+            continue
+        arrival = float(state.arrival_early[node_id])
+        results.append(EndpointSlack(
+            node=node_id,
+            name=str(graph.node(node_id).ref),
+            kind=CheckKind.HOLD,
+            slack=arrival - required,
+            arrival=arrival,
+            required=required,
+        ))
+    return results
+
+
+def compute_required_times(
+    graph: TimingGraph,
+    state: TimingState,
+    constraints: Constraints,
+) -> np.ndarray:
+    """Late required time per node (setup), +inf when unconstrained.
+
+    One backward topological pass: required(endpoint) comes from the
+    setup check; required(node) = min over fanout of
+    (required(dst) - late delay).  Clock-network nodes are left
+    unconstrained — their "requirement" is expressed through the data
+    checks they feed.
+    """
+    clock_map = endpoint_clock_map(graph, constraints)
+    required = np.full(len(graph.nodes), POS_INF)
+    for node_id in sorted(graph.endpoints):
+        info = graph.endpoints[node_id]
+        value, _ = setup_required(
+            graph, state, info, clock_map[node_id], constraints
+        )
+        required[node_id] = value
+    for node_id in reversed(graph.topological_order()):
+        node = graph.node(node_id)
+        if node.is_clock_tree:
+            continue
+        best = required[node_id]
+        for edge_id in graph.out_edges[node_id]:
+            edge = graph.edge(edge_id)
+            if graph.node(edge.dst).is_clock_tree:
+                continue
+            candidate = required[edge.dst] - effective_late(state, edge)
+            best = min(best, candidate)
+        required[node_id] = best
+    return required
+
+
+def gate_worst_slacks(
+    graph: TimingGraph,
+    state: TimingState,
+    required: np.ndarray,
+) -> dict[str, float]:
+    """Worst (required - arrival) over each gate's pins.
+
+    The closure optimizer uses this to rank candidate gates: the most
+    negative gates sit on the most critical paths.
+    """
+    worst: dict[str, float] = {}
+    for node in graph.live_nodes():
+        gate = node.ref.gate
+        if gate is None or required[node.id] == POS_INF:
+            continue
+        slack = float(required[node.id] - state.arrival_late[node.id])
+        if gate not in worst or slack < worst[gate]:
+            worst[gate] = slack
+    return worst

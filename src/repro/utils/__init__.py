@@ -1,0 +1,6 @@
+"""Small shared helpers (seeded RNG, logging)."""
+
+from repro.utils.rng import make_rng
+from repro.utils.log import get_logger
+
+__all__ = ["make_rng", "get_logger"]

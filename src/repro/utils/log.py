@@ -1,0 +1,34 @@
+"""Library-wide logging configuration.
+
+The library never configures the root logger; it only emits under the
+``repro`` namespace so embedding applications keep control of handlers.
+:func:`get_logger` is the single entry point used by all modules.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_BASE = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("mgba.flow")`` returns the ``repro.mgba.flow`` logger.
+    """
+    if not name:
+        return logging.getLogger(_BASE)
+    return logging.getLogger(f"{_BASE}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a basic stderr handler to the ``repro`` logger (CLI use)."""
+    logger = logging.getLogger(_BASE)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

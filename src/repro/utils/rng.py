@@ -1,0 +1,26 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library (design generation, row
+sampling, stochastic CG) accepts either an integer seed or an existing
+:class:`numpy.random.Generator`.  Routing all construction through
+:func:`make_rng` keeps runs reproducible and lets callers share one
+generator across stages when they want correlated randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def make_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, an existing generator, or None.
+
+    Passing an existing generator returns it unchanged (shared state);
+    passing an int builds a fresh ``default_rng(seed)``; passing None
+    builds an unseeded generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,91 @@
+"""Hold-side (early) AOCV derating tests."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.aocv.table import make_derating_table, make_early_derating_table
+from repro.timing.sta import STAEngine
+from tests.conftest import engine_for
+
+
+class TestEarlyTable:
+    def test_monotone_in_early_sense(self):
+        table = make_early_derating_table()
+        assert table.validate_monotonic(early=True) == []
+
+    def test_late_sense_flags_it(self):
+        table = make_early_derating_table()
+        assert table.validate_monotonic(early=False) != []
+
+    def test_factors_below_one(self):
+        table = make_early_derating_table()
+        assert table.max_derate() < 1.0
+        assert table.min_derate() > 0.0
+
+    def test_approaches_one_with_depth(self):
+        table = make_early_derating_table()
+        assert table.derate(64, 500) > table.derate(1, 500)
+
+    def test_shrinks_with_distance(self):
+        table = make_early_derating_table()
+        assert table.derate(4, 32000) < table.derate(4, 500)
+
+    def test_mirror_of_late_table(self):
+        late = make_derating_table(sigma=0.3)
+        early = make_early_derating_table(sigma=0.3)
+        # Symmetric 3-sigma window around 1 at the same corner.
+        assert late.derate(1, 500) - 1.0 == pytest.approx(
+            1.0 - early.derate(1, 500), rel=0.15
+        )
+
+
+class TestEngineIntegration:
+    def test_early_table_tightens_hold(self, small_design):
+        """AOCV early derates (< flat 0.90 at shallow depths) shrink
+        early arrivals, so hold slacks can only get worse or equal."""
+        flat_engine = engine_for(small_design)
+        flat_holds = {s.name: s.slack for s in flat_engine.hold_slacks()}
+
+        early = make_early_derating_table(sigma=0.35)
+        config = replace(
+            small_design.sta_config, early_derating_table=early,
+            data_early_derate=1.0,  # isolate the table's effect
+        )
+        aocv_engine = STAEngine(
+            small_design.netlist, small_design.constraints,
+            small_design.placement, config,
+        )
+        aocv_holds = {s.name: s.slack for s in aocv_engine.hold_slacks()}
+        # Compare against underated early (factor 1.0): AOCV early must
+        # be strictly more conservative on at least some endpoints.
+        no_derate = replace(
+            small_design.sta_config, data_early_derate=1.0,
+        )
+        plain = STAEngine(
+            small_design.netlist, small_design.constraints,
+            small_design.placement, no_derate,
+        )
+        plain_holds = {s.name: s.slack for s in plain.hold_slacks()}
+        tightened = 0
+        for name in plain_holds:
+            assert aocv_holds[name] <= plain_holds[name] + 1e-9
+            if aocv_holds[name] < plain_holds[name] - 1e-9:
+                tightened += 1
+        assert tightened > 0
+        del flat_holds  # flat comparison is informational only
+
+    def test_setup_unaffected_by_early_table(self, small_design):
+        base = engine_for(small_design)
+        config = replace(
+            small_design.sta_config,
+            early_derating_table=make_early_derating_table(),
+        )
+        with_early = STAEngine(
+            small_design.netlist, small_design.constraints,
+            small_design.placement, config,
+        )
+        want = {s.name: s.slack for s in base.setup_slacks()}
+        got = {s.name: s.slack for s in with_early.setup_slacks()}
+        for name in want:
+            assert got[name] == pytest.approx(want[name], abs=1e-9)

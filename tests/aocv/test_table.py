@@ -1,0 +1,141 @@
+"""Derating-table tests, including the paper's Table 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AOCVError, ParseError
+from repro.aocv.table import (
+    DeratingTable,
+    make_derating_table,
+    paper_table_1,
+    parse_aocv,
+    write_aocv,
+)
+
+
+class TestPaperTable1:
+    """Exact spot checks against Table 1 of the paper."""
+
+    def test_grid_values(self):
+        t = paper_table_1()
+        assert t.derate(3, 500) == 1.30
+        assert t.derate(4, 500) == 1.25
+        assert t.derate(5, 500) == 1.20
+        assert t.derate(6, 500) == 1.15
+        assert t.derate(6, 1500) == 1.25
+        assert t.derate(3, 1500) == 1.35
+
+    def test_monotonic(self):
+        assert paper_table_1().validate_monotonic() == []
+
+    def test_clamping(self):
+        t = paper_table_1()
+        assert t.derate(1, 0) == 1.30      # clamps to (3, 500)
+        assert t.derate(100, 1e9) == 1.25  # clamps to (6, 1500)
+
+    def test_interpolation_between_depths(self):
+        t = paper_table_1()
+        assert t.derate(3.5, 500) == pytest.approx((1.30 + 1.25) / 2)
+
+    def test_interpolation_between_distances(self):
+        t = paper_table_1()
+        assert t.derate(3, 750) == pytest.approx((1.30 + 1.32) / 2)
+
+
+class TestConstruction:
+    def test_shape_mismatch(self):
+        with pytest.raises(AOCVError):
+            DeratingTable(np.array([1.0, 2.0]), np.array([1.0]),
+                          np.array([[1.1, 1.2], [1.0, 1.0]]))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(AOCVError):
+            DeratingTable(np.array([1.0]), np.array([1.0]),
+                          np.array([[0.0]]))
+
+    def test_decreasing_axis_rejected(self):
+        with pytest.raises(AOCVError):
+            DeratingTable(np.array([2.0, 1.0]), np.array([1.0]),
+                          np.array([[1.1], [1.2]]).T)
+
+    def test_monotonicity_violations_reported(self):
+        t = DeratingTable(
+            np.array([1.0, 2.0]), np.array([1.0, 2.0]),
+            np.array([[1.1, 1.3],    # derate increases with depth: bad
+                      [1.0, 1.2]]),  # derate decreases with distance: bad
+        )
+        assert len(t.validate_monotonic()) == 2
+
+
+class TestGenerated:
+    def test_generated_table_is_monotonic(self):
+        assert make_derating_table().validate_monotonic() == []
+
+    def test_sigma_controls_magnitude(self):
+        small = make_derating_table(sigma=0.1)
+        big = make_derating_table(sigma=0.5)
+        assert big.max_derate() > small.max_derate()
+
+    def test_all_derates_above_one(self):
+        assert make_derating_table().min_derate() > 1.0
+
+
+class TestIO:
+    def test_round_trip(self):
+        t = paper_table_1()
+        parsed = parse_aocv(write_aocv(t))
+        assert parsed == t
+
+    def test_parse_with_comments(self):
+        text = "# hdr\ndepth 3 4\ndistance 500\n1.3 1.2  # row\n"
+        t = parse_aocv(text)
+        assert t.derate(3, 500) == 1.3
+
+    def test_missing_header(self):
+        with pytest.raises(ParseError):
+            parse_aocv("1.3 1.2\n")
+
+    def test_missing_rows(self):
+        with pytest.raises(ParseError):
+            parse_aocv("depth 3 4\ndistance 500\n")
+
+    def test_bad_number_located(self):
+        with pytest.raises(ParseError) as err:
+            parse_aocv("depth 3 4\ndistance 500\n1.3 banana\n")
+        assert err.value.line == 3
+
+
+@given(
+    depth=st.floats(1, 100, allow_nan=False),
+    distance=st.floats(0, 1e5, allow_nan=False),
+)
+def test_interpolation_stays_in_corner_bounds(depth, distance):
+    """Bilinear interpolation can never exceed the grid extremes."""
+    t = paper_table_1()
+    value = t.derate(depth, distance)
+    assert t.min_derate() - 1e-9 <= value <= t.max_derate() + 1e-9
+
+
+@given(
+    d1=st.floats(1, 100, allow_nan=False),
+    d2=st.floats(1, 100, allow_nan=False),
+    distance=st.floats(0, 1e5, allow_nan=False),
+)
+def test_derate_nonincreasing_in_depth(d1, d2, distance):
+    """Deeper paths can only look less derated (variation cancels)."""
+    t = paper_table_1()
+    lo, hi = sorted((d1, d2))
+    assert t.derate(hi, distance) <= t.derate(lo, distance) + 1e-9
+
+
+@given(
+    depth=st.floats(1, 100, allow_nan=False),
+    x1=st.floats(0, 1e5, allow_nan=False),
+    x2=st.floats(0, 1e5, allow_nan=False),
+)
+def test_derate_nondecreasing_in_distance(depth, x1, x2):
+    """Farther-apart endpoints can only look more derated."""
+    t = paper_table_1()
+    lo, hi = sorted((x1, x2))
+    assert t.derate(depth, lo) <= t.derate(depth, hi) + 1e-9

@@ -1,0 +1,88 @@
+"""Shared fixtures.
+
+Design generation is deterministic but not free, so the expensive
+bundles are session-scoped and treated as read-only by tests; anything
+that mutates a netlist builds its own copy via the factory fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.generator import DesignSpec, generate_design
+from repro.designs.paper_example import build_fig2_design
+from repro.liberty.builder import make_default_library, make_unit_delay_library
+from repro.timing.sta import STAEngine
+
+SMALL_SPEC = DesignSpec(
+    "small", seed=11, n_flops=10, n_inputs=4, n_outputs=3,
+    depth_range=(3, 7), violation_quantile=0.8,
+)
+
+MEDIUM_SPEC = DesignSpec(
+    "medium", seed=23, n_flops=24, n_inputs=6, n_outputs=4,
+    depth_range=(3, 10), cross_source_prob=0.45, violation_quantile=0.75,
+)
+
+
+@pytest.fixture(scope="session")
+def default_library():
+    return make_default_library()
+
+
+@pytest.fixture(scope="session")
+def unit_library():
+    return make_unit_delay_library()
+
+
+@pytest.fixture(scope="session")
+def small_design():
+    """Read-only small design bundle."""
+    return generate_design(SMALL_SPEC)
+
+
+@pytest.fixture(scope="session")
+def medium_design():
+    """Read-only medium design bundle."""
+    return generate_design(MEDIUM_SPEC)
+
+
+@pytest.fixture()
+def fresh_small_design():
+    """A mutable copy of the small design (regenerated)."""
+    return generate_design(SMALL_SPEC)
+
+
+@pytest.fixture()
+def fresh_medium_design():
+    """A mutable copy of the medium design (regenerated)."""
+    return generate_design(MEDIUM_SPEC)
+
+
+def engine_for(design) -> STAEngine:
+    """Fresh engine over a design bundle."""
+    return STAEngine(
+        design.netlist, design.constraints,
+        design.placement, design.sta_config,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_design):
+    """Read-only, timing-updated engine on the small design."""
+    engine = engine_for(small_design)
+    engine.update_timing()
+    return engine
+
+
+@pytest.fixture()
+def fig2():
+    """The paper's Fig. 2 example design (fresh each test)."""
+    return build_fig2_design()
+
+
+@pytest.fixture()
+def fig2_engine(fig2):
+    engine = STAEngine(fig2.netlist, fig2.constraints, None, fig2.sta_config)
+    engine.update_timing()
+    return engine

@@ -1,0 +1,85 @@
+"""Clock-tree builder tests."""
+
+import pytest
+
+from repro.designs.clocktree import build_clock_tree
+from repro.liberty.builder import make_default_library
+from repro.netlist.core import Netlist, PinRef, PortDirection
+from repro.netlist.placement import Placement
+from repro.utils.rng import make_rng
+
+LIB = make_default_library()
+
+
+def _flop_field(count, seed=0):
+    rng = make_rng(seed)
+    netlist = Netlist("ct", LIB)
+    netlist.add_port("clk", PortDirection.INPUT)
+    placement = Placement()
+    flops = []
+    for i in range(count):
+        name = f"ff{i}"
+        netlist.add_gate(name, "DFF_X1")
+        netlist.connect(name, "Q", f"q{i}")
+        netlist.connect(name, "D", f"q{(i + 1) % count}")
+        placement.place(name, rng.uniform(0, 50_000), rng.uniform(0, 50_000))
+        flops.append(name)
+    return netlist, placement, flops
+
+
+class TestTree:
+    def test_every_flop_clocked(self):
+        netlist, placement, flops = _flop_field(37)
+        build_clock_tree(netlist, placement, "clk", flops)
+        for flop in flops:
+            assert "CK" in netlist.gate(flop).connections
+
+    def test_tree_shape_single_driver_per_buffer(self):
+        netlist, placement, flops = _flop_field(37)
+        buffers = build_clock_tree(netlist, placement, "clk", flops)
+        for name in buffers:
+            in_net = netlist.gate(name).connections["A"]
+            assert netlist.net_driver(in_net) is not None
+
+    def test_leaf_fanout_respected(self):
+        netlist, placement, flops = _flop_field(64)
+        build_clock_tree(netlist, placement, "clk", flops,
+                         max_leaf_fanout=4)
+        for net in netlist.nets:
+            ck_loads = [
+                r for r in netlist.net_loads(net)
+                if not r.is_port and r.pin == "CK"
+            ]
+            assert len(ck_loads) <= 4
+
+    def test_buffers_are_placed(self):
+        netlist, placement, flops = _flop_field(20)
+        buffers = build_clock_tree(netlist, placement, "clk", flops)
+        for name in buffers:
+            assert placement.has(name)
+
+    def test_root_drive_scales_with_size(self):
+        netlist, placement, flops = _flop_field(100)
+        buffers = build_clock_tree(netlist, placement, "clk", flops)
+        root = buffers[0]
+        assert netlist.cell_of(root).drive_strength >= 8
+
+    def test_empty_flop_list(self):
+        netlist, placement, _ = _flop_field(3)
+        assert build_clock_tree(netlist, placement, "clk", []) == []
+
+    def test_clock_paths_share_root(self):
+        """Any two flops share at least the root buffer — CRPR exists."""
+        from repro.sdc.constraints import Clock, Constraints
+        from repro.timing.sta import STAConfig, STAEngine
+
+        netlist, placement, flops = _flop_field(16)
+        build_clock_tree(netlist, placement, "clk", flops)
+        constraints = Constraints()
+        constraints.add_clock(Clock("clk", 1000.0, "clk"))
+        engine = STAEngine(netlist, constraints, placement, STAConfig())
+        engine.update_timing()
+        cks = [engine.graph.node_of[PinRef(f, "CK")] for f in flops[:6]]
+        for a in cks:
+            for b in cks:
+                assert engine.crpr.credit(a, b) > 0.0

@@ -1,0 +1,102 @@
+"""Synthetic-design generator tests."""
+
+import pytest
+
+from repro.designs.generator import DesignSpec, generate_design, scaled_spec
+from repro.netlist.validate import Severity, validate_netlist
+from tests.conftest import SMALL_SPEC, engine_for
+
+
+class TestStructure:
+    def test_deterministic(self):
+        a = generate_design(SMALL_SPEC)
+        b = generate_design(SMALL_SPEC)
+        assert set(a.netlist.gates) == set(b.netlist.gates)
+        assert a.constraints.primary_clock().period == \
+            b.constraints.primary_clock().period
+        for name, gate in a.netlist.gates.items():
+            assert b.netlist.gate(name).cell_name == gate.cell_name
+            assert b.netlist.gate(name).connections == gate.connections
+
+    def test_different_seeds_differ(self):
+        from dataclasses import replace
+
+        a = generate_design(SMALL_SPEC)
+        b = generate_design(replace(SMALL_SPEC, seed=SMALL_SPEC.seed + 1))
+        assert set(a.netlist.gates) != set(b.netlist.gates) or \
+            a.constraints.primary_clock().period != \
+            b.constraints.primary_clock().period
+
+    def test_no_structural_errors(self, small_design):
+        errors = [
+            v for v in validate_netlist(small_design.netlist)
+            if v.severity is Severity.ERROR
+        ]
+        assert errors == []
+
+    def test_flop_count_matches_spec(self, small_design):
+        assert len(small_design.netlist.sequential_gates()) == \
+            SMALL_SPEC.n_flops
+
+    def test_everything_placed(self, small_design):
+        for gate in small_design.netlist.gates:
+            assert small_design.placement.has(gate), gate
+        for port in small_design.netlist.ports:
+            assert small_design.placement.has(port), port
+
+    def test_scaled_spec(self):
+        bigger = scaled_spec(SMALL_SPEC, 2.0)
+        assert bigger.n_flops == 2 * SMALL_SPEC.n_flops
+        tiny = scaled_spec(SMALL_SPEC, 0.0)
+        assert tiny.n_flops == 4  # floor
+
+
+class TestCalibration:
+    def test_violation_fraction_near_quantile(self, small_design):
+        """The probe calibration leaves ~(1-q) endpoints violating."""
+        engine = engine_for(small_design)
+        slacks = engine.setup_slacks()
+        fraction = sum(1 for s in slacks if s.slack < 0) / len(slacks)
+        target = 1.0 - SMALL_SPEC.violation_quantile
+        assert abs(fraction - target) < 0.15
+
+    def test_tighter_quantile_means_more_violations(self):
+        from dataclasses import replace
+
+        loose = generate_design(replace(SMALL_SPEC, violation_quantile=0.95))
+        tight = generate_design(replace(SMALL_SPEC, violation_quantile=0.55))
+        loose_v = engine_for(loose).summary().violations
+        tight_v = engine_for(tight).summary().violations
+        assert tight_v > loose_v
+
+
+class TestPessimismIngredients:
+    def test_cross_cone_sharing_creates_depth_spread(self, small_design):
+        """Shared gates must see GBA depths below their longest paths —
+        otherwise the design has no pessimism to remove."""
+        from repro.aocv.depth import compute_gba_depths
+        from repro.pba.enumerate import enumerate_worst_paths
+        from repro.pba.engine import PBAEngine
+
+        engine = engine_for(small_design)
+        engine.update_timing()
+        depths = compute_gba_depths(small_design.netlist)
+        paths = enumerate_worst_paths(engine.graph, engine.state, 5)
+        PBAEngine(engine).analyze(paths)
+        gaps = [
+            path.depth - min(depths[g] for g in path.gates())
+            for path in paths if path.gates()
+        ]
+        assert max(gaps) >= 2
+
+    def test_aocv_distances_spread(self, small_design):
+        """Paths must spread over the derating table's distance axis."""
+        from repro.pba.enumerate import enumerate_worst_paths
+        from repro.pba.engine import PBAEngine
+
+        engine = engine_for(small_design)
+        engine.update_timing()
+        paths = enumerate_worst_paths(engine.graph, engine.state, 4)
+        PBAEngine(engine).analyze(paths)
+        distances = [p.distance for p in paths if p.gates()]
+        assert max(distances) > 2 * min(d for d in distances if d > 0)

@@ -1,0 +1,93 @@
+"""Full-pipeline integration: files on disk -> analysis -> optimization.
+
+Exercises the workflow a downstream user would run: export a design to
+Verilog/SDC/AOCV, read everything back, and drive both closure flows on
+the re-imported design.
+"""
+
+import pytest
+
+from repro.aocv.table import load_aocv, write_aocv
+from repro.designs.generator import DesignSpec, generate_design
+from repro.liberty.parser import parse_liberty
+from repro.liberty.writer import write_liberty
+from repro.mgba.flow import MGBAConfig, MGBAFlow
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.opt.closure import ClosureConfig, TimingClosureOptimizer
+from repro.sdc.parser import parse_sdc
+from repro.sdc.writer import write_sdc
+from repro.timing.sta import STAConfig, STAEngine
+
+SPEC = DesignSpec(
+    "e2e", seed=77, n_flops=10, n_inputs=4, n_outputs=2,
+    depth_range=(3, 8),
+)
+
+
+@pytest.fixture(scope="module")
+def on_disk(tmp_path_factory):
+    root = tmp_path_factory.mktemp("design")
+    design = generate_design(SPEC)
+    (root / "design.v").write_text(write_verilog(design.netlist))
+    (root / "design.sdc").write_text(write_sdc(design.constraints))
+    (root / "design.aocv").write_text(write_aocv(design.derating_table))
+    (root / "design.lib").write_text(write_liberty(design.netlist.library))
+    return root, design
+
+
+class TestFileRoundTripAnalysis:
+    def test_reimported_design_times_identically(self, on_disk):
+        root, original = on_disk
+        library = parse_liberty((root / "design.lib").read_text())
+        netlist = parse_verilog((root / "design.v").read_text(), library)
+        constraints = parse_sdc((root / "design.sdc").read_text())
+        table = load_aocv(root / "design.aocv")
+        config = STAConfig(
+            derating_table=table,
+            gba_distance=0.0,  # placement is not serialized; pin both
+        )
+        reimported = STAEngine(netlist, constraints, None, config)
+        reference = STAEngine(
+            original.netlist, original.constraints, None, config
+        )
+        got = {s.name: s.slack for s in reimported.setup_slacks()}
+        want = {s.name: s.slack for s in reference.setup_slacks()}
+        assert got.keys() == want.keys()
+        for name in want:
+            assert got[name] == pytest.approx(want[name], abs=1e-6), name
+
+
+class TestPipelines:
+    def test_mgba_then_closure(self):
+        design = generate_design(SPEC)
+        optimizer = TimingClosureOptimizer(
+            design.netlist, design.constraints, design.placement,
+            design.sta_config,
+            ClosureConfig(max_transforms=60, use_mgba=True,
+                          mgba=MGBAConfig(k_per_endpoint=8, seed=0)),
+        )
+        report = optimizer.run()
+        assert report.final.violations <= report.initial.violations
+        assert report.mgba_result.pass_ratio_mgba > 0.85
+        assert (
+            report.mgba_result.pass_ratio_mgba
+            > report.mgba_result.pass_ratio_gba + 0.3
+        )
+
+    def test_incremental_consistency_through_whole_closure(self):
+        """After a full closure run (hundreds of incremental updates),
+        the engine's state still matches a from-scratch engine."""
+        design = generate_design(SPEC)
+        optimizer = TimingClosureOptimizer(
+            design.netlist, design.constraints, design.placement,
+            design.sta_config, ClosureConfig(max_transforms=40),
+        )
+        optimizer.run()
+        reference = STAEngine(
+            design.netlist, design.constraints,
+            design.placement, design.sta_config,
+        )
+        got = {s.name: s.slack for s in optimizer.engine.setup_slacks()}
+        want = {s.name: s.slack for s in reference.setup_slacks()}
+        for name in want:
+            assert got[name] == pytest.approx(want[name], abs=1e-6), name

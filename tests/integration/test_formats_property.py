@@ -1,0 +1,140 @@
+"""Property tests: every format round-trips random data exactly."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.aocv.table import DeratingTable, parse_aocv, write_aocv
+from repro.liberty.builder import make_default_library
+from repro.netlist.core import Netlist, PortDirection
+from repro.netlist.parasitics import Parasitics, parse_spef, write_spef
+from repro.netlist.placement import Placement
+from repro.netlist.plfile import parse_placement, write_placement
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.sdc.constraints import Clock, Constraints
+from repro.sdc.parser import parse_sdc
+from repro.sdc.writer import write_sdc
+
+LIB = make_default_library()
+
+name_strategy = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+
+# Axis values on a milli-grid: distinct entries stay distinct through
+# the writer's %.6g formatting (free-range floats can collide there).
+derate_axis = st.lists(
+    st.integers(1000, 64000), min_size=1, max_size=5, unique=True,
+).map(lambda values: [v / 1000.0 for v in sorted(values)])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    depths=derate_axis,
+    distances=derate_axis,
+    base=st.floats(1.01, 2.0),
+)
+def test_aocv_round_trip(depths, distances, base):
+    rng = np.random.default_rng(int(base * 1000))
+    values = base + rng.uniform(0, 0.5, size=(len(distances), len(depths)))
+    table = DeratingTable(
+        np.array(depths), np.array(distances), values
+    )
+    parsed = parse_aocv(write_aocv(table))
+    assert np.allclose(parsed.depths, table.depths)
+    assert np.allclose(parsed.distances, table.distances)
+    assert np.allclose(parsed.values, table.values, rtol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    entries=st.dictionaries(
+        name_strategy,
+        st.tuples(st.floats(0.001, 1e4), st.floats(0.0001, 10.0)),
+        min_size=0, max_size=12,
+    )
+)
+def test_spef_round_trip(entries):
+    parasitics = Parasitics("prop")
+    for net, (cap, res) in entries.items():
+        parasitics.set_net(net, cap, res)
+    parsed = parse_spef(write_spef(parasitics))
+    assert set(parsed.nets) == set(parasitics.nets)
+    for net in entries:
+        assert np.isclose(
+            parsed.get(net).capacitance, parasitics.get(net).capacitance,
+            rtol=1e-6,
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.dictionaries(
+        name_strategy,
+        st.tuples(st.floats(0, 1e6), st.floats(0, 1e6)),
+        min_size=0, max_size=12,
+    )
+)
+def test_placement_round_trip(points):
+    placement = Placement()
+    for name, (x, y) in points.items():
+        placement.place(name, x, y)
+    parsed = parse_placement(write_placement(placement))
+    assert set(parsed.locations) == set(placement.locations)
+    for name in points:
+        assert abs(parsed.location(name).x - placement.location(name).x) < 1e-3
+        assert abs(parsed.location(name).y - placement.location(name).y) < 1e-3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    period_ns=st.floats(0.1, 50.0),
+    uncertainty_ns=st.floats(0.0, 1.0),
+    io=st.lists(
+        st.tuples(name_strategy, st.booleans(), st.floats(0.01, 5.0)),
+        max_size=6,
+        unique_by=lambda t: t[0],
+    ),
+)
+def test_sdc_round_trip(period_ns, uncertainty_ns, io):
+    constraints = Constraints()
+    constraints.add_clock(Clock(
+        "clk", period=period_ns * 1000.0, source_port="clkport",
+        uncertainty=uncertainty_ns * 1000.0,
+    ))
+    for port, is_input, delay_ns in io:
+        if is_input:
+            constraints.set_input_delay(port, "clk", delay_ns * 1000.0)
+        else:
+            constraints.set_output_delay(port, "clk", delay_ns * 1000.0)
+    parsed = parse_sdc(write_sdc(constraints))
+    assert np.isclose(
+        parsed.clock("clk").period, constraints.clock("clk").period,
+        rtol=1e-5,
+    )
+    for port, is_input, delay_ns in io:
+        got = (
+            parsed.input_delay_of(port) if is_input
+            else parsed.output_delay_of(port)
+        )
+        assert np.isclose(got, delay_ns * 1000.0, rtol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    chain=st.lists(
+        st.sampled_from(["INV_X1", "BUF_X2", "INV_X4", "INV_X1_LVT"]),
+        min_size=1, max_size=10,
+    )
+)
+def test_verilog_round_trip_random_chains(chain):
+    netlist = Netlist("prop", LIB)
+    netlist.add_port("a", PortDirection.INPUT)
+    netlist.add_port("y", PortDirection.OUTPUT)
+    previous = "a"
+    for i, cell_name in enumerate(chain):
+        out = "y" if i == len(chain) - 1 else f"w{i}"
+        netlist.add_gate(f"u{i}", cell_name, {"A": previous, "Z": out})
+        previous = out
+    text = write_verilog(netlist)
+    parsed = parse_verilog(text, LIB)
+    assert write_verilog(parsed) == text
+    for name, gate in netlist.gates.items():
+        assert parsed.gate(name).cell_name == gate.cell_name

@@ -1,0 +1,90 @@
+"""The kitchen-sink flow: every optimizer feature enabled at once.
+
+mGBA fit + periodic re-fit + setup fixing + hold fixing + recovery +
+ECO export, on a design with hold violations — the configuration a real
+adopter would run, verified end to end including ECO replay.
+"""
+
+import pytest
+
+from repro.mgba.flow import MGBAConfig
+from repro.opt.closure import ClosureConfig, TimingClosureOptimizer
+from repro.opt.eco import apply_eco, write_eco
+from repro.timing.slack import CheckKind
+from repro.designs.generator import DesignSpec, generate_design
+from tests.conftest import engine_for
+
+SPEC = DesignSpec(
+    "kitchen", seed=77, n_flops=24, n_inputs=4, n_outputs=3,
+    depth_range=(1, 7), violation_quantile=0.7,
+)
+
+CONFIG = ClosureConfig(
+    max_transforms=120,
+    use_mgba=True,
+    mgba_refresh_every=20,
+    fix_hold=True,
+    recovery=True,
+    mgba=MGBAConfig(k_per_endpoint=10, solver="direct", seed=0),
+)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    design = generate_design(SPEC)
+    optimizer = TimingClosureOptimizer(
+        design.netlist, design.constraints, design.placement,
+        design.sta_config, CONFIG,
+    )
+    report = optimizer.run()
+    return design, optimizer, report
+
+
+class TestKitchenSink:
+    def test_setup_improves(self, outcome):
+        _, _, report = outcome
+        assert report.final.violations <= report.initial.violations
+        assert report.final.wns >= report.initial.wns
+
+    def test_hold_not_worse(self, outcome):
+        _, optimizer, _ = outcome
+        hold = optimizer.engine.summary(CheckKind.HOLD)
+        fresh_design = generate_design(SPEC)
+        baseline = engine_for(fresh_design).summary(CheckKind.HOLD)
+        assert hold.violations <= baseline.violations
+
+    def test_mgba_fit_recorded(self, outcome):
+        _, _, report = outcome
+        assert report.mgba_result is not None
+        assert report.seconds_mgba > 0
+
+    def test_consistent_with_full_recompute(self, outcome):
+        design, optimizer, _ = outcome
+        reference = engine_for(design)
+        reference.set_gate_weights(optimizer.engine.weights)
+        got = {s.name: s.slack for s in optimizer.engine.setup_slacks()}
+        want = {s.name: s.slack for s in reference.setup_slacks()}
+        for name in want:
+            assert got[name] == pytest.approx(want[name], abs=1e-6), name
+
+    def test_eco_replays_onto_pristine_copy(self, outcome):
+        design, _, report = outcome
+        pristine = generate_design(SPEC)
+        applied = apply_eco(
+            pristine.netlist,
+            write_eco(report.eco_commands),
+            placement=pristine.placement,
+        )
+        assert applied == len(report.eco_commands)
+        assert set(pristine.netlist.gates) == set(design.netlist.gates)
+        for name, gate in design.netlist.gates.items():
+            assert pristine.netlist.gate(name).cell_name == gate.cell_name
+
+    def test_signoff_clean_or_better(self, outcome):
+        from repro.opt.compare import signoff_qor
+
+        design, optimizer, _ = outcome
+        golden = signoff_qor(optimizer.engine)
+        fresh = generate_design(SPEC)
+        baseline = signoff_qor(engine_for(fresh))
+        assert golden.violations <= baseline.violations

@@ -1,0 +1,28 @@
+"""Golden-file snapshot tests: report formats are a stable contract.
+
+A report-format regression silently breaks downstream parsers; these
+snapshots pin the exact text for the deterministic Fig. 2 example.
+Update the golden file deliberately when the format changes.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.timing.report import report_timing
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+
+
+class TestGoldenReports:
+    def test_fig2_timing_report_snapshot(self, fig2_engine):
+        text = report_timing(fig2_engine, max_endpoints=1)
+        golden = (GOLDEN_DIR / "fig2_report.txt").read_text()
+        assert text.strip() == golden.strip()
+
+    def test_fig2_eco_of_nothing(self):
+        from repro.opt.eco import write_eco
+
+        assert write_eco([], "paper_fig2").splitlines()[0] == (
+            "# repro ECO for paper_fig2"
+        )

@@ -1,0 +1,95 @@
+"""Cross-module invariants, property-tested over randomized designs.
+
+Each hypothesis example builds a complete design from a random spec and
+checks the inequalities the whole framework rests on.  Examples are few
+but deep — every one exercises generation, STA, depth computation,
+enumeration, PBA, and the mGBA fit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.aocv.depth import compute_gba_depths
+from repro.designs.generator import DesignSpec, generate_design
+from repro.mgba.flow import MGBAConfig, MGBAFlow
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import enumerate_worst_paths
+from repro.timing.propagation import check_propagation_sanity
+from repro.timing.sta import STAEngine
+
+spec_strategy = st.builds(
+    DesignSpec,
+    name=st.just("prop"),
+    seed=st.integers(0, 10_000),
+    n_flops=st.integers(6, 16),
+    n_inputs=st.integers(2, 5),
+    n_outputs=st.integers(1, 3),
+    depth_range=st.tuples(st.integers(2, 4), st.integers(5, 10)),
+    cross_source_prob=st.floats(0.0, 0.7),
+    violation_quantile=st.floats(0.6, 0.95),
+)
+
+deep_settings = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _engine(spec):
+    design = generate_design(spec)
+    engine = STAEngine(
+        design.netlist, design.constraints,
+        design.placement, design.sta_config,
+    )
+    engine.update_timing()
+    return engine
+
+
+@deep_settings
+@given(spec=spec_strategy)
+def test_propagation_identity_on_random_designs(spec):
+    engine = _engine(spec)
+    assert check_propagation_sanity(engine.graph, engine.state) == []
+
+
+@deep_settings
+@given(spec=spec_strategy)
+def test_gba_never_optimistic_vs_pba(spec):
+    """s_gba <= s_pba on every enumerated path of every random design."""
+    engine = _engine(spec)
+    paths = enumerate_worst_paths(engine.graph, engine.state, 4)
+    PBAEngine(engine).analyze(paths)
+    assert paths
+    for path in paths:
+        assert path.gba_slack <= path.pba_slack + 1e-9
+
+
+@deep_settings
+@given(spec=spec_strategy)
+def test_gba_depth_bounds_path_depth(spec):
+    engine = _engine(spec)
+    depths = compute_gba_depths(engine.netlist)
+    paths = enumerate_worst_paths(engine.graph, engine.state, 4)
+    PBAEngine(engine).analyze(paths)
+    for path in paths:
+        for gate in path.gates():
+            assert depths[gate] <= path.depth
+
+
+@deep_settings
+@given(spec=spec_strategy)
+def test_mgba_fit_never_hurts(spec):
+    """After the fit: mse improves and constraint holds (to penalty slop)."""
+    engine = _engine(spec)
+    result = MGBAFlow(
+        MGBAConfig(k_per_endpoint=6, solver="direct")
+    ).run(engine, apply=False)
+    assert result.mse_mgba <= result.mse_gba + 1e-12
+    corrected = result.problem.corrected_slacks(result.solution.x)
+    bound = (
+        result.problem.s_pba
+        + result.problem.epsilon * np.abs(result.problem.s_pba)
+    )
+    assert float(np.max(corrected - bound)) < 5.0

@@ -1,0 +1,97 @@
+"""Integration: the paper's §2.2 worked example, end to end.
+
+Asserts the exact published numbers: Table 1 lookups, Eq. (2) = 690 ps,
+Eq. (3) = 740 ps, the 50 ps pessimism gap, and the closure consequence
+(a phantom violation under GBA that mGBA removes).
+"""
+
+import pytest
+
+from repro.aocv.depth import compute_gba_depths
+from repro.aocv.table import paper_table_1
+from repro.designs.paper_example import (
+    EXPECTED_GBA_DEPTHS,
+    GBA_PATH_DELAY,
+    PBA_PATH_DELAY,
+    build_fig2_design,
+)
+from repro.mgba.flow import MGBAConfig, MGBAFlow
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import worst_paths_to_endpoint
+from repro.timing.sta import STAEngine
+
+
+@pytest.fixture()
+def engine():
+    design = build_fig2_design()
+    engine = STAEngine(design.netlist, design.constraints, None,
+                       design.sta_config)
+    engine.update_timing()
+    return engine
+
+
+class TestPaperNumbers:
+    def test_table1_lookups(self):
+        table = paper_table_1()
+        assert table.derate(6, 500) == 1.15   # the PBA factor of Eq. (2)
+        assert table.derate(5, 500) == 1.20   # GBA factors of Eq. (3)
+        assert table.derate(4, 500) == 1.25
+        assert table.derate(3, 500) == 1.30
+
+    def test_gba_depths(self, engine):
+        assert compute_gba_depths(engine.netlist) == EXPECTED_GBA_DEPTHS
+
+    def test_equation_2_pba_690(self, engine):
+        endpoint = engine.node_id("FF4", "D")
+        path = worst_paths_to_endpoint(
+            engine.graph, engine.state, endpoint, 1
+        )[0]
+        PBAEngine(engine).analyze_path(path)
+        period = engine.constraints.primary_clock().period
+        assert period - path.pba_slack == pytest.approx(PBA_PATH_DELAY)
+
+    def test_equation_3_gba_740(self, engine):
+        endpoint = engine.node_id("FF4", "D")
+        assert engine.state.arrival_late[endpoint] == pytest.approx(
+            GBA_PATH_DELAY
+        )
+
+    def test_gap_is_50ps(self, engine):
+        endpoint = engine.node_id("FF4", "D")
+        path = worst_paths_to_endpoint(
+            engine.graph, engine.state, endpoint, 1
+        )[0]
+        PBAEngine(engine).analyze_path(path)
+        assert path.pessimism == pytest.approx(
+            GBA_PATH_DELAY - PBA_PATH_DELAY
+        )
+
+    def test_derate_multiset_matches_equation_3(self, engine):
+        endpoint = engine.node_id("FF4", "D")
+        path = worst_paths_to_endpoint(
+            engine.graph, engine.state, endpoint, 1
+        )[0]
+        PBAEngine(engine).analyze_path(path)
+        derates = sorted(d for _, _, d in path.contributions)
+        assert derates == [1.20, 1.20, 1.20, 1.25, 1.25, 1.30]
+
+
+class TestClosureConsequence:
+    def test_mgba_clears_phantom_violation(self, engine):
+        """GBA flags FF4 at T=700; golden timing passes; mGBA agrees
+        with golden after one fit."""
+        assert engine.summary().violations == 1
+        result = MGBAFlow(
+            MGBAConfig(k_per_endpoint=4, solver="direct")
+        ).run(engine)
+        assert engine.summary().violations == 0
+        assert result.pass_ratio_mgba > result.pass_ratio_gba
+        assert result.pass_ratio_mgba >= 0.8
+
+    def test_never_optimistic_beyond_epsilon(self, engine):
+        result = MGBAFlow(
+            MGBAConfig(k_per_endpoint=4, solver="direct", epsilon=0.05)
+        ).run(engine)
+        corrected = result.problem.corrected_slacks(result.solution.x)
+        bound = result.problem.s_pba + 0.05 * abs(result.problem.s_pba)
+        assert (corrected <= bound + 1.0).all()

@@ -1,0 +1,96 @@
+"""Physical sanity of the built-in characterized library."""
+
+import pytest
+
+from repro.liberty.builder import (
+    GATE_DRIVES,
+    LOAD_AXIS,
+    SLEW_AXIS,
+    make_default_library,
+    make_unit_delay_library,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_default_library()
+
+
+class TestDriveScaling:
+    def test_stronger_cells_are_faster_at_load(self, lib):
+        """At a fixed heavy load, X4 must beat X1 on arc delay."""
+        slew, load = 20.0, 32.0
+        x1 = lib.cell("NAND2_X1").arc_between("A", "Z")
+        x4 = lib.cell("NAND2_X4").arc_between("A", "Z")
+        assert x4.delay.lookup(slew, load) < x1.delay.lookup(slew, load)
+
+    def test_stronger_cells_cost_more_area_and_leakage(self, lib):
+        for footprint in ("INV", "NAND2", "XOR2"):
+            group = lib.footprint_group(footprint)
+            areas = [c.area for c in group]
+            leaks = [c.leakage for c in group]
+            assert areas == sorted(areas)
+            assert leaks == sorted(leaks)
+
+    def test_stronger_cells_load_their_fanin_more(self, lib):
+        x1 = lib.cell("INV_X1").pin("A").capacitance
+        x8 = lib.cell("INV_X8").pin("A").capacitance
+        assert x8 > x1
+
+    def test_max_capacitance_scales_with_drive(self, lib):
+        for drive in GATE_DRIVES:
+            cell = lib.cell(f"INV_X{drive}")
+            assert cell.pin("Z").max_capacitance == LOAD_AXIS[-1] * drive
+
+
+class TestTables:
+    def test_delay_increases_with_load(self, lib):
+        arc = lib.cell("NOR2_X1").arc_between("A", "Z")
+        slew = SLEW_AXIS[1]
+        delays = [arc.delay.lookup(slew, load) for load in LOAD_AXIS]
+        assert delays == sorted(delays)
+
+    def test_delay_increases_with_slew(self, lib):
+        arc = lib.cell("NOR2_X1").arc_between("A", "Z")
+        load = LOAD_AXIS[1]
+        delays = [arc.delay.lookup(slew, load) for slew in SLEW_AXIS]
+        assert delays == sorted(delays)
+
+    def test_every_input_has_an_arc_to_output(self, lib):
+        for cell in lib.combinational_cells():
+            output = cell.output_pins[0].name
+            for pin in cell.input_pins:
+                assert cell.arc_between(pin.name, output) is not None, (
+                    f"{cell.name}: {pin.name} has no arc"
+                )
+
+
+class TestFlops:
+    def test_dff_has_constraints_and_clock(self, lib):
+        dff = lib.cell("DFF_X1")
+        assert dff.is_sequential
+        assert dff.clock_pin.name == "CK"
+        kinds = {a.kind.value for a in dff.constraint_arcs()}
+        assert kinds == {"setup", "hold"}
+
+    def test_setup_larger_than_hold(self, lib):
+        dff = lib.cell("DFF_X1")
+        setup = next(a for a in dff.constraint_arcs()
+                     if a.kind.value == "setup")
+        hold = next(a for a in dff.constraint_arcs()
+                    if a.kind.value == "hold")
+        assert setup.delay.lookup(20, 20) > hold.delay.lookup(20, 20)
+
+
+class TestUnitLibrary:
+    def test_constant_delay(self):
+        lib = make_unit_delay_library(gate_delay=100.0)
+        arc = lib.cell("INV_U").arc_between("A", "Z")
+        assert arc.delay.lookup(5, 1) == 100.0
+        assert arc.delay.lookup(500, 500) == 100.0
+
+    def test_zero_overhead_flop(self):
+        lib = make_unit_delay_library()
+        dff = lib.cell("DFF_U")
+        clk2q = dff.arc_between("CK", "Q")
+        assert clk2q.delay.lookup(10, 10) == 0.0

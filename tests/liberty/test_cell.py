@@ -1,0 +1,71 @@
+"""Unit tests for Cell/Pin/TimingArc."""
+
+import pytest
+
+from repro.errors import LibertyError
+from repro.liberty.cell import ArcKind, Cell, Pin, PinDirection, TimingArc
+from repro.liberty.lut import LookupTable2D
+
+
+def _delay():
+    return LookupTable2D.constant(10.0)
+
+
+def _make_inv():
+    cell = Cell("INV_T", area=1.0, leakage=2.0)
+    cell.add_pin(Pin("A", PinDirection.INPUT, capacitance=1.0))
+    cell.add_pin(Pin("Z", PinDirection.OUTPUT))
+    cell.add_arc(TimingArc("A", "Z", ArcKind.COMBINATIONAL, _delay(), _delay()))
+    return cell
+
+
+class TestPins:
+    def test_duplicate_pin_rejected(self):
+        cell = _make_inv()
+        with pytest.raises(LibertyError):
+            cell.add_pin(Pin("A", PinDirection.INPUT))
+
+    def test_unknown_pin_lookup(self):
+        with pytest.raises(LibertyError):
+            _make_inv().pin("Q")
+
+    def test_direction_partition(self):
+        cell = _make_inv()
+        assert [p.name for p in cell.input_pins] == ["A"]
+        assert [p.name for p in cell.output_pins] == ["Z"]
+
+    def test_footprint_defaults_to_name(self):
+        assert _make_inv().footprint == "INV_T"
+
+
+class TestArcs:
+    def test_arc_requires_existing_pins(self):
+        cell = _make_inv()
+        with pytest.raises(LibertyError):
+            cell.add_arc(TimingArc("X", "Z", ArcKind.COMBINATIONAL,
+                                   _delay(), _delay()))
+
+    def test_delay_arc_requires_slew_table(self):
+        with pytest.raises(LibertyError):
+            TimingArc("A", "Z", ArcKind.COMBINATIONAL, _delay(), None)
+
+    def test_constraint_arc_needs_no_slew(self):
+        arc = TimingArc("D", "CK", ArcKind.SETUP, _delay())
+        assert arc.output_slew is None
+
+    def test_arc_between(self):
+        cell = _make_inv()
+        assert cell.arc_between("A", "Z") is not None
+        assert cell.arc_between("Z", "A") is None
+
+    def test_delay_vs_constraint_partition(self):
+        cell = Cell("DFF_T", area=1.0, leakage=1.0, is_sequential=True)
+        cell.add_pin(Pin("D", PinDirection.INPUT))
+        cell.add_pin(Pin("CK", PinDirection.INPUT, is_clock=True))
+        cell.add_pin(Pin("Q", PinDirection.OUTPUT))
+        cell.add_arc(TimingArc("CK", "Q", ArcKind.CLK_TO_Q, _delay(), _delay()))
+        cell.add_arc(TimingArc("D", "CK", ArcKind.SETUP, _delay()))
+        cell.add_arc(TimingArc("D", "CK", ArcKind.HOLD, _delay()))
+        assert len(cell.delay_arcs()) == 1
+        assert len(cell.constraint_arcs()) == 2
+        assert cell.clock_pin.name == "CK"

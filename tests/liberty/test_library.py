@@ -1,0 +1,57 @@
+"""Unit tests for the Library container and size families."""
+
+import pytest
+
+from repro.errors import LibertyError
+from repro.liberty.builder import make_default_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_default_library()
+
+
+class TestLookup:
+    def test_cell_lookup(self, lib):
+        assert lib.cell("NAND2_X1").footprint == "NAND2"
+
+    def test_unknown_cell(self, lib):
+        with pytest.raises(LibertyError):
+            lib.cell("MYSTERY_X9")
+
+    def test_contains_and_len(self, lib):
+        assert "INV_X1" in lib
+        assert "NOPE" not in lib
+        assert len(lib) > 50
+
+    def test_duplicate_cell_rejected(self, lib):
+        with pytest.raises(LibertyError):
+            lib.add_cell(lib.cell("INV_X1"))
+
+
+class TestSizeFamilies:
+    def test_footprint_group_sorted_by_drive(self, lib):
+        group = lib.footprint_group("NAND2")
+        drives = [c.drive_strength for c in group]
+        assert drives == sorted(drives)
+        assert len(group) == 4
+
+    def test_next_size_up_chain(self, lib):
+        assert lib.next_size_up("INV_X1").name == "INV_X2"
+        assert lib.next_size_up("INV_X8") is None
+
+    def test_next_size_down_chain(self, lib):
+        assert lib.next_size_down("INV_X2").name == "INV_X1"
+        assert lib.next_size_down("INV_X1") is None
+
+    def test_buffers_are_buffers(self, lib):
+        buffers = lib.buffers()
+        assert buffers and all(c.is_buffer for c in buffers)
+        assert len(buffers) == 5  # X1..X16
+
+    def test_sequential_partition(self, lib):
+        seq = lib.sequential_cells()
+        comb = lib.combinational_cells()
+        assert all(c.is_sequential for c in seq)
+        assert not any(c.is_sequential for c in comb)
+        assert len(seq) + len(comb) == len(lib)

@@ -1,0 +1,103 @@
+"""Unit and property tests for 2-D lookup tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LibertyError
+from repro.liberty.lut import LookupTable2D
+
+
+def _table():
+    return LookupTable2D(
+        rows=[10.0, 20.0, 40.0],
+        cols=[1.0, 4.0, 16.0],
+        values=[[1.0, 2.0, 3.0],
+                [2.0, 3.0, 4.0],
+                [4.0, 5.0, 6.0]],
+    )
+
+
+class TestConstruction:
+    def test_axes_must_be_increasing(self):
+        with pytest.raises(LibertyError):
+            LookupTable2D([2.0, 1.0], [1.0], [[1.0], [2.0]])
+
+    def test_shape_must_match(self):
+        with pytest.raises(LibertyError):
+            LookupTable2D([1.0, 2.0], [1.0], [[1.0]])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(LibertyError):
+            LookupTable2D([], [1.0], [[]])
+
+    def test_constant_table(self):
+        table = LookupTable2D.constant(42.0)
+        assert table.lookup(0.0, 0.0) == 42.0
+        assert table.lookup(1e9, -1e9) == 42.0
+
+
+class TestLookup:
+    def test_exact_grid_points(self):
+        table = _table()
+        assert table.lookup(10.0, 1.0) == 1.0
+        assert table.lookup(40.0, 16.0) == 6.0
+        assert table.lookup(20.0, 4.0) == 3.0
+
+    def test_midpoint_interpolation(self):
+        table = _table()
+        # Midway between rows 10 and 20 at column 1.0: (1+2)/2.
+        assert table.lookup(15.0, 1.0) == pytest.approx(1.5)
+        # Midway in both axes around the top-left cell.
+        assert table.lookup(15.0, 2.5) == pytest.approx((1 + 2 + 2 + 3) / 4)
+
+    def test_clamping_below_and_above(self):
+        table = _table()
+        assert table.lookup(0.0, 0.0) == 1.0        # clamps to (10, 1)
+        assert table.lookup(1000.0, 1000.0) == 6.0  # clamps to (40, 16)
+
+    def test_single_row_table(self):
+        table = LookupTable2D([5.0], [1.0, 3.0], [[10.0, 20.0]])
+        assert table.lookup(99.0, 2.0) == pytest.approx(15.0)
+
+    def test_single_col_table(self):
+        table = LookupTable2D([1.0, 3.0], [5.0], [[10.0], [20.0]])
+        assert table.lookup(2.0, 99.0) == pytest.approx(15.0)
+
+
+class TestOperations:
+    def test_scaled(self):
+        table = _table().scaled(2.0)
+        assert table.lookup(10.0, 1.0) == 2.0
+
+    def test_min_max(self):
+        table = _table()
+        assert table.min_value() == 1.0
+        assert table.max_value() == 6.0
+
+    def test_equality(self):
+        assert _table() == _table()
+        assert _table() != _table().scaled(2.0)
+
+
+@given(
+    slew=st.floats(-100, 500, allow_nan=False),
+    load=st.floats(-100, 500, allow_nan=False),
+)
+def test_lookup_within_grid_bounds(slew, load):
+    """Interpolation + clamping can never leave the value range."""
+    table = _table()
+    value = table.lookup(slew, load)
+    assert table.min_value() - 1e-9 <= value <= table.max_value() + 1e-9
+
+
+@given(
+    s1=st.floats(0, 100, allow_nan=False),
+    s2=st.floats(0, 100, allow_nan=False),
+    load=st.floats(0, 20, allow_nan=False),
+)
+def test_lookup_monotone_when_grid_monotone(s1, s2, load):
+    """A grid increasing along both axes interpolates monotonically."""
+    table = _table()
+    lo, hi = sorted((s1, s2))
+    assert table.lookup(lo, load) <= table.lookup(hi, load) + 1e-9

@@ -1,0 +1,32 @@
+"""lookup_many must agree with scalar lookup everywhere."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.liberty.builder import make_default_library
+from repro.liberty.lut import LookupTable2D
+
+LIB = make_default_library()
+ARC = LIB.cell("NAND2_X2").arc_between("A", "Z")
+
+floats = st.floats(-50, 500, allow_nan=False)
+
+
+@given(st.lists(st.tuples(floats, floats), min_size=1, max_size=20))
+def test_vectorized_matches_scalar(queries):
+    slews = np.array([q[0] for q in queries])
+    loads = np.array([q[1] for q in queries])
+    batch = ARC.delay.lookup_many(slews, loads)
+    for i, (slew, load) in enumerate(queries):
+        assert np.isclose(batch[i], ARC.delay.lookup(slew, load),
+                          rtol=1e-12, atol=1e-12)
+
+
+@given(floats, floats)
+def test_single_row_and_column_tables(slew, load):
+    one_row = LookupTable2D([5.0], [1.0, 3.0], [[10.0, 20.0]])
+    one_col = LookupTable2D([1.0, 3.0], [5.0], [[10.0], [20.0]])
+    constant = LookupTable2D.constant(7.0)
+    for table in (one_row, one_col, constant):
+        batch = table.lookup_many(np.array([slew]), np.array([load]))
+        assert np.isclose(batch[0], table.lookup(slew, load))

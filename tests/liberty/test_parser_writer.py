@@ -1,0 +1,138 @@
+"""Liberty-lite parser/writer tests, including the full round trip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.liberty.builder import make_default_library, make_unit_delay_library
+from repro.liberty.parser import parse_group_tree, parse_liberty
+from repro.liberty.writer import write_liberty
+
+MINIMAL = """
+library (mini) {
+  cell (INV_X1) {
+    area : 0.5;
+    cell_leakage_power : 1.5;
+    drive_strength : 1;
+    cell_footprint : "INV";
+    pin (A) {
+      direction : input;
+      capacitance : 1.0;
+    }
+    pin (Z) {
+      direction : output;
+      max_capacitance : 64;
+      timing () {
+        related_pin : "A";
+        timing_type : combinational;
+        cell_rise (tmpl) {
+          index_1 ("5, 20");
+          index_2 ("1, 4");
+          values ("10, 11", "12, 13");
+        }
+        rise_transition (tmpl) {
+          index_1 ("5, 20");
+          index_2 ("1, 4");
+          values ("3, 4", "5, 6");
+        }
+      }
+    }
+  }
+}
+"""
+
+
+class TestGenericGroups:
+    def test_nested_groups_and_attributes(self):
+        root = parse_group_tree("a (x) { k : v; b (y) { j : 2; } }")
+        assert root.kind == "a" and root.args == ["x"]
+        assert root.attributes == {"k": "v"}
+        assert root.subgroups[0].attributes == {"j": "2"}
+
+    def test_complex_attribute(self):
+        root = parse_group_tree('t () { values ("1, 2", "3"); }')
+        assert root.complex_attributes["values"] == ["1, 2", "3"]
+
+    def test_comments_ignored(self):
+        root = parse_group_tree("a () { /* noise \n more */ k : 1; }")
+        assert root.attributes == {"k": "1"}
+
+    def test_unterminated_group(self):
+        with pytest.raises(ParseError):
+            parse_group_tree("a () { k : 1;")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_group_tree("a () { } junk")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as err:
+            parse_group_tree("a () {\n  ? ;\n}")
+        assert err.value.line >= 2
+
+
+class TestSemantic:
+    def test_minimal_library(self):
+        lib = parse_liberty(MINIMAL)
+        cell = lib.cell("INV_X1")
+        assert cell.area == 0.5
+        assert cell.footprint == "INV"
+        arc = cell.arc_between("A", "Z")
+        assert arc.delay.lookup(5, 1) == 10.0
+        assert arc.delay.lookup(20, 4) == 13.0
+
+    def test_top_group_must_be_library(self):
+        with pytest.raises(ParseError):
+            parse_liberty("cell (x) { }")
+
+    def test_bad_direction(self):
+        text = MINIMAL.replace("direction : input;", "direction : sideways;")
+        with pytest.raises(ParseError):
+            parse_liberty(text)
+
+    def test_missing_related_pin(self):
+        text = MINIMAL.replace('related_pin : "A";', "")
+        with pytest.raises(ParseError):
+            parse_liberty(text)
+
+
+def _assert_same_library(a, b):
+    assert set(a.cells) == set(b.cells)
+    for name, cell_a in a.cells.items():
+        cell_b = b.cells[name]
+        assert cell_a.area == pytest.approx(cell_b.area)
+        assert cell_a.leakage == pytest.approx(cell_b.leakage)
+        assert cell_a.footprint == cell_b.footprint
+        assert cell_a.is_sequential == cell_b.is_sequential
+        assert cell_a.is_buffer == cell_b.is_buffer
+        assert set(cell_a.pins) == set(cell_b.pins)
+        for pin_name, pin_a in cell_a.pins.items():
+            pin_b = cell_b.pins[pin_name]
+            assert pin_a.direction == pin_b.direction
+            assert pin_a.capacitance == pytest.approx(pin_b.capacitance)
+            assert pin_a.is_clock == pin_b.is_clock
+        assert len(cell_a.arcs) == len(cell_b.arcs)
+        for arc_a in cell_a.delay_arcs():
+            arc_b = next(
+                x for x in cell_b.delay_arcs()
+                if (x.from_pin, x.to_pin) == (arc_a.from_pin, arc_a.to_pin)
+            )
+            assert np.allclose(arc_a.delay.values, arc_b.delay.values)
+            assert np.allclose(
+                arc_a.output_slew.values, arc_b.output_slew.values
+            )
+
+
+class TestRoundTrip:
+    def test_default_library_round_trips(self):
+        lib = make_default_library()
+        _assert_same_library(lib, parse_liberty(write_liberty(lib)))
+
+    def test_unit_library_round_trips(self):
+        lib = make_unit_delay_library()
+        _assert_same_library(lib, parse_liberty(write_liberty(lib)))
+
+    def test_double_round_trip_is_stable(self):
+        lib = make_default_library()
+        once = write_liberty(parse_liberty(write_liberty(lib)))
+        assert once == write_liberty(lib)

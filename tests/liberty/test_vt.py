@@ -1,0 +1,92 @@
+"""Multi-VT library tests."""
+
+import pytest
+
+from repro.liberty.builder import make_default_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_default_library()
+
+
+class TestFlavours:
+    def test_three_flavours_for_logic(self, lib):
+        flavours = {c.vt for c in lib.vt_flavours("NAND2_X2")}
+        assert flavours == {"svt", "lvt", "hvt"}
+
+    def test_flavours_sorted_leakiest_first(self, lib):
+        flavours = lib.vt_flavours("NAND2_X2")
+        leaks = [c.leakage for c in flavours]
+        assert leaks == sorted(leaks, reverse=True)
+        assert flavours[0].vt == "lvt"
+        assert flavours[-1].vt == "hvt"
+
+    def test_buffers_svt_only(self, lib):
+        assert len(lib.vt_flavours("BUF_X2")) == 1
+
+    def test_flops_svt_only(self, lib):
+        assert len(lib.vt_flavours("DFF_X1")) == 1
+
+
+class TestVtVariant:
+    def test_same_drive_other_vt(self, lib):
+        lvt = lib.vt_variant("NAND2_X4", "lvt")
+        assert lvt.name == "NAND2_X4_LVT"
+        assert lvt.drive_strength == 4.0
+        assert lvt.function == "NAND2"
+
+    def test_identity(self, lib):
+        assert lib.vt_variant("NAND2_X4", "svt").name == "NAND2_X4"
+
+    def test_missing_flavour_is_none(self, lib):
+        assert lib.vt_variant("BUF_X2", "lvt") is None
+
+
+class TestTradeoffs:
+    def test_lvt_faster_and_leakier(self, lib):
+        svt = lib.cell("XOR2_X1").arc_between("A", "Z")
+        lvt = lib.cell("XOR2_X1_LVT").arc_between("A", "Z")
+        assert lvt.delay.lookup(20, 8) < svt.delay.lookup(20, 8)
+        assert lib.cell("XOR2_X1_LVT").leakage > lib.cell("XOR2_X1").leakage
+
+    def test_hvt_slower_and_frugal(self, lib):
+        svt = lib.cell("XOR2_X1").arc_between("A", "Z")
+        hvt = lib.cell("XOR2_X1_HVT").arc_between("A", "Z")
+        assert hvt.delay.lookup(20, 8) > svt.delay.lookup(20, 8)
+        assert lib.cell("XOR2_X1_HVT").leakage < lib.cell("XOR2_X1").leakage
+
+    def test_same_area_and_caps_across_vt(self, lib):
+        svt = lib.cell("AOI21_X2")
+        for vt in ("lvt", "hvt"):
+            other = lib.vt_variant("AOI21_X2", vt)
+            assert other.area == svt.area
+            for pin in svt.input_pins:
+                assert other.pin(pin.name).capacitance == pin.capacitance
+
+
+class TestSizingStaysWithinVt:
+    def test_footprint_groups_are_vt_pure(self, lib):
+        for footprint in ("NAND2", "NAND2_LVT", "NAND2_HVT"):
+            group = lib.footprint_group(footprint)
+            assert len(group) == 4
+            assert len({c.vt for c in group}) == 1
+
+    def test_size_up_keeps_vt(self, lib):
+        up = lib.next_size_up("NAND2_X1_LVT")
+        assert up.name == "NAND2_X2_LVT"
+        assert up.vt == "lvt"
+
+
+class TestRoundTrip:
+    def test_vt_fields_survive_liberty(self, lib):
+        from repro.liberty.parser import parse_liberty
+        from repro.liberty.writer import write_liberty
+
+        parsed = parse_liberty(write_liberty(lib))
+        for name in ("NAND2_X2_LVT", "NAND2_X2_HVT", "NAND2_X2"):
+            original = lib.cell(name)
+            copy = parsed.cell(name)
+            assert copy.vt == original.vt
+            assert copy.function == original.function
+            assert copy.footprint == original.footprint

@@ -1,0 +1,58 @@
+"""Tests for turning solutions into engine weights."""
+
+import numpy as np
+import pytest
+
+from repro.mgba.apply import solution_sparsity, weights_from_solution
+from repro.mgba.problem import build_problem
+from repro.pba.paths import TimingPath
+
+
+def _problem():
+    paths = [
+        TimingPath(endpoint=1, launch=0, edges=(1,), gba_slack=-1.0,
+                   pba_slack=0.0,
+                   contributions=[("A", 100.0, 1.2), ("B", 100.0, 1.2),
+                                  ("C", 100.0, 1.2)]),
+    ]
+    return build_problem(paths)
+
+
+class TestWeights:
+    def test_correction_becomes_one_plus_x(self):
+        weights = weights_from_solution(_problem(), np.array([-0.2, 0.1, 0.0]))
+        assert weights["A"] == pytest.approx(0.8)
+        assert weights["B"] == pytest.approx(1.1)
+
+    def test_near_zero_pruned(self):
+        weights = weights_from_solution(
+            _problem(), np.array([-0.2, 1e-9, 0.0])
+        )
+        assert "B" not in weights and "C" not in weights
+
+    def test_floor_and_ceiling(self):
+        weights = weights_from_solution(
+            _problem(), np.array([-5.0, 9.0, 0.0])
+        )
+        assert weights["A"] == pytest.approx(0.3)
+        assert weights["B"] == pytest.approx(3.0)
+
+    def test_custom_bounds(self):
+        weights = weights_from_solution(
+            _problem(), np.array([-5.0, 0.0, 0.0]), derate_floor_ratio=0.9
+        )
+        assert weights["A"] == pytest.approx(0.9)
+
+
+class TestSparsity:
+    def test_fig3_metric(self):
+        x = np.array([0.0, 0.005, -0.009, 0.5])
+        assert solution_sparsity(x) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert solution_sparsity(np.array([])) == 1.0
+
+    def test_window(self):
+        x = np.array([0.05, -0.05])
+        assert solution_sparsity(x, window=0.1) == 1.0
+        assert solution_sparsity(x, window=0.01) == 0.0

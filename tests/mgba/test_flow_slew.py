@@ -1,0 +1,28 @@
+"""MGBAFlow with slew-recalculated golden."""
+
+import pytest
+
+from repro.mgba.flow import MGBAConfig, MGBAFlow
+from tests.conftest import engine_for
+
+
+class TestSlewGoldenFlow:
+    def test_flow_runs_with_recalc_slew(self, small_design):
+        engine = engine_for(small_design)
+        result = MGBAFlow(MGBAConfig(
+            k_per_endpoint=8, solver="direct", recalc_slew=True,
+        )).run(engine, apply=False)
+        assert result.pass_ratio_mgba > result.pass_ratio_gba
+
+    def test_slew_golden_is_harder_target(self, small_design):
+        """More pessimism sources in the golden => bigger GBA error."""
+        engine = engine_for(small_design)
+        base = MGBAFlow(MGBAConfig(
+            k_per_endpoint=8, solver="direct", recalc_slew=False,
+        )).run(engine, apply=False)
+        slew = MGBAFlow(MGBAConfig(
+            k_per_endpoint=8, solver="direct", recalc_slew=True,
+        )).run(engine, apply=False)
+        assert slew.mse_gba >= base.mse_gba - 1e-12
+        # And the fit still absorbs it.
+        assert slew.pass_ratio_mgba > 0.9

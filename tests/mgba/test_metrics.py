@@ -1,0 +1,90 @@
+"""Metric tests: Eq. 10, Eq. 12, and the 5%/5ps pass rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SolverError
+from repro.mgba.metrics import (
+    mse,
+    pass_ratio,
+    pass_vector,
+    relative_error_phi,
+)
+
+
+class TestPhi:
+    def test_perfect_model(self):
+        golden = np.array([10.0, -20.0, 5.0])
+        assert relative_error_phi(golden, golden) == 0.0
+
+    def test_known_value(self):
+        golden = np.array([3.0, 4.0])       # norm 5
+        model = np.array([3.0, 4.0 + 5.0])  # error norm 5
+        assert relative_error_phi(model, golden) == pytest.approx(1.0)
+
+    def test_zero_golden(self):
+        assert relative_error_phi([0.0], [0.0]) == 0.0
+        assert relative_error_phi([1.0], [0.0]) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SolverError):
+            relative_error_phi([1.0, 2.0], [1.0])
+
+
+class TestMse:
+    def test_is_phi_squared(self):
+        golden = np.array([3.0, 4.0])
+        model = np.array([3.3, 4.4])
+        assert mse(model, golden) == pytest.approx(
+            relative_error_phi(model, golden) ** 2
+        )
+
+
+class TestPassRatio:
+    def test_relative_rule(self):
+        golden = np.array([100.0])
+        assert pass_ratio([104.0], golden) == 1.0   # 4% < 5%
+        assert pass_ratio([106.0], golden) == 0.0   # 6% and 6 ps off
+
+    def test_absolute_rule(self):
+        # Near-zero golden slack: relative is useless, 5 ps saves it.
+        golden = np.array([1.0])
+        assert pass_ratio([4.0], golden) == 1.0     # 3 ps < 5 ps
+        assert pass_ratio([7.0], golden) == 0.0
+
+    def test_mixed_vector(self):
+        golden = np.array([100.0, 1.0, -50.0, -200.0])
+        model = np.array([104.0, 30.0, -50.5, -215.0])
+        flags = pass_vector(model, golden)
+        assert flags.tolist() == [True, False, True, False]
+        assert pass_ratio(model, golden) == 0.5
+
+    def test_empty_passes(self):
+        assert pass_ratio([], []) == 1.0
+
+    def test_custom_thresholds(self):
+        golden = np.array([100.0])
+        assert pass_ratio([110.0], golden, rel_tol=0.2) == 1.0
+
+
+@given(st.lists(st.floats(-1e4, 1e4, allow_nan=False),
+                min_size=1, max_size=20))
+def test_identity_always_passes(values):
+    arr = np.array(values)
+    assert pass_ratio(arr, arr) == 1.0
+    assert mse(arr, arr) == 0.0
+
+
+@given(
+    st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=2, max_size=10),
+    st.floats(0.1, 50),
+)
+def test_phi_scales_linearly_with_error(values, scale):
+    golden = np.array(values)
+    if np.linalg.norm(golden) == 0:
+        return
+    error = np.ones_like(golden)
+    small = relative_error_phi(golden + error, golden)
+    large = relative_error_phi(golden + scale * error, golden)
+    assert large == pytest.approx(scale * small, rel=1e-6)

@@ -1,0 +1,96 @@
+"""Weight persistence tests."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.mgba.flow import MGBAConfig, MGBAFlow
+from repro.mgba.persistence import (
+    load_weights,
+    netlist_fingerprint,
+    save_weights,
+    weights_from_json,
+    weights_to_json,
+)
+from repro.designs.generator import generate_design
+from tests.conftest import SMALL_SPEC, engine_for
+
+
+@pytest.fixture()
+def fitted():
+    design = generate_design(SMALL_SPEC)
+    engine = engine_for(design)
+    result = MGBAFlow(
+        MGBAConfig(k_per_endpoint=6, solver="direct")
+    ).run(engine)
+    return design, engine, result
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = generate_design(SMALL_SPEC)
+        b = generate_design(SMALL_SPEC)
+        assert netlist_fingerprint(a.netlist) == netlist_fingerprint(b.netlist)
+
+    def test_changes_with_structure(self):
+        design = generate_design(SMALL_SPEC)
+        before = netlist_fingerprint(design.netlist)
+        victim = design.netlist.combinational_gates()[0]
+        design.netlist.remove_gate(victim)
+        assert netlist_fingerprint(design.netlist) != before
+
+    def test_changes_with_cell_swap(self):
+        design = generate_design(SMALL_SPEC)
+        before = netlist_fingerprint(design.netlist)
+        from repro.netlist.edit import resize_gate
+
+        gate = design.netlist.combinational_gates()[0]
+        if resize_gate(design.netlist, gate, up=True) is None:
+            resize_gate(design.netlist, gate, up=False)
+        assert netlist_fingerprint(design.netlist) != before
+
+
+class TestRoundTrip:
+    def test_save_load_restores_timing(self, fitted, tmp_path):
+        design, engine, result = fitted
+        corrected = engine.summary()
+        path = tmp_path / "w.json"
+        save_weights(engine.weights, design.netlist, path)
+        # A fresh engine + loaded weights reproduces the corrected view.
+        fresh = engine_for(design)
+        fresh.set_gate_weights(load_weights(path, design.netlist))
+        assert fresh.summary().wns == pytest.approx(corrected.wns)
+        assert fresh.summary().tns == pytest.approx(corrected.tns)
+
+    def test_wrong_design_rejected(self, fitted):
+        design, engine, _ = fitted
+        from dataclasses import replace
+
+        other = generate_design(replace(SMALL_SPEC, name="other"))
+        text = weights_to_json(engine.weights, design.netlist)
+        with pytest.raises(SolverError):
+            weights_from_json(text, other.netlist)
+
+    def test_structural_drift_rejected_strict(self, fitted):
+        design, engine, _ = fitted
+        text = weights_to_json(engine.weights, design.netlist)
+        victim = design.netlist.combinational_gates()[0]
+        design.netlist.remove_gate(victim)
+        with pytest.raises(SolverError):
+            weights_from_json(text, design.netlist, strict=True)
+
+    def test_non_strict_drops_missing_gates(self, fitted):
+        design, engine, _ = fitted
+        text = weights_to_json(engine.weights, design.netlist)
+        weighted = [g for g in engine.weights if g in design.netlist.gates]
+        victim = weighted[0]
+        design.netlist.remove_gate(victim)
+        loaded = weights_from_json(text, design.netlist, strict=False)
+        assert victim not in loaded
+        assert len(loaded) >= len(weighted) - 1 - 5
+
+    def test_garbage_rejected(self, fitted):
+        design, *_ = fitted
+        with pytest.raises(SolverError):
+            weights_from_json("not json {", design.netlist)
+        with pytest.raises(SolverError):
+            weights_from_json('{"format": 99}', design.netlist)

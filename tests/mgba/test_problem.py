@@ -1,0 +1,136 @@
+"""mGBA problem-construction tests."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import SolverError
+from repro.mgba.problem import MGBAProblem, build_problem
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import enumerate_worst_paths
+from repro.pba.paths import TimingPath
+
+
+def _toy_problem(epsilon=0.05, penalty=10.0):
+    """2 paths x 2 gates, hand-checkable."""
+    paths = [
+        TimingPath(endpoint=1, launch=0, edges=(1,),
+                   gba_slack=-40.0, pba_slack=10.0,
+                   contributions=[("A", 100.0, 1.2), ("B", 100.0, 1.3)]),
+        TimingPath(endpoint=2, launch=0, edges=(2,),
+                   gba_slack=-10.0, pba_slack=0.0,
+                   contributions=[("B", 100.0, 1.3)]),
+    ]
+    return build_problem(paths, epsilon=epsilon, penalty=penalty)
+
+
+class TestBuild:
+    def test_matrix_entries_are_base_times_derate(self):
+        p = _toy_problem()
+        dense = p.matrix.toarray()
+        assert p.gates == ["A", "B"]
+        assert dense[0, 0] == pytest.approx(120.0)
+        assert dense[0, 1] == pytest.approx(130.0)
+        assert dense[1, 0] == 0.0
+        assert dense[1, 1] == pytest.approx(130.0)
+
+    def test_rhs_is_negated_pessimism(self):
+        p = _toy_problem()
+        assert p.rhs[0] == pytest.approx(-50.0)
+        assert p.rhs[1] == pytest.approx(-10.0)
+        assert np.all(p.rhs <= 0)
+
+    def test_empty_paths_rejected(self):
+        with pytest.raises(SolverError):
+            build_problem([])
+
+    def test_unanalyzed_path_rejected(self):
+        with pytest.raises(SolverError):
+            build_problem([TimingPath(endpoint=1, launch=0, edges=(1, 2))])
+
+    def test_shapes(self):
+        p = _toy_problem()
+        assert p.num_paths == 2 and p.num_gates == 2
+        assert isinstance(p.matrix, sparse.csr_matrix)
+
+    def test_from_real_paths(self, small_engine):
+        paths = enumerate_worst_paths(
+            small_engine.graph, small_engine.state, 5
+        )
+        PBAEngine(small_engine).analyze(paths)
+        p = build_problem(paths)
+        assert p.num_paths == len(paths)
+        assert p.num_gates == len(set().union(
+            *[set(path.gates()) for path in paths]
+        ))
+        assert np.all(p.rhs <= 1e-9)
+
+
+class TestObjective:
+    def test_zero_solution_objective_is_pessimism_energy(self):
+        p = _toy_problem(penalty=0.0)
+        x0 = np.zeros(2)
+        assert p.objective(x0) == pytest.approx(float(p.rhs @ p.rhs))
+
+    def test_exact_solution_objective_near_zero(self):
+        p = _toy_problem(penalty=0.0)
+        x, *_ = np.linalg.lstsq(p.matrix.toarray(), p.rhs, rcond=None)
+        assert p.objective(x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_violation_kicks_in_below_lower_bound(self):
+        p = _toy_problem(epsilon=0.0)
+        # Push Ax far below b: x very negative -> Ax << b -> violated.
+        x = np.array([-10.0, -10.0])
+        assert np.any(p.violation(x) > 0)
+        assert p.objective(x) > float(
+            (p.residual(x) @ p.residual(x)))
+
+    def test_gradient_matches_finite_difference(self):
+        p = _toy_problem(epsilon=0.01, penalty=5.0)
+        rng = np.random.default_rng(3)
+        x = rng.normal(0, 0.3, size=2)
+        grad = p.gradient(x)
+        eps = 1e-6
+        for j in range(2):
+            bump = np.zeros(2)
+            bump[j] = eps
+            numeric = (p.objective(x + bump) - p.objective(x - bump)) / (2 * eps)
+            assert grad[j] == pytest.approx(numeric, rel=1e-4, abs=1e-4)
+
+    def test_row_gradient_unbiased_scaling(self):
+        p = _toy_problem()
+        x = np.array([0.1, -0.2])
+        full = p.gradient(x)
+        both_rows = p.row_gradient(x, np.array([0, 1]))
+        assert both_rows == pytest.approx(full)
+
+    def test_row_norms(self):
+        p = _toy_problem()
+        norms = p.row_norms_squared()
+        assert norms[0] == pytest.approx(120.0**2 + 130.0**2)
+        assert norms[1] == pytest.approx(130.0**2)
+
+
+class TestDerived:
+    def test_corrected_slacks_identity(self):
+        p = _toy_problem()
+        x = np.array([-0.2, -0.1])
+        corrected = p.corrected_slacks(x)
+        assert corrected == pytest.approx(p.s_gba - p.matrix @ x)
+
+    def test_subproblem_row_slice(self):
+        p = _toy_problem()
+        sub = p.subproblem(np.array([1]))
+        assert sub.num_paths == 1
+        assert sub.gates == p.gates
+        assert sub.rhs[0] == p.rhs[1]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            MGBAProblem(
+                matrix=sparse.csr_matrix(np.ones((2, 2))),
+                rhs=np.zeros(3),
+                s_gba=np.zeros(3),
+                s_pba=np.zeros(3),
+                gates=["A", "B"],
+            )

@@ -1,0 +1,101 @@
+"""Path-selection scheme tests (§3.2)."""
+
+import pytest
+
+from repro.mgba.selection import (
+    gate_coverage,
+    global_topk,
+    path_pool_gates,
+    per_endpoint_topk,
+    violating_paths,
+)
+from repro.pba.paths import TimingPath
+
+
+def _path(endpoint, slack, gates):
+    return TimingPath(
+        endpoint=endpoint, launch=0, edges=(endpoint, int(slack * 10) or 1),
+        gba_slack=slack,
+        contributions=[(g, 100.0, 1.2) for g in gates],
+    )
+
+
+POOL = [
+    _path(1, -50.0, ["a", "b"]),
+    _path(1, -45.0, ["a", "c"]),
+    _path(1, -40.0, ["a", "d"]),
+    _path(2, -30.0, ["e", "f"]),
+    _path(2, 10.0, ["e", "g"]),
+    _path(3, 5.0, ["h"]),
+]
+
+
+class TestGlobalTopK:
+    def test_takes_worst_globally(self):
+        kept = global_topk(POOL, 2)
+        assert [p.gba_slack for p in kept] == [-50.0, -45.0]
+
+    def test_concentrates_on_few_gates(self):
+        kept = global_topk(POOL, 2)
+        fraction, hit, total = gate_coverage(kept, path_pool_gates(POOL))
+        assert hit == 3 and total == 8
+        assert fraction == pytest.approx(3 / 8)
+
+
+class TestPerEndpointTopK:
+    def test_every_endpoint_represented(self):
+        kept = per_endpoint_topk(POOL, 1)
+        assert {p.endpoint for p in kept} == {1, 2, 3}
+
+    def test_keeps_worst_within_endpoint(self):
+        kept = per_endpoint_topk(POOL, 1)
+        by_endpoint = {p.endpoint: p for p in kept}
+        assert by_endpoint[1].gba_slack == -50.0
+        assert by_endpoint[2].gba_slack == -30.0
+
+    def test_covers_more_gates_than_global(self):
+        same_budget = 3
+        global_cov, _, _ = gate_coverage(
+            global_topk(POOL, same_budget), path_pool_gates(POOL)
+        )
+        endpoint_cov, _, _ = gate_coverage(
+            per_endpoint_topk(POOL, 1), path_pool_gates(POOL)
+        )
+        assert endpoint_cov > global_cov
+
+    def test_max_total_drops_least_critical(self):
+        kept = per_endpoint_topk(POOL, 2, max_total=3)
+        assert len(kept) == 3
+        assert max(p.gba_slack for p in kept) <= -5.0
+
+
+class TestHelpers:
+    def test_violating_paths(self):
+        assert len(violating_paths(POOL)) == 4
+
+    def test_coverage_with_default_universe(self):
+        fraction, hit, total = gate_coverage(POOL[:1])
+        assert fraction == 1.0 and hit == total == 2
+
+    def test_coverage_empty(self):
+        assert gate_coverage([], set()) == (0.0, 0, 0)
+
+
+class TestOnRealDesign:
+    def test_endpoint_scheme_beats_global_on_coverage(self, small_engine):
+        """The §3.2 effect on a generated design."""
+        from repro.pba.enumerate import enumerate_worst_paths
+
+        pool = enumerate_worst_paths(
+            small_engine.graph, small_engine.state, 20
+        )
+        from repro.pba.engine import PBAEngine
+
+        PBAEngine(small_engine).analyze(pool)
+        universe = path_pool_gates(pool)
+        budget = max(len({p.endpoint for p in pool}), 8)
+        cov_global, _, _ = gate_coverage(global_topk(pool, budget), universe)
+        cov_endpoint, _, _ = gate_coverage(
+            per_endpoint_topk(pool, 1), universe
+        )
+        assert cov_endpoint >= cov_global

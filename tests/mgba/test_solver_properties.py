@@ -1,0 +1,87 @@
+"""Property tests on the solvers over random consistent systems."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+from scipy import sparse
+
+from repro.mgba.problem import MGBAProblem
+from repro.mgba.solvers import solve_direct, solve_gd, solve_scg
+
+solver_settings = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_problem(seed: int, m: int, n: int, nnz_per_row: int,
+                    noise: float = 0.0) -> MGBAProblem:
+    """A consistent (or near-consistent) mGBA-shaped random system."""
+    rng = np.random.default_rng(seed)
+    rows, cols, data = [], [], []
+    for i in range(m):
+        chosen = rng.choice(n, size=min(nnz_per_row, n), replace=False)
+        for j in chosen:
+            rows.append(i)
+            cols.append(int(j))
+            data.append(float(rng.uniform(50, 200)))   # d * lambda scale
+    matrix = sparse.coo_matrix((data, (rows, cols)), shape=(m, n)).tocsr()
+    x_true = np.zeros(n)
+    support = rng.choice(n, size=max(1, n // 5), replace=False)
+    x_true[support] = rng.uniform(-0.3, 0.0, size=support.size)
+    rhs = matrix @ x_true + noise * rng.normal(size=m)
+    s_pba = rng.uniform(-100, 300, size=m)
+    return MGBAProblem(
+        matrix=matrix,
+        rhs=np.asarray(rhs).ravel(),
+        s_gba=s_pba + np.asarray(rhs).ravel(),
+        s_pba=s_pba,
+        gates=[f"g{j}" for j in range(n)],
+        epsilon=0.05,
+    )
+
+
+@solver_settings
+@given(seed=st.integers(0, 10_000))
+def test_direct_solves_consistent_systems(seed):
+    problem = _random_problem(seed, m=60, n=25, nnz_per_row=6)
+    result = solve_direct(problem)
+    residual = problem.residual(result.x)
+    # Ridge leaves a small bias; residual energy must be tiny relative
+    # to the right-hand side.
+    assert np.linalg.norm(residual) < 0.15 * np.linalg.norm(problem.rhs) + 1.0
+
+
+@solver_settings
+@given(seed=st.integers(0, 10_000))
+def test_gd_monotone_objective_history(seed):
+    problem = _random_problem(seed, m=40, n=15, nnz_per_row=5)
+    result = solve_gd(problem, max_iter=500)
+    history = result.history
+    if len(history) >= 2:
+        # Normalized-gradient descent is not strictly monotone, but the
+        # tail must sit below the head.
+        assert min(history) <= history[0] + 1e-9
+        assert history[-1] <= history[0] * 1.01 + 1e-9
+
+
+@solver_settings
+@given(seed=st.integers(0, 10_000))
+def test_scg_improves_over_x0(seed):
+    problem = _random_problem(seed, m=60, n=25, nnz_per_row=6, noise=0.5)
+    result = solve_scg(problem, seed=seed)
+    assert result.objective <= problem.objective(
+        np.zeros(problem.num_gates)
+    ) + 1e-9
+
+
+@solver_settings
+@given(seed=st.integers(0, 10_000))
+def test_scg_returns_best_seen_iterate(seed):
+    problem = _random_problem(seed, m=50, n=20, nnz_per_row=5, noise=1.0)
+    result = solve_scg(problem, seed=seed, max_iter=600)
+    assert result.objective == pytest.approx(
+        problem.objective(result.x)
+    )
+    if result.history:
+        assert result.objective <= min(result.history) + 1e-9

@@ -1,0 +1,130 @@
+"""Solver tests: convergence, constraint handling, relative accuracy.
+
+A shared medium-sized problem (built once from the session design) keeps
+these fast while still exercising sparse paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mgba.metrics import mse
+from repro.mgba.problem import build_problem
+from repro.mgba.solvers import (
+    solve_direct,
+    solve_gd,
+    solve_scg,
+    solve_with_row_sampling,
+)
+from repro.mgba.solvers.base import SolverResult, relative_change
+from repro.mgba.solvers.scg import kaczmarz_probabilities
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import enumerate_worst_paths
+
+
+@pytest.fixture(scope="module")
+def problem(medium_design):
+    from tests.conftest import engine_for
+
+    engine = engine_for(medium_design)
+    engine.update_timing()
+    paths = enumerate_worst_paths(engine.graph, engine.state, 12)
+    PBAEngine(engine).analyze(paths)
+    return build_problem(paths)
+
+
+def _model_mse(problem, x):
+    return mse(problem.corrected_slacks(x), problem.s_pba)
+
+
+class TestBase:
+    def test_relative_change_guard_at_zero(self):
+        assert relative_change(np.ones(3), np.zeros(3)) == float("inf")
+
+    def test_relative_change_value(self):
+        assert relative_change(
+            np.array([1.1, 0.0]), np.array([1.0, 0.0])
+        ) == pytest.approx(0.1)
+
+
+class TestKaczmarz:
+    def test_probabilities_follow_row_norms(self, problem):
+        p = kaczmarz_probabilities(problem)
+        norms = problem.row_norms_squared()
+        assert p == pytest.approx(norms / norms.sum())
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestSolverQuality:
+    def test_direct_reduces_mse_vs_gba(self, problem):
+        result = solve_direct(problem)
+        assert _model_mse(problem, result.x) < 0.05 * mse(
+            problem.s_gba, problem.s_pba
+        )
+
+    def test_gd_converges(self, problem):
+        result = solve_gd(problem, max_iter=3000)
+        assert isinstance(result, SolverResult)
+        assert _model_mse(problem, result.x) < 0.1 * mse(
+            problem.s_gba, problem.s_pba
+        )
+
+    def test_scg_converges(self, problem):
+        result = solve_scg(problem, seed=0)
+        assert _model_mse(problem, result.x) < 0.1 * mse(
+            problem.s_gba, problem.s_pba
+        )
+
+    def test_scg_rs_converges(self, problem):
+        result = solve_with_row_sampling(problem, seed=0)
+        assert _model_mse(problem, result.x) < 0.1 * mse(
+            problem.s_gba, problem.s_pba
+        )
+
+    def test_all_solvers_similar_accuracy(self, problem):
+        """Table 4's accuracy columns: same order of magnitude."""
+        reference = _model_mse(problem, solve_direct(problem).x)
+        for solve in (solve_gd,
+                      lambda p: solve_scg(p, seed=1),
+                      lambda p: solve_with_row_sampling(p, seed=1)):
+            achieved = _model_mse(problem, solve(problem).x)
+            assert achieved < max(20 * reference, 1e-3)
+
+
+class TestConstraint:
+    def test_solutions_respect_epsilon_bound(self, problem):
+        """Eq. (5): corrected slack <= pba + eps|pba| (small tolerance
+        because the penalty form enforces it softly)."""
+        for result in (
+            solve_direct(problem),
+            solve_scg(problem, seed=0),
+        ):
+            corrected = problem.corrected_slacks(result.x)
+            bound = problem.s_pba + problem.epsilon * np.abs(problem.s_pba)
+            worst_overshoot = float(np.max(corrected - bound))
+            assert worst_overshoot < 5.0  # ps, soft-constraint slop
+
+
+class TestDeterminism:
+    def test_scg_reproducible_with_seed(self, problem):
+        a = solve_scg(problem, seed=42)
+        b = solve_scg(problem, seed=42)
+        assert np.array_equal(a.x, b.x)
+
+    def test_rs_reproducible_with_seed(self, problem):
+        a = solve_with_row_sampling(problem, seed=42)
+        b = solve_with_row_sampling(problem, seed=42)
+        assert np.array_equal(a.x, b.x)
+
+
+class TestBookkeeping:
+    def test_results_carry_metadata(self, problem):
+        result = solve_with_row_sampling(problem, seed=0)
+        assert result.solver == "scg+rs"
+        assert result.runtime > 0
+        assert result.iterations > 0
+        assert result.extras["rounds"]
+
+    def test_rounds_grow(self, problem):
+        result = solve_with_row_sampling(problem, seed=0, min_rows=16)
+        rows = [r["rows"] for r in result.extras["rounds"]]
+        assert rows == sorted(rows)

@@ -1,0 +1,73 @@
+"""Generalization-validation tests."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.mgba.validation import (
+    endpoint_split_validation,
+    holdout_validation,
+)
+
+
+class TestHoldout:
+    @pytest.fixture(scope="class")
+    def report(self, medium_design):
+        from tests.conftest import engine_for
+
+        engine = engine_for(medium_design)
+        return holdout_validation(engine, k_fit=8, k_eval=20)
+
+    def test_partitions_are_disjoint_and_nonempty(self, report):
+        assert report.fit_paths > 0 and report.eval_paths > 0
+
+    def test_fit_quality_high(self, report):
+        assert report.pass_ratio_fit > 0.9
+
+    def test_generalizes_to_deeper_paths(self, report):
+        """The paper's whole premise: correcting the top paths also
+        corrects the paths just below them."""
+        assert report.generalizes
+        assert report.eval_improvement > 0.3
+
+    def test_eval_mse_way_below_gba(self, report):
+        assert report.mse_eval < 0.2 * report.mse_eval_gba
+
+    def test_coverage_reported(self, report):
+        assert 0.5 < report.gate_coverage_eval <= 1.0
+
+    def test_k_order_enforced(self, small_engine):
+        with pytest.raises(SolverError):
+            holdout_validation(small_engine, k_fit=10, k_eval=10)
+
+
+class TestEndpointSplit:
+    @pytest.fixture(scope="class")
+    def report(self, medium_design):
+        from tests.conftest import engine_for
+
+        engine = engine_for(medium_design)
+        return endpoint_split_validation(engine, seed=0)
+
+    def test_still_beats_gba_on_unseen_endpoints(self, report):
+        assert report.pass_ratio_eval > report.pass_ratio_eval_gba
+
+    def test_harder_than_holdout(self, medium_design):
+        """Unseen endpoints are the harder generalization target."""
+        from tests.conftest import engine_for
+
+        engine = engine_for(medium_design)
+        holdout = holdout_validation(engine, k_fit=8, k_eval=20)
+        split = endpoint_split_validation(engine, seed=0)
+        assert split.gate_coverage_eval <= holdout.gate_coverage_eval + 0.05
+
+    def test_bad_fraction_rejected(self, small_engine):
+        with pytest.raises(SolverError):
+            endpoint_split_validation(small_engine, fit_fraction=1.0)
+
+    def test_seed_reproducible(self, medium_design):
+        from tests.conftest import engine_for
+
+        engine = engine_for(medium_design)
+        a = endpoint_split_validation(engine, seed=7)
+        b = endpoint_split_validation(engine, seed=7)
+        assert a == b

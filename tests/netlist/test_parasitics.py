@@ -1,0 +1,141 @@
+"""Parasitics extraction and SPEF-lite I/O tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.parasitics import (
+    NetParasitic,
+    Parasitics,
+    extract_parasitics,
+    parse_spef,
+    write_spef,
+)
+from repro.timing.sta import STAEngine
+from tests.conftest import engine_for
+
+
+class TestModel:
+    def test_elmore_to_load(self):
+        annotation = NetParasitic(capacitance=10.0, resistance=0.2)
+        assert annotation.elmore_to_load(3.0) == pytest.approx(
+            0.2 * (5.0 + 3.0)
+        )
+
+    def test_container(self):
+        parasitics = Parasitics("top")
+        parasitics.set_net("n1", 10.0, 0.1)
+        assert "n1" in parasitics and len(parasitics) == 1
+        assert parasitics.get("n2") is None
+
+
+class TestExtraction:
+    def test_covers_placed_driven_nets(self, small_design):
+        parasitics = extract_parasitics(
+            small_design.netlist, small_design.placement,
+            r_per_nm=1e-6, c_per_nm=2e-4,
+        )
+        assert len(parasitics) > 50
+        assert parasitics.coverage(small_design.netlist) > 0.5
+
+    def test_values_match_geometry(self, small_design):
+        from repro.timing.delaycalc import segment_length
+
+        parasitics = extract_parasitics(
+            small_design.netlist, small_design.placement,
+            r_per_nm=1e-6, c_per_nm=2e-4,
+        )
+        net = next(iter(parasitics.nets))
+        driver = small_design.netlist.net_driver(net)
+        total = sum(
+            segment_length(small_design.placement, driver, load)
+            for load in small_design.netlist.net_loads(net)
+        )
+        assert parasitics.get(net).capacitance == pytest.approx(2e-4 * total)
+        assert parasitics.get(net).resistance == pytest.approx(1e-6 * total)
+
+
+class TestSpefIO:
+    def test_round_trip(self, small_design):
+        parasitics = extract_parasitics(
+            small_design.netlist, small_design.placement,
+            r_per_nm=1e-6, c_per_nm=2e-4,
+        )
+        parsed = parse_spef(write_spef(parasitics))
+        assert set(parsed.nets) == set(parasitics.nets)
+        for net, annotation in parasitics.nets.items():
+            copy = parsed.get(net)
+            assert copy.capacitance == pytest.approx(annotation.capacitance)
+            assert copy.resistance == pytest.approx(annotation.resistance)
+
+    def test_parse_minimal(self):
+        text = (
+            '*SPEF "repro-lite"\n*DESIGN top\n'
+            "*D_NET n1 12.5\n*RES 0.08\n*END\n"
+        )
+        parasitics = parse_spef(text)
+        assert parasitics.design == "top"
+        assert parasitics.get("n1").capacitance == 12.5
+
+    def test_unclosed_net_rejected(self):
+        with pytest.raises(ParseError):
+            parse_spef("*D_NET n1 5.0\n")
+
+    def test_res_outside_net_rejected(self):
+        with pytest.raises(ParseError):
+            parse_spef("*RES 0.1\n")
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(ParseError):
+            parse_spef("*WAT 1\n")
+
+
+class TestTimingWithParasitics:
+    def test_annotated_engine_times(self, small_design):
+        """An engine fed extracted parasitics (instead of geometry)
+        produces sane, conservative timing."""
+        parasitics = extract_parasitics(
+            small_design.netlist, small_design.placement,
+            small_design.sta_config.wire_r_per_nm,
+            small_design.sta_config.wire_c_per_nm,
+        )
+        geometric = engine_for(small_design)
+        annotated = STAEngine(
+            small_design.netlist, small_design.constraints,
+            small_design.placement, small_design.sta_config,
+        )
+        annotated.calc.parasitics = parasitics
+        annotated.update_timing()
+        geo = {s.name: s.slack for s in geometric.setup_slacks()}
+        ann = {s.name: s.slack for s in annotated.setup_slacks()}
+        for name in geo:
+            # Lumped pi sees the whole net's RC on every branch: the
+            # annotated view can only be equal or more pessimistic.
+            assert ann[name] <= geo[name] + 1e-6
+
+    def test_single_load_nets_timing_neutral(self, small_design):
+        """On single-load nets the lumped model equals geometry."""
+        from repro.timing.delaycalc import DelayCalculator
+        from repro.timing.graph import EdgeKind, TimingGraph
+
+        parasitics = extract_parasitics(
+            small_design.netlist, small_design.placement, 1e-6, 2e-4
+        )
+        graph = TimingGraph(small_design.netlist)
+        plain = DelayCalculator(
+            small_design.netlist, small_design.placement, 1e-6, 2e-4
+        )
+        annotated = DelayCalculator(
+            small_design.netlist, small_design.placement, 1e-6, 2e-4,
+            parasitics=parasitics,
+        )
+        checked = 0
+        for edge in graph.live_edges():
+            if edge.kind is not EdgeKind.NET:
+                continue
+            if len(small_design.netlist.net_loads(edge.net)) != 1:
+                continue
+            d_plain, _ = plain.net_edge(graph, edge, 20.0)
+            d_annotated, _ = annotated.net_edge(graph, edge, 20.0)
+            assert d_annotated == pytest.approx(d_plain, abs=1e-9)
+            checked += 1
+        assert checked > 10

@@ -1,0 +1,85 @@
+"""Placement model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.placement import Placement, Point
+
+
+class TestPoints:
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7
+
+    def test_manhattan_symmetric(self):
+        a, b = Point(1, 9), Point(-4, 2)
+        assert a.manhattan(b) == b.manhattan(a)
+
+
+class TestPlacement:
+    def test_place_and_query(self):
+        p = Placement()
+        p.place("g1", 100, 200)
+        assert p.location("g1") == Point(100.0, 200.0)
+        assert p.has("g1") and not p.has("g2")
+
+    def test_unplaced_raises(self):
+        with pytest.raises(NetlistError):
+            Placement().location("ghost")
+
+    def test_distance(self):
+        p = Placement()
+        p.place("a", 0, 0)
+        p.place("b", 10, 20)
+        assert p.distance("a", "b") == 30
+
+    def test_bbox_half_perimeter(self):
+        p = Placement()
+        p.place("a", 0, 0)
+        p.place("b", 100, 0)
+        p.place("c", 50, 40)
+        assert p.bbox_half_perimeter(["a", "b", "c"]) == 140
+
+    def test_bbox_empty(self):
+        assert Placement().bbox_half_perimeter([]) == 0.0
+
+    def test_bbox_single_point(self):
+        p = Placement()
+        p.place("a", 5, 5)
+        assert p.bbox_half_perimeter(["a"]) == 0.0
+
+    def test_midpoint(self):
+        p = Placement()
+        p.place("a", 0, 0)
+        p.place("b", 10, 20)
+        assert p.midpoint_of("a", "b") == Point(5.0, 10.0)
+
+
+coords = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+@given(st.lists(st.tuples(coords, coords), min_size=1, max_size=12))
+def test_bbox_bounds_any_pairwise_distance(points):
+    """Half-perimeter of the bbox >= Manhattan distance of any pair."""
+    p = Placement()
+    names = []
+    for i, (x, y) in enumerate(points):
+        p.place(f"n{i}", x, y)
+        names.append(f"n{i}")
+    half = p.bbox_half_perimeter(names)
+    for a in names:
+        for b in names:
+            assert p.distance(a, b) <= half + 1e-6
+
+
+@given(st.lists(st.tuples(coords, coords), min_size=2, max_size=8))
+def test_bbox_monotone_under_subset(points):
+    """Adding points can only grow the bounding box."""
+    p = Placement()
+    names = []
+    for i, (x, y) in enumerate(points):
+        p.place(f"n{i}", x, y)
+        names.append(f"n{i}")
+    assert (
+        p.bbox_half_perimeter(names[:-1]) <= p.bbox_half_perimeter(names) + 1e-9
+    )

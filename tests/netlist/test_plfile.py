@@ -1,0 +1,40 @@
+"""Placement file I/O tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.placement import Placement
+from repro.netlist.plfile import parse_placement, write_placement
+
+
+class TestRoundTrip:
+    def test_round_trip(self, small_design):
+        text = write_placement(small_design.placement)
+        parsed = parse_placement(text)
+        assert set(parsed.locations) == set(
+            small_design.placement.locations
+        )
+        for name, point in small_design.placement.locations.items():
+            assert parsed.location(name).x == pytest.approx(point.x, abs=1e-3)
+            assert parsed.location(name).y == pytest.approx(point.y, abs=1e-3)
+
+    def test_fixed_point(self):
+        placement = Placement()
+        placement.place("a", 1.5, 2.25)
+        text = write_placement(placement)
+        assert write_placement(parse_placement(text)) == text
+
+
+class TestParse:
+    def test_comments_and_blanks(self):
+        parsed = parse_placement("# hi\n\na 1 2  # trailing\n")
+        assert parsed.location("a").x == 1.0
+
+    def test_wrong_arity(self):
+        with pytest.raises(ParseError):
+            parse_placement("a 1\n")
+
+    def test_bad_number_located(self):
+        with pytest.raises(ParseError) as err:
+            parse_placement("a 1 two\n")
+        assert err.value.line == 1

@@ -1,0 +1,102 @@
+"""Netlist lint tests."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.liberty.builder import make_default_library
+from repro.netlist.core import Netlist, PortDirection
+from repro.netlist.validate import (
+    Severity,
+    assert_clean,
+    find_combinational_loops,
+    validate_netlist,
+)
+
+LIB = make_default_library()
+
+
+def _clean():
+    n = Netlist("ok", LIB)
+    n.add_port("a", PortDirection.INPUT)
+    n.add_port("y", PortDirection.OUTPUT)
+    n.add_gate("u1", "INV_X1", {"A": "a", "Z": "y"})
+    return n
+
+
+def _codes(netlist):
+    return {(v.code, v.severity) for v in validate_netlist(netlist)}
+
+
+class TestChecks:
+    def test_clean_netlist(self):
+        assert validate_netlist(_clean()) == []
+        assert_clean(_clean())  # must not raise
+
+    def test_dangling_input_is_error(self):
+        n = _clean()
+        n.add_gate("u2", "NAND2_X1", {"A": "a", "Z": "w"})
+        codes = _codes(n)
+        assert ("DANGLING", Severity.ERROR) in codes
+
+    def test_dangling_output_is_warning(self):
+        n = _clean()
+        n.add_gate("u2", "INV_X1", {"A": "a"})
+        codes = _codes(n)
+        assert ("DANGLING", Severity.WARNING) in codes
+
+    def test_undriven_loaded_net_is_error(self):
+        n = _clean()
+        n.add_gate("u2", "INV_X1", {"A": "phantom", "Z": "w"})
+        codes = _codes(n)
+        assert ("UNDRIVEN", Severity.ERROR) in codes
+
+    def test_unloaded_net_is_warning(self):
+        n = _clean()
+        n.add_gate("u2", "INV_X1", {"A": "a", "Z": "deadend"})
+        codes = _codes(n)
+        assert ("UNLOADED", Severity.WARNING) in codes
+
+    def test_max_cap_warning(self):
+        n = _clean()
+        # 80 INV_X8 inputs (~5 fF each) on one X1 output blows 64 fF.
+        for i in range(80):
+            n.add_gate(f"load{i}", "INV_X8", {"A": "y_int", "Z": f"z{i}"})
+        n.add_gate("drv", "INV_X1", {"A": "a", "Z": "y_int"})
+        codes = _codes(n)
+        assert ("MAXCAP", Severity.WARNING) in codes
+
+    def test_assert_clean_raises_on_error(self):
+        n = _clean()
+        n.add_gate("u2", "NAND2_X1", {"A": "a", "Z": "w"})
+        with pytest.raises(NetlistError):
+            assert_clean(n)
+
+
+class TestLoops:
+    def test_no_loop_in_chain(self):
+        assert find_combinational_loops(_clean()) == []
+
+    def test_direct_loop_detected(self):
+        n = Netlist("loop", LIB)
+        n.add_gate("u1", "INV_X1", {"A": "w2", "Z": "w1"})
+        n.add_gate("u2", "INV_X1", {"A": "w1", "Z": "w2"})
+        loops = find_combinational_loops(n)
+        assert len(loops) == 1
+        assert set(loops[0]) >= {"u1", "u2"}
+
+    def test_flop_breaks_loop(self):
+        n = Netlist("seqloop", LIB)
+        n.add_port("clk", PortDirection.INPUT)
+        n.add_gate("u1", "INV_X1", {"A": "q", "Z": "w"})
+        n.add_gate("ff", "DFF_X1", {"D": "w", "CK": "clk", "Q": "q"})
+        assert find_combinational_loops(n) == []
+
+    def test_loop_is_validation_error(self):
+        n = Netlist("loop", LIB)
+        n.add_gate("u1", "INV_X1", {"A": "w2", "Z": "w1"})
+        n.add_gate("u2", "INV_X1", {"A": "w1", "Z": "w2"})
+        codes = _codes(n)
+        assert ("COMBLOOP", Severity.ERROR) in codes
+
+    def test_generated_designs_are_loop_free(self, small_design):
+        assert find_combinational_loops(small_design.netlist) == []

@@ -1,0 +1,84 @@
+"""ECO export/replay tests — the round trip is the contract."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.opt.closure import ClosureConfig, TimingClosureOptimizer
+from repro.opt.eco import apply_eco, write_eco
+from repro.designs.generator import generate_design
+from tests.conftest import SMALL_SPEC, engine_for
+
+
+def _run_closure():
+    design = generate_design(SMALL_SPEC)
+    optimizer = TimingClosureOptimizer(
+        design.netlist, design.constraints, design.placement,
+        design.sta_config, ClosureConfig(max_transforms=80),
+    )
+    report = optimizer.run()
+    return design, report
+
+
+class TestRoundTrip:
+    def test_replay_reproduces_optimized_netlist(self):
+        """The flagship guarantee: ECO(original) == optimized."""
+        optimized, report = _run_closure()
+        assert report.eco_commands, "closure should accept some moves"
+        pristine = generate_design(SMALL_SPEC)
+        text = write_eco(report.eco_commands, pristine.netlist.name)
+        applied = apply_eco(
+            pristine.netlist, text, placement=pristine.placement
+        )
+        assert applied == len(report.eco_commands)
+        assert set(pristine.netlist.gates) == set(optimized.netlist.gates)
+        for name, gate in optimized.netlist.gates.items():
+            replayed = pristine.netlist.gate(name)
+            assert replayed.cell_name == gate.cell_name, name
+            assert replayed.connections == gate.connections, name
+
+    def test_replayed_netlist_times_identically(self):
+        optimized, report = _run_closure()
+        pristine = generate_design(SMALL_SPEC)
+        apply_eco(
+            pristine.netlist,
+            write_eco(report.eco_commands),
+            placement=pristine.placement,
+        )
+        want = engine_for(optimized)
+        got = engine_for(pristine)
+        want_slacks = {s.name: s.slack for s in want.setup_slacks()}
+        got_slacks = {s.name: s.slack for s in got.setup_slacks()}
+        for name, value in want_slacks.items():
+            assert got_slacks[name] == pytest.approx(value, abs=1e-6)
+
+    def test_eco_counts_match_accepted_moves(self):
+        _, report = _run_closure()
+        assert len(report.eco_commands) == report.transforms_applied
+
+
+class TestScriptFormat:
+    def test_header_and_comments(self):
+        text = write_eco(["size_cell g NAND2_X2"], "top")
+        assert text.startswith("# repro ECO for top")
+        design = generate_design(SMALL_SPEC)
+        # Comments and blanks are skipped on replay.
+        commented = "# note\n\n" + "\n".join(text.splitlines()[2:])
+        gate = design.netlist.combinational_gates()[0]
+        safe = f"size_cell {gate} {design.netlist.gate(gate).cell_name}"
+        apply_eco(design.netlist, f"# only comments\n\n{safe}\n")
+
+    def test_unknown_command_rejected(self):
+        design = generate_design(SMALL_SPEC)
+        with pytest.raises(ParseError):
+            apply_eco(design.netlist, "explode_cell g1\n")
+
+    def test_bad_arity_rejected(self):
+        design = generate_design(SMALL_SPEC)
+        with pytest.raises(ParseError):
+            apply_eco(design.netlist, "size_cell only_one_arg\n")
+
+    def test_replay_error_carries_line(self):
+        design = generate_design(SMALL_SPEC)
+        with pytest.raises(ParseError) as err:
+            apply_eco(design.netlist, "\nsize_cell ghost INV_X2\n")
+        assert err.value.line == 2

@@ -1,0 +1,50 @@
+"""Periodic mGBA re-fit inside the closure loop."""
+
+import pytest
+
+from repro.designs.generator import DesignSpec, generate_design
+from repro.mgba.flow import MGBAConfig
+from repro.opt.closure import ClosureConfig, TimingClosureOptimizer
+
+#: Tight enough that real (non-phantom) violations survive the fit.
+TIGHT_SPEC = DesignSpec(
+    "tight", seed=55, n_flops=14, n_inputs=4, n_outputs=3,
+    depth_range=(3, 9), violation_quantile=0.45,
+)
+
+
+def _run(refresh_every):
+    design = generate_design(TIGHT_SPEC)
+    optimizer = TimingClosureOptimizer(
+        design.netlist, design.constraints, design.placement,
+        design.sta_config,
+        ClosureConfig(
+            max_transforms=60, use_mgba=True,
+            mgba_refresh_every=refresh_every, recovery=False,
+            mgba=MGBAConfig(k_per_endpoint=8, solver="direct", seed=0),
+        ),
+    )
+    return optimizer.run()
+
+
+class TestRefresh:
+    def test_refreshes_happen(self):
+        report = _run(refresh_every=3)
+        assert report.fix_applied > 0, "spec must leave real violations"
+        assert report.mgba_refreshes >= 1
+
+    def test_refresh_time_counted_as_mgba(self):
+        report = _run(refresh_every=3)
+        baseline = _run(refresh_every=0)
+        assert report.seconds_mgba > baseline.seconds_mgba
+
+    def test_no_refresh_by_default(self):
+        report = _run(refresh_every=0)
+        assert report.mgba_refreshes == 0
+
+    def test_refresh_does_not_hurt_closure(self):
+        with_refresh = _run(refresh_every=3)
+        without = _run(refresh_every=0)
+        assert with_refresh.final.violations <= max(
+            without.final.violations + 2, with_refresh.initial.violations
+        )

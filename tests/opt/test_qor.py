@@ -1,0 +1,59 @@
+"""QoR metric tests."""
+
+import pytest
+
+from repro.opt.qor import QoRMetrics
+from tests.conftest import engine_for
+
+
+class TestMeasure:
+    def test_matches_engine_and_netlist(self, small_engine):
+        qor = QoRMetrics.measure(small_engine)
+        summary = small_engine.summary()
+        assert qor.wns == summary.wns
+        assert qor.tns == summary.tns
+        assert qor.violations == summary.violations
+        assert qor.area == pytest.approx(small_engine.netlist.total_area())
+        assert qor.leakage == pytest.approx(
+            small_engine.netlist.total_leakage()
+        )
+        assert qor.buffers == small_engine.netlist.buffer_count()
+
+
+class TestImprovement:
+    def test_smaller_is_better_for_cost_metrics(self):
+        ours = QoRMetrics(wns=-10, tns=-20, area=90, leakage=80,
+                          buffers=9, violations=1)
+        base = QoRMetrics(wns=-10, tns=-20, area=100, leakage=100,
+                          buffers=10, violations=1)
+        gains = ours.improvement_over(base)
+        assert gains["area"] == pytest.approx(10.0)
+        assert gains["leakage"] == pytest.approx(20.0)
+        assert gains["buffer"] == pytest.approx(10.0)
+
+    def test_less_negative_slack_is_positive_gain(self):
+        ours = QoRMetrics(wns=-5, tns=-10, area=1, leakage=1,
+                          buffers=0, violations=1)
+        base = QoRMetrics(wns=-10, tns=-20, area=1, leakage=1,
+                          buffers=0, violations=2)
+        gains = ours.improvement_over(base)
+        assert gains["wns"] == pytest.approx(50.0)
+        assert gains["tns"] == pytest.approx(50.0)
+
+    def test_degradation_is_negative(self):
+        ours = QoRMetrics(wns=-12, tns=-20, area=110, leakage=100,
+                          buffers=10, violations=2)
+        base = QoRMetrics(wns=-10, tns=-20, area=100, leakage=100,
+                          buffers=10, violations=2)
+        gains = ours.improvement_over(base)
+        assert gains["wns"] < 0
+        assert gains["area"] < 0
+
+    def test_clean_baseline_guards_division(self):
+        ours = QoRMetrics(wns=5, tns=0, area=100, leakage=100,
+                          buffers=0, violations=0)
+        base = QoRMetrics(wns=0, tns=0, area=100, leakage=100,
+                          buffers=0, violations=0)
+        gains = ours.improvement_over(base)
+        assert gains["wns"] == 0.0 and gains["tns"] == 0.0
+        assert gains["buffer"] == 0.0

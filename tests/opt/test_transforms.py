@@ -1,0 +1,144 @@
+"""Transform-engine tests: apply, measure, revert — exactly."""
+
+import pytest
+
+from repro.opt.transforms import TransformEngine
+from tests.conftest import SMALL_SPEC, engine_for
+from repro.designs.generator import generate_design
+
+
+@pytest.fixture()
+def setup():
+    design = generate_design(SMALL_SPEC)
+    engine = engine_for(design)
+    engine.update_timing()
+    return design, engine, TransformEngine(engine)
+
+
+def _slacks(engine):
+    return {s.name: s.slack for s in engine.setup_slacks()}
+
+
+def _data_gate(design, engine, transforms):
+    return next(
+        g for g in design.netlist.combinational_gates()
+        if transforms.is_touchable(g)
+    )
+
+
+class TestTouchability:
+    def test_clock_buffers_untouchable(self, setup):
+        design, _, transforms = setup
+        clock_gates = [
+            g for g in design.netlist.gates if g.startswith("ckbuf")
+        ]
+        assert clock_gates
+        for gate in clock_gates:
+            assert not transforms.is_touchable(gate)
+
+    def test_flops_untouchable(self, setup):
+        design, _, transforms = setup
+        for flop in design.netlist.sequential_gates():
+            assert not transforms.is_touchable(flop)
+
+    def test_data_gates_touchable(self, setup):
+        design, engine, transforms = setup
+        assert _data_gate(design, engine, transforms)
+
+
+class TestUpsizeDownsize:
+    def test_upsize_and_revert_restores_slacks(self, setup):
+        design, engine, transforms = setup
+        baseline = _slacks(engine)
+        gate = _data_gate(design, engine, transforms)
+        move = transforms.upsize(gate)
+        assert move is not None
+        changed = _slacks(engine)
+        assert changed != pytest.approx(baseline)
+        move.revert(engine)
+        restored = _slacks(engine)
+        for name, value in baseline.items():
+            assert restored[name] == pytest.approx(value, abs=1e-9)
+
+    def test_upsize_clock_gate_refused(self, setup):
+        design, _, transforms = setup
+        clock_gate = next(
+            g for g in design.netlist.gates if g.startswith("ckbuf")
+        )
+        assert transforms.upsize(clock_gate) is None
+
+    def test_downsize_reduces_area(self, setup):
+        design, engine, transforms = setup
+        # Find a gate not already at minimum size.
+        gate = next(
+            g for g in design.netlist.combinational_gates()
+            if transforms.is_touchable(g)
+            and design.netlist.library.next_size_down(
+                design.netlist.gate(g).cell_name
+            ) is not None
+        )
+        before = design.netlist.total_area()
+        move = transforms.downsize(gate)
+        assert move is not None
+        assert design.netlist.total_area() < before
+
+
+class TestBufferNet:
+    def _heavy_net(self, design):
+        for net in design.netlist.nets:
+            loads = [
+                r for r in design.netlist.net_loads(net) if not r.is_port
+            ]
+            driver = design.netlist.net_driver(net)
+            if (
+                len(loads) >= 3 and driver is not None
+                and driver.gate is not None
+                and not driver.gate.startswith("ckbuf")
+                and not design.netlist.cell_of(driver.gate).is_sequential
+            ):
+                return net
+        return None
+
+    def test_buffer_and_revert_restores(self, setup):
+        design, engine, transforms = setup
+        net = self._heavy_net(design)
+        if net is None:
+            pytest.skip("no bufferable net in this design")
+        baseline = _slacks(engine)
+        gates_before = set(design.netlist.gates)
+        move = transforms.buffer_net(net)
+        assert move is not None
+        assert len(design.netlist.gates) == len(gates_before) + 1
+        move.revert(engine)
+        assert set(design.netlist.gates) == gates_before
+        restored = _slacks(engine)
+        for name, value in baseline.items():
+            assert restored[name] == pytest.approx(value, abs=1e-9)
+
+    def test_keeps_most_critical_load_on_net(self, setup):
+        design, engine, transforms = setup
+        net = self._heavy_net(design)
+        if net is None:
+            pytest.skip("no bufferable net in this design")
+        loads_before = [
+            r for r in design.netlist.net_loads(net) if not r.is_port
+        ]
+        arrivals = {
+            r: float(engine.state.arrival_late[engine.graph.node_of[r]])
+            for r in loads_before
+        }
+        critical = max(arrivals, key=arrivals.get)
+        move = transforms.buffer_net(net)
+        assert move is not None
+        assert critical in design.netlist.net_loads(net)
+
+    def test_two_load_net_refused(self, setup):
+        design, engine, transforms = setup
+        single = next(
+            net for net in design.netlist.nets
+            if len([
+                r for r in design.netlist.net_loads(net) if not r.is_port
+            ]) == 1
+            and design.netlist.net_driver(net) is not None
+        )
+        assert transforms.buffer_net(single) is None

@@ -1,0 +1,97 @@
+"""VT-swap transform tests."""
+
+import pytest
+
+from repro.netlist.edit import swap_vt
+from repro.opt.transforms import TransformEngine
+from repro.designs.generator import generate_design
+from tests.conftest import SMALL_SPEC, engine_for
+
+
+@pytest.fixture()
+def setup():
+    design = generate_design(SMALL_SPEC)
+    engine = engine_for(design)
+    engine.update_timing()
+    return design, engine, TransformEngine(engine)
+
+
+def _data_gate(design, transforms):
+    return next(
+        g for g in design.netlist.combinational_gates()
+        if transforms.is_touchable(g)
+    )
+
+
+class TestEditLevel:
+    def test_swap_and_back(self, setup):
+        design, _, transforms = setup
+        gate = _data_gate(design, transforms)
+        original = design.netlist.gate(gate).cell_name
+        change = swap_vt(design.netlist, gate, "lvt")
+        assert change is not None and change.kind == "vt_swap"
+        assert design.netlist.cell_of(gate).vt == "lvt"
+        swap_vt(design.netlist, gate, "svt")
+        assert design.netlist.gate(gate).cell_name == original
+
+    def test_noop_when_already_there(self, setup):
+        design, _, transforms = setup
+        gate = _data_gate(design, transforms)
+        assert swap_vt(design.netlist, gate, "svt") is None
+
+    def test_missing_flavour(self, setup):
+        design, _, _ = setup
+        buffer_gate = next(
+            g for g in design.netlist.gates
+            if design.netlist.cell_of(g).is_buffer
+        )
+        assert swap_vt(design.netlist, buffer_gate, "lvt") is None
+
+
+class TestTransformLevel:
+    def test_lvt_improves_endpoint_timing(self, setup):
+        design, engine, transforms = setup
+        worst = engine.violating_endpoints()[0]
+        wns_before = engine.summary().wns
+        # Swap every touchable gate on the worst path to LVT.
+        from repro.timing.report import trace_worst_path
+
+        edges = trace_worst_path(engine.graph, engine.state, worst.node)
+        swapped = 0
+        for edge_id in edges:
+            gate = engine.graph.edge(edge_id).gate
+            if gate and transforms.is_touchable(gate):
+                if transforms.swap_to_vt(gate, "lvt") is not None:
+                    swapped += 1
+        assert swapped > 0
+        assert engine.summary().wns > wns_before
+
+    def test_hvt_cuts_leakage_preserving_area(self, setup):
+        design, engine, transforms = setup
+        gate = _data_gate(design, transforms)
+        area = design.netlist.total_area()
+        leakage = design.netlist.total_leakage()
+        move = transforms.swap_to_vt(gate, "hvt")
+        assert move is not None
+        assert design.netlist.total_leakage() < leakage
+        assert design.netlist.total_area() == pytest.approx(area)
+
+    def test_revert_is_exact(self, setup):
+        design, engine, transforms = setup
+        gate = _data_gate(design, transforms)
+        baseline = {s.name: s.slack for s in engine.setup_slacks()}
+        move = transforms.swap_to_vt(gate, "lvt")
+        move.revert(engine)
+        restored = {s.name: s.slack for s in engine.setup_slacks()}
+        for name, value in baseline.items():
+            assert restored[name] == pytest.approx(value, abs=1e-9)
+
+    def test_incremental_matches_full_after_swap(self, setup):
+        design, engine, transforms = setup
+        gate = _data_gate(design, transforms)
+        transforms.swap_to_vt(gate, "hvt")
+        reference = engine_for(design)
+        got = {s.name: s.slack for s in engine.setup_slacks()}
+        want = {s.name: s.slack for s in reference.setup_slacks()}
+        for name in want:
+            assert got[name] == pytest.approx(want[name], abs=1e-6)

@@ -1,0 +1,144 @@
+"""Path-enumeration tests: exactness against brute force, ordering."""
+
+import itertools
+
+import pytest
+
+from repro.pba.enumerate import (
+    count_paths_to_endpoint,
+    enumerate_worst_paths,
+    worst_paths_to_endpoint,
+)
+from repro.timing.propagation import effective_late
+
+
+def _brute_force_paths(graph, state, endpoint):
+    """All data paths into an endpoint with their total arrivals."""
+    results = []
+
+    def walk(node_id, suffix_edges, suffix_delay):
+        in_list = [
+            e for e in graph.in_edges[node_id]
+            if not graph.node(graph.edge(e).src).is_clock_tree
+        ]
+        is_boundary = (
+            not in_list
+            or graph.node(node_id).kind.value == "port_in"
+            or (
+                graph.node(node_id).ref.gate is not None
+                and graph.netlist.cell_of(
+                    graph.node(node_id).ref.gate
+                ).is_sequential
+                and graph.node(node_id).kind.value == "pin_out"
+            )
+        )
+        if is_boundary:
+            results.append(
+                (state.arrival_late[node_id] + suffix_delay,
+                 tuple(reversed(suffix_edges)))
+            )
+            return
+        for edge_id in in_list:
+            edge = graph.edge(edge_id)
+            walk(edge.src, suffix_edges + [edge_id],
+                 suffix_delay + effective_late(state, edge))
+
+    walk(endpoint, [], 0.0)
+    return sorted(results, key=lambda t: -t[0])
+
+
+class TestExactness:
+    def test_matches_brute_force_on_every_endpoint(self, small_engine):
+        graph, state = small_engine.graph, small_engine.state
+        for endpoint in graph.endpoint_nodes()[:8]:
+            brute = _brute_force_paths(graph, state, endpoint)
+            k = min(len(brute), 10)
+            fast = worst_paths_to_endpoint(graph, state, endpoint, k)
+            assert len(fast) == k
+            for path, (arrival, edges) in zip(fast, brute[:k]):
+                assert path.gba_arrival == pytest.approx(arrival)
+            # The single worst path must match edge-for-edge.
+            assert fast[0].edges == brute[0][1]
+
+    def test_worst_path_first(self, small_engine):
+        graph, state = small_engine.graph, small_engine.state
+        endpoint = graph.endpoint_nodes()[0]
+        paths = worst_paths_to_endpoint(graph, state, endpoint, 16)
+        arrivals = [p.gba_arrival for p in paths]
+        assert arrivals == sorted(arrivals, reverse=True)
+
+    def test_top1_equals_propagated_arrival(self, small_engine):
+        """The worst enumerated path must realize the GBA arrival."""
+        graph, state = small_engine.graph, small_engine.state
+        for endpoint in graph.endpoint_nodes():
+            paths = worst_paths_to_endpoint(graph, state, endpoint, 1)
+            if not paths:
+                continue
+            assert paths[0].gba_arrival == pytest.approx(
+                float(state.arrival_late[endpoint])
+            )
+
+    def test_paths_are_unique(self, small_engine):
+        graph, state = small_engine.graph, small_engine.state
+        endpoint = graph.endpoint_nodes()[0]
+        paths = worst_paths_to_endpoint(graph, state, endpoint, 32)
+        keys = [p.key() for p in paths]
+        assert len(keys) == len(set(keys))
+
+
+class TestPruning:
+    def _rich_endpoint(self, graph, state):
+        """An endpoint with enough distinct paths to prune."""
+        for endpoint in graph.endpoint_nodes():
+            paths = worst_paths_to_endpoint(graph, state, endpoint, 64)
+            if len(paths) >= 4:
+                return endpoint, paths
+        raise AssertionError("design has no multi-path endpoint")
+
+    def test_min_arrival_prunes(self, small_engine):
+        graph, state = small_engine.graph, small_engine.state
+        endpoint, all_paths = self._rich_endpoint(graph, state)
+        cut = all_paths[2].gba_arrival
+        pruned = worst_paths_to_endpoint(
+            graph, state, endpoint, 64, min_arrival=cut + 1e-6
+        )
+        assert all(p.gba_arrival > cut for p in pruned)
+        assert len(pruned) < len(all_paths)
+
+
+class TestEnumerateAll:
+    def test_respects_k_per_endpoint(self, small_engine):
+        paths = enumerate_worst_paths(
+            small_engine.graph, small_engine.state, k_per_endpoint=3
+        )
+        counts = {}
+        for path in paths:
+            counts[path.endpoint] = counts.get(path.endpoint, 0) + 1
+        assert max(counts.values()) <= 3
+
+    def test_max_total_cap(self, small_engine):
+        paths = enumerate_worst_paths(
+            small_engine.graph, small_engine.state,
+            k_per_endpoint=8, max_total=5,
+        )
+        assert len(paths) == 5
+
+    def test_endpoint_subset(self, small_engine):
+        chosen = small_engine.graph.endpoint_nodes()[:2]
+        paths = enumerate_worst_paths(
+            small_engine.graph, small_engine.state, 4, endpoints=chosen
+        )
+        assert {p.endpoint for p in paths} <= set(chosen)
+
+
+class TestCounting:
+    def test_count_matches_brute_force(self, small_engine):
+        graph, state = small_engine.graph, small_engine.state
+        for endpoint in graph.endpoint_nodes()[:5]:
+            brute = _brute_force_paths(graph, state, endpoint)
+            assert count_paths_to_endpoint(graph, endpoint) == len(brute)
+
+    def test_chain_has_one_path(self, fig2_engine):
+        endpoint = fig2_engine.node_id("FF4", "D")
+        # FF1 path plus the FF2->K1 branch join at G3: 2 paths total.
+        assert count_paths_to_endpoint(fig2_engine.graph, endpoint) == 2

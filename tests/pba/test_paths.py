@@ -1,0 +1,35 @@
+"""TimingPath record tests."""
+
+from repro.pba.paths import TimingPath
+
+
+def _path(**overrides):
+    base = dict(
+        endpoint=7,
+        launch=2,
+        edges=(1, 2, 3),
+        gba_slack=-40.0,
+        pba_slack=10.0,
+        contributions=[("G1", 100.0, 1.2), ("G2", 100.0, 1.3)],
+    )
+    base.update(overrides)
+    return TimingPath(**base)
+
+
+class TestTimingPath:
+    def test_pessimism(self):
+        assert _path().pessimism == 50.0
+
+    def test_gates_in_order(self):
+        assert _path().gates() == ["G1", "G2"]
+
+    def test_key_identity(self):
+        assert _path().key() == _path().key()
+        assert _path(edges=(1, 2)).key() != _path().key()
+
+    def test_len_counts_edges(self):
+        assert len(_path()) == 3
+
+    def test_defaults(self):
+        p = TimingPath(endpoint=1, launch=0, edges=())
+        assert p.depth == 0 and p.contributions == []

@@ -1,0 +1,57 @@
+"""Constraint-model tests."""
+
+import pytest
+
+from repro.errors import SDCError
+from repro.sdc.constraints import Clock, Constraints
+
+
+class TestClock:
+    def test_period_must_be_positive(self):
+        with pytest.raises(SDCError):
+            Clock("clk", period=0.0, source_port="clk")
+
+    def test_uncertainty_must_be_nonnegative(self):
+        with pytest.raises(SDCError):
+            Clock("clk", period=100.0, source_port="clk", uncertainty=-1.0)
+
+
+class TestConstraints:
+    def _sample(self):
+        c = Constraints()
+        c.add_clock(Clock("clk", period=1000.0, source_port="clk"))
+        c.set_input_delay("in0", "clk", 50.0)
+        c.set_output_delay("out0", "clk", 40.0)
+        return c
+
+    def test_duplicate_clock_rejected(self):
+        c = self._sample()
+        with pytest.raises(SDCError):
+            c.add_clock(Clock("clk", period=500.0, source_port="clk2"))
+
+    def test_unknown_clock(self):
+        with pytest.raises(SDCError):
+            self._sample().clock("sys")
+
+    def test_primary_clock_single(self):
+        assert self._sample().primary_clock().name == "clk"
+
+    def test_primary_clock_requires_exactly_one(self):
+        c = self._sample()
+        c.add_clock(Clock("clk2", period=500.0, source_port="c2"))
+        with pytest.raises(SDCError):
+            c.primary_clock()
+        with pytest.raises(SDCError):
+            Constraints().primary_clock()
+
+    def test_io_delay_lookup(self):
+        c = self._sample()
+        assert c.input_delay_of("in0") == 50.0
+        assert c.input_delay_of("other") == 0.0
+        assert c.output_delay_of("out0") == 40.0
+        assert c.output_delay_of("in0") == 0.0
+
+    def test_clock_of_port(self):
+        c = self._sample()
+        assert c.clock_of_port("in0") == "clk"
+        assert c.clock_of_port("nope") is None

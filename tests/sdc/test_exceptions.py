@@ -1,0 +1,127 @@
+"""Timing-exception (false path / multicycle) tests."""
+
+import pytest
+
+from repro.errors import SDCError
+from repro.sdc.constraints import Clock, Constraints, PathException
+from repro.sdc.parser import parse_sdc
+from repro.sdc.writer import write_sdc
+
+
+class TestModel:
+    def test_false_path_matching(self):
+        c = Constraints()
+        c.set_false_path(from_pattern="sync_*", to_pattern="cfg")
+        assert c.is_false_path("sync_0", "cfg")
+        assert not c.is_false_path("data_0", "cfg")
+        assert not c.is_false_path("sync_0", "other")
+
+    def test_wildcards_default(self):
+        c = Constraints()
+        c.set_false_path(to_pattern="cfg")
+        assert c.is_false_path("anything", "cfg")
+
+    def test_multicycle_lookup(self):
+        c = Constraints()
+        c.set_multicycle_path(2, to_pattern="slow_*")
+        assert c.multicycle_of("slow_7") == 2
+        assert c.multicycle_of("fast_1") == 1
+
+    def test_largest_multiplier_wins(self):
+        c = Constraints()
+        c.set_multicycle_path(2, to_pattern="a*")
+        c.set_multicycle_path(4, to_pattern="ab*")
+        assert c.multicycle_of("abc") == 4
+
+    def test_bad_multiplier(self):
+        with pytest.raises(SDCError):
+            Constraints().set_multicycle_path(0)
+
+    def test_exception_matches_api(self):
+        e = PathException(kind="false", from_pattern="f?", to_pattern="*")
+        assert e.matches("f1", "whatever")
+        assert not e.matches("ff1", "whatever")
+
+
+class TestSdcIO:
+    SAMPLE = """
+create_clock -name clk -period 1.0 [get_ports clk]
+set_false_path -from [get_cells sync_*] -to [get_cells cfg]
+set_multicycle_path 2 -to [get_cells slow_*]
+"""
+
+    def test_parse(self):
+        c = parse_sdc(self.SAMPLE)
+        assert c.is_false_path("sync_3", "cfg")
+        assert c.multicycle_of("slow_1") == 2
+
+    def test_round_trip(self):
+        c = parse_sdc(self.SAMPLE)
+        again = parse_sdc(write_sdc(c))
+        assert again.is_false_path("sync_3", "cfg")
+        assert not again.is_false_path("x", "y")
+        assert again.multicycle_of("slow_1") == 2
+
+    def test_fixed_point(self):
+        text = write_sdc(parse_sdc(self.SAMPLE))
+        assert write_sdc(parse_sdc(text)) == text
+
+
+class TestTimingEffects:
+    def test_multicycle_relaxes_endpoint(self, fig2):
+        """Doubling FF4's capture window clears the 740 ps GBA miss."""
+        from repro.timing.sta import STAEngine
+
+        fig2.constraints.set_multicycle_path(2, to_pattern="FF4")
+        engine = STAEngine(fig2.netlist, fig2.constraints, None,
+                           fig2.sta_config)
+        slacks = {s.name: s.slack for s in engine.setup_slacks()}
+        # T = 700: single cycle gave -40; two cycles give 1400-740=660.
+        assert slacks["FF4/D"] == pytest.approx(660.0)
+        # Other endpoints keep single-cycle checks.
+        assert slacks["FF5/D"] == pytest.approx(190.0)
+
+    def test_false_path_flags_pba_paths(self, fig2):
+        from repro.pba.engine import PBAEngine
+        from repro.pba.enumerate import worst_paths_to_endpoint
+        from repro.timing.sta import STAEngine
+
+        fig2.constraints.set_false_path(from_pattern="FF2", to_pattern="FF4")
+        engine = STAEngine(fig2.netlist, fig2.constraints, None,
+                           fig2.sta_config)
+        engine.update_timing()
+        endpoint = engine.node_id("FF4", "D")
+        paths = worst_paths_to_endpoint(
+            engine.graph, engine.state, endpoint, 4
+        )
+        PBAEngine(engine).analyze(paths)
+        flags = {p.launch_name: p.is_false for p in paths}
+        assert flags["FF2/Q"] is True
+        assert flags["FF1/Q"] is False
+
+    def test_golden_slack_skips_false_paths(self, fig2):
+        """Declaring the only real path false unconstrains the endpoint."""
+        from repro.pba.engine import PBAEngine
+        from repro.timing.sta import STAEngine
+
+        fig2.constraints.set_false_path(to_pattern="FF4")
+        engine = STAEngine(fig2.netlist, fig2.constraints, None,
+                           fig2.sta_config)
+        engine.update_timing()
+        endpoint = engine.node_id("FF4", "D")
+        assert PBAEngine(engine).golden_endpoint_slack(endpoint) == float(
+            "inf"
+        )
+
+    def test_mgba_flow_ignores_false_paths(self, fig2):
+        from repro.mgba.flow import MGBAConfig, MGBAFlow
+        from repro.timing.sta import STAEngine
+
+        fig2.constraints.set_false_path(from_pattern="FF2")
+        engine = STAEngine(fig2.netlist, fig2.constraints, None,
+                           fig2.sta_config)
+        result = MGBAFlow(
+            MGBAConfig(k_per_endpoint=4, solver="direct")
+        ).run(engine, apply=False)
+        launches = {p.launch_name for p in result.paths}
+        assert "FF2/Q" not in launches

@@ -1,0 +1,87 @@
+"""SDC parser edge cases: whitespace, locations, odd-but-legal input."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sdc.parser import parse_sdc
+
+
+class TestEdges:
+    def test_tabs_and_extra_spaces(self):
+        c = parse_sdc(
+            "create_clock\t-name clk   -period  2.0 [get_ports\tp]\n"
+        )
+        assert c.clock("clk").period == pytest.approx(2000.0)
+
+    def test_error_location_reported(self):
+        text = "create_clock -name a -period 1 [get_ports p]\nbogus_cmd 1\n"
+        with pytest.raises(ParseError) as err:
+            parse_sdc(text, filename="x.sdc")
+        assert err.value.line == 2
+        assert "x.sdc" in str(err.value)
+
+    def test_continuation_counts_from_first_line(self):
+        text = (
+            "create_clock -name a -period 1 [get_ports p]\n"
+            "set_input_delay 0.1 \\\n"
+            "    -clock a \\\n"
+            "    [get_ports in0]\n"
+        )
+        c = parse_sdc(text)
+        assert c.input_delay_of("in0") == pytest.approx(100.0)
+
+    def test_getter_with_internal_spaces(self):
+        c = parse_sdc("create_clock -name a -period 1 [ get_ports   p ]\n")
+        assert c.clock("a").source_port == "p"
+
+    def test_trailing_continuation_tolerated(self):
+        c = parse_sdc("create_clock -name a -period 1 [get_ports p] \\\n")
+        assert "a" in c.clocks
+
+    def test_multiple_commands_same_port(self):
+        text = (
+            "create_clock -name a -period 1 [get_ports p]\n"
+            "set_input_delay 0.1 -clock a [get_ports x]\n"
+            "set_input_delay 0.2 -clock a [get_ports x]\n"
+        )
+        c = parse_sdc(text)
+        # First matching entry wins on lookup; both are retained.
+        assert c.input_delay_of("x") == pytest.approx(100.0)
+        assert len(c.io_delays) == 2
+
+
+class TestVerilogEdges:
+    def test_block_comment_spanning_lines(self):
+        from repro.liberty.builder import make_default_library
+        from repro.netlist.verilog import parse_verilog
+
+        text = (
+            "module m (a, y);\n/* multi\nline\ncomment */\n"
+            "input a;\noutput y;\n"
+            "INV_X1 u (.A(a), .Z(y));\nendmodule\n"
+        )
+        netlist = parse_verilog(text, make_default_library())
+        assert "u" in netlist.gates
+
+    def test_escaped_style_identifiers(self):
+        from repro.liberty.builder import make_default_library
+        from repro.netlist.verilog import parse_verilog
+
+        text = (
+            "module m (a, y);\ninput a;\noutput y;\n"
+            "wire net$1;\n"
+            "INV_X1 u1 (.A(a), .Z(net$1));\n"
+            "INV_X1 u2 (.A(net$1), .Z(y));\nendmodule\n"
+        )
+        netlist = parse_verilog(text, make_default_library())
+        assert "net$1" in netlist.nets
+
+    def test_error_line_number(self):
+        from repro.errors import ParseError as PE
+        from repro.liberty.builder import make_default_library
+        from repro.netlist.verilog import parse_verilog
+
+        text = "module m (a);\ninput a;\nNOPE_X9 u (.A(a));\nendmodule\n"
+        with pytest.raises(PE) as err:
+            parse_verilog(text, make_default_library(), filename="m.v")
+        assert err.value.line == 3

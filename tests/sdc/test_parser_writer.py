@@ -1,0 +1,90 @@
+"""SDC-lite parser/writer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sdc.constraints import Clock, Constraints
+from repro.sdc.parser import parse_sdc
+from repro.sdc.writer import write_sdc
+
+SAMPLE = """
+# clocks
+create_clock -name clk -period 1.2 [get_ports clkpin]
+set_clock_uncertainty 0.05 [get_clocks clk]
+
+set_input_delay 0.2 -clock clk [get_ports in0]
+set_output_delay 0.3 -clock clk \\
+    [get_ports out0]
+set_timing_derate -late 1.2
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        c = parse_sdc(SAMPLE)
+        clk = c.clock("clk")
+        assert clk.period == pytest.approx(1200.0)   # ns -> ps
+        assert clk.uncertainty == pytest.approx(50.0)
+        assert clk.source_port == "clkpin"
+        assert c.input_delay_of("in0") == pytest.approx(200.0)
+        assert c.output_delay_of("out0") == pytest.approx(300.0)
+        assert c.flat_derate_late == pytest.approx(1.2)
+
+    def test_continuation_lines(self):
+        c = parse_sdc(SAMPLE)
+        assert c.output_delay_of("out0") > 0  # came from a continued line
+
+    def test_comments_ignored(self):
+        c = parse_sdc("# only a comment\n")
+        assert c.clocks == {}
+
+    def test_unknown_command(self):
+        with pytest.raises(ParseError):
+            parse_sdc("set_load 3 [get_ports x]")
+
+    def test_missing_getter(self):
+        with pytest.raises(ParseError):
+            parse_sdc("create_clock -name c -period 1.0")
+
+    def test_bad_number(self):
+        with pytest.raises(ParseError):
+            parse_sdc("create_clock -name c -period fast [get_ports p]")
+
+    def test_uncertainty_for_unknown_clock(self):
+        with pytest.raises(ParseError):
+            parse_sdc("set_clock_uncertainty 0.1 [get_clocks ghost]")
+
+    def test_clock_name_defaults_to_port(self):
+        c = parse_sdc("create_clock -period 2 [get_ports clkp]")
+        assert "clkp" in c.clocks
+
+
+class TestRoundTrip:
+    def _sample(self):
+        c = Constraints()
+        c.add_clock(Clock("clk", period=833.0, source_port="clk",
+                          uncertainty=25.0))
+        c.set_input_delay("in0", "clk", 50.0)
+        c.set_input_delay("in1", "clk", 75.0)
+        c.set_output_delay("out0", "clk", 40.0)
+        return c
+
+    def test_round_trip(self):
+        original = self._sample()
+        parsed = parse_sdc(write_sdc(original))
+        assert parsed.clock("clk").period == pytest.approx(833.0)
+        assert parsed.clock("clk").uncertainty == pytest.approx(25.0)
+        assert parsed.input_delay_of("in1") == pytest.approx(75.0)
+        assert parsed.output_delay_of("out0") == pytest.approx(40.0)
+
+    def test_round_trip_is_fixed_point(self):
+        text = write_sdc(self._sample())
+        assert write_sdc(parse_sdc(text)) == text
+
+    def test_generated_design_constraints_round_trip(self, small_design):
+        text = write_sdc(small_design.constraints)
+        parsed = parse_sdc(text)
+        original_clock = small_design.constraints.primary_clock()
+        assert parsed.clock(original_clock.name).period == pytest.approx(
+            original_clock.period
+        )

@@ -1,0 +1,64 @@
+"""CLI tests (invoking main() in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solver_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mgba", "D1", "--solver", "magic"])
+
+
+class TestCommands:
+    def test_designs(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        assert "D1" in out and "D10" in out
+
+    def test_sta(self, capsys):
+        assert main(["sta", "D1", "--paths", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "WNS" in out and "Endpoint:" in out
+
+    def test_mgba(self, capsys):
+        assert main(["mgba", "D1", "--k", "5", "--solver", "direct"]) == 0
+        out = capsys.readouterr().out
+        assert "pass" in out and "mse" in out
+
+    def test_closure(self, capsys):
+        assert main([
+            "closure", "D1", "--max-transforms", "10"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "before" in out and "after" in out
+
+    def test_corners(self, capsys):
+        assert main(["corners", "D1"]) == 0
+        out = capsys.readouterr().out
+        assert "ss" in out and "merged setup WNS" in out
+
+    def test_generate(self, tmp_path, capsys):
+        assert main(["generate", "D1", "-o", str(tmp_path)]) == 0
+        assert (tmp_path / "D1.v").exists()
+        assert (tmp_path / "D1.sdc").exists()
+        assert (tmp_path / "D1.aocv").exists()
+
+    def test_generated_files_parse_back(self, tmp_path):
+        main(["generate", "D1", "-o", str(tmp_path)])
+        from repro.aocv.table import load_aocv
+        from repro.liberty.builder import make_default_library
+        from repro.netlist.verilog import load_verilog
+        from repro.sdc.parser import load_sdc
+
+        netlist = load_verilog(tmp_path / "D1.v", make_default_library())
+        constraints = load_sdc(tmp_path / "D1.sdc")
+        table = load_aocv(tmp_path / "D1.aocv")
+        assert len(netlist.gates) > 100
+        assert constraints.primary_clock().period > 0
+        assert table.validate_monotonic() == []

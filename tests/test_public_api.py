@@ -1,0 +1,33 @@
+"""Public-API surface tests: everything advertised must import and work."""
+
+import repro
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_docstring_flow(self):
+        """The README / module docstring snippet must actually run."""
+        design = repro.build_design("D1")
+        engine = repro.STAEngine(
+            design.netlist, design.constraints,
+            design.placement, design.sta_config,
+        )
+        before = engine.summary()
+        result = repro.MGBAFlow(
+            repro.MGBAConfig(k_per_endpoint=5, solver="direct")
+        ).run(engine)
+        after = engine.summary()
+        assert result.pass_ratio_mgba >= result.pass_ratio_gba
+        assert after.wns >= before.wns - 1e-9
+
+    def test_error_hierarchy(self):
+        for name in ("LibertyError", "NetlistError", "SDCError",
+                     "AOCVError", "TimingError", "SolverError",
+                     "ParseError"):
+            assert issubclass(getattr(repro, name), repro.ReproError)

@@ -1,0 +1,75 @@
+"""JSON reporting tests."""
+
+import json
+
+import pytest
+
+from repro.mgba.flow import MGBAConfig, MGBAFlow
+from repro.mgba.validation import holdout_validation
+from repro.opt.closure import ClosureConfig, TimingClosureOptimizer
+from repro.reporting import (
+    closure_report_to_dict,
+    load_json,
+    mgba_result_to_dict,
+    qor_to_dict,
+    save_json,
+    validation_to_dict,
+)
+from repro.designs.generator import generate_design
+from tests.conftest import SMALL_SPEC, engine_for
+
+
+@pytest.fixture(scope="module")
+def flow_result(small_design):
+    engine = engine_for(small_design)
+    return MGBAFlow(MGBAConfig(k_per_endpoint=6, solver="direct")).run(
+        engine, apply=False
+    )
+
+
+class TestSchemas:
+    def test_qor_keys(self, small_engine):
+        from repro.opt.qor import QoRMetrics
+
+        payload = qor_to_dict(QoRMetrics.measure(small_engine))
+        assert set(payload) == {
+            "wns", "tns", "area", "leakage", "buffers", "violations"
+        }
+
+    def test_mgba_result_schema(self, flow_result):
+        payload = mgba_result_to_dict(flow_result)
+        assert payload["paths"] == flow_result.problem.num_paths
+        assert payload["pass_ratio_mgba"] >= payload["pass_ratio_gba"]
+        assert set(payload["seconds"]) == {
+            "select", "pba", "solve", "apply", "total"
+        }
+
+    def test_closure_report_schema(self):
+        design = generate_design(SMALL_SPEC)
+        report = TimingClosureOptimizer(
+            design.netlist, design.constraints, design.placement,
+            design.sta_config,
+            ClosureConfig(max_transforms=10, recovery=False),
+        ).run()
+        payload = closure_report_to_dict(report)
+        assert payload["initial"]["violations"] >= payload["final"]["violations"]
+        assert "mgba" not in payload  # GBA-only run
+
+    def test_validation_schema(self, small_engine):
+        report = holdout_validation(small_engine, k_fit=4, k_eval=10)
+        payload = validation_to_dict(report)
+        assert payload["generalizes"] == report.generalizes
+        assert payload["eval_improvement"] == pytest.approx(
+            report.eval_improvement
+        )
+
+
+class TestSerialization:
+    def test_round_trip_via_disk(self, tmp_path, flow_result):
+        payload = mgba_result_to_dict(flow_result)
+        path = tmp_path / "r.json"
+        save_json(payload, path)
+        assert load_json(path) == json.loads(json.dumps(payload))
+
+    def test_everything_is_json_safe(self, flow_result):
+        json.dumps(mgba_result_to_dict(flow_result))

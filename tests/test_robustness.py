@@ -1,0 +1,150 @@
+"""Error-path and edge-case robustness tests across modules."""
+
+import pytest
+
+from repro.errors import SDCError, SolverError, TimingError
+from repro.liberty.builder import make_default_library
+from repro.netlist.core import Netlist, PortDirection
+from repro.sdc.constraints import Clock, Constraints
+from repro.timing.sta import STAConfig, STAEngine
+
+LIB = make_default_library()
+
+
+def _one_gate_design():
+    netlist = Netlist("tiny", LIB)
+    netlist.add_port("clk", PortDirection.INPUT)
+    netlist.add_port("a", PortDirection.INPUT)
+    netlist.add_port("y", PortDirection.OUTPUT)
+    netlist.add_gate("u1", "INV_X1", {"A": "a", "Z": "y"})
+    constraints = Constraints()
+    constraints.add_clock(Clock("clk", 1000.0, "clk"))
+    return netlist, constraints
+
+
+class TestDegenerateDesigns:
+    def test_pure_combinational_design(self):
+        """No flops: only the output-port endpoint is checked."""
+        netlist, constraints = _one_gate_design()
+        engine = STAEngine(netlist, constraints, None, STAConfig())
+        slacks = engine.setup_slacks()
+        assert [s.name for s in slacks] == ["y"]
+        assert engine.hold_slacks() == []
+
+    def test_empty_netlist(self):
+        netlist = Netlist("void", LIB)
+        netlist.add_port("clk", PortDirection.INPUT)
+        constraints = Constraints()
+        constraints.add_clock(Clock("clk", 1000.0, "clk"))
+        engine = STAEngine(netlist, constraints, None, STAConfig())
+        assert engine.setup_slacks() == []
+        summary = engine.summary()
+        assert summary.endpoints == 0 and summary.violations == 0
+
+    def test_unconstrained_design_raises(self):
+        netlist, _ = _one_gate_design()
+        engine = STAEngine(netlist, Constraints(), None, STAConfig())
+        with pytest.raises((SDCError, TimingError)):
+            engine.setup_slacks()
+
+    def test_clock_port_missing_from_netlist(self):
+        netlist, _ = _one_gate_design()
+        constraints = Constraints()
+        constraints.add_clock(Clock("sys", 1000.0, "ghost_port"))
+        engine = STAEngine(netlist, constraints, None, STAConfig())
+        with pytest.raises(TimingError):
+            engine.update_timing()
+
+
+class TestEnumerationEdges:
+    def test_endpoint_with_single_path(self):
+        from repro.pba.enumerate import worst_paths_to_endpoint
+
+        netlist, constraints = _one_gate_design()
+        engine = STAEngine(netlist, constraints, None, STAConfig())
+        engine.update_timing()
+        endpoint = engine.graph.node_of[
+            next(
+                ref for ref in engine.graph.node_of
+                if ref.is_port and ref.pin == "y"
+            )
+        ]
+        paths = worst_paths_to_endpoint(
+            engine.graph, engine.state, endpoint, 10
+        )
+        assert len(paths) == 1
+        assert paths[0].launch_name == "a"
+
+    def test_k_zero_returns_nothing(self, small_engine):
+        from repro.pba.enumerate import worst_paths_to_endpoint
+
+        endpoint = small_engine.graph.endpoint_nodes()[0]
+        assert worst_paths_to_endpoint(
+            small_engine.graph, small_engine.state, endpoint, 0
+        ) == []
+
+
+class TestSolverEdges:
+    def _single_row_problem(self):
+        from repro.mgba.problem import build_problem
+        from repro.pba.paths import TimingPath
+
+        path = TimingPath(
+            endpoint=1, launch=0, edges=(1,), gba_slack=-10.0,
+            pba_slack=0.0, contributions=[("A", 100.0, 1.2)],
+        )
+        return build_problem([path])
+
+    def test_single_row_single_gate(self):
+        from repro.mgba.solvers import solve_direct, solve_gd, solve_scg
+
+        problem = self._single_row_problem()
+        for solver in (solve_direct, solve_gd,
+                       lambda p: solve_scg(p, seed=0)):
+            result = solver(problem)
+            corrected = problem.corrected_slacks(result.x)
+            assert abs(corrected[0] - problem.s_pba[0]) < 2.0
+
+    def test_row_sampling_on_tiny_problem(self):
+        from repro.mgba.solvers import solve_with_row_sampling
+
+        problem = self._single_row_problem()
+        result = solve_with_row_sampling(problem, seed=0)
+        assert result.converged
+
+    def test_zero_norm_rows_fall_back_to_uniform(self):
+        import numpy as np
+        from scipy import sparse
+
+        from repro.mgba.problem import MGBAProblem
+        from repro.mgba.solvers.scg import kaczmarz_probabilities
+
+        problem = MGBAProblem(
+            matrix=sparse.csr_matrix((2, 1)),
+            rhs=np.zeros(2),
+            s_gba=np.zeros(2),
+            s_pba=np.zeros(2),
+            gates=["A"],
+        )
+        p = kaczmarz_probabilities(problem)
+        assert p == pytest.approx([0.5, 0.5])
+
+
+class TestFlowEdges:
+    def test_flow_on_design_without_violations(self):
+        """The fit also runs on clean designs (paths are selected by
+        criticality, not by violation)."""
+        from dataclasses import replace
+
+        from repro.mgba.flow import MGBAConfig, MGBAFlow
+        from repro.designs.generator import generate_design
+        from tests.conftest import SMALL_SPEC, engine_for
+
+        design = generate_design(
+            replace(SMALL_SPEC, violation_quantile=0.999)
+        )
+        engine = engine_for(design)
+        result = MGBAFlow(
+            MGBAConfig(k_per_endpoint=5, solver="direct")
+        ).run(engine)
+        assert result.pass_ratio_mgba >= result.pass_ratio_gba

@@ -1,0 +1,37 @@
+"""Utility-module tests (rng, logging)."""
+
+import logging
+
+import numpy as np
+
+from repro.utils.log import enable_console_logging, get_logger
+from repro.utils.rng import make_rng
+
+
+class TestRng:
+    def test_seed_reproducible(self):
+        assert make_rng(5).integers(1000) == make_rng(5).integers(1000)
+
+    def test_generator_passthrough_shares_state(self):
+        rng = make_rng(1)
+        same = make_rng(rng)
+        assert same is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestLog:
+    def test_namespace(self):
+        assert get_logger().name == "repro"
+        assert get_logger("mgba.flow").name == "repro.mgba.flow"
+
+    def test_console_logging_idempotent(self):
+        enable_console_logging(logging.DEBUG)
+        handlers_before = len(logging.getLogger("repro").handlers)
+        enable_console_logging(logging.INFO)
+        assert len(logging.getLogger("repro").handlers) == handlers_before
+
+    def test_child_loggers_propagate(self):
+        child = get_logger("timing")
+        assert child.parent.name in ("repro", "root")

@@ -1,0 +1,65 @@
+"""Design-rule-check tests (max transition / max capacitance)."""
+
+import pytest
+
+from repro.liberty.builder import MAX_TRANSITION, make_default_library
+from repro.netlist.core import Netlist, PortDirection
+from repro.sdc.constraints import Clock, Constraints
+from repro.timing.sta import STAConfig, STAEngine
+
+LIB = make_default_library()
+
+
+def _engine_with_overload(n_loads: int) -> STAEngine:
+    """A weak X1 inverter driving n strong loads: slews/caps blow up."""
+    netlist = Netlist("drc", LIB)
+    netlist.add_port("clk", PortDirection.INPUT)
+    netlist.add_port("a", PortDirection.INPUT)
+    netlist.add_gate("drv", "INV_X1", {"A": "a", "Z": "w"})
+    for i in range(n_loads):
+        netlist.add_gate(f"s{i}", "INV_X8", {"A": "w", "Z": f"z{i}"})
+    constraints = Constraints()
+    constraints.add_clock(Clock("clk", 1000.0, "clk"))
+    return STAEngine(netlist, constraints, None, STAConfig())
+
+
+class TestDrc:
+    def test_clean_design_has_no_violations(self):
+        engine = _engine_with_overload(1)
+        assert engine.design_rule_violations() == []
+
+    def test_overloaded_driver_flags_both_rules(self):
+        engine = _engine_with_overload(40)
+        violations = engine.design_rule_violations()
+        kinds = {v["kind"] for v in violations}
+        assert "max_capacitance" in kinds
+        assert "max_transition" in kinds
+
+    def test_values_exceed_limits(self):
+        engine = _engine_with_overload(40)
+        for violation in engine.design_rule_violations():
+            assert violation["value"] > violation["limit"]
+
+    def test_sorted_worst_first(self):
+        engine = _engine_with_overload(40)
+        violations = engine.design_rule_violations()
+        overshoots = [v["limit"] - v["value"] for v in violations]
+        assert overshoots == sorted(overshoots)
+
+    def test_library_characterizes_max_transition(self):
+        pin = LIB.cell("NAND2_X1").pin("A")
+        assert pin.max_transition == MAX_TRANSITION
+
+    def test_max_transition_round_trips_liberty(self):
+        from repro.liberty.parser import parse_liberty
+        from repro.liberty.writer import write_liberty
+
+        parsed = parse_liberty(write_liberty(LIB))
+        assert parsed.cell("NAND2_X1").pin("A").max_transition == \
+            MAX_TRANSITION
+
+    def test_suite_designs_mostly_clean(self, small_engine):
+        """Generated designs carry some hot-net DRVs (realistic) but the
+        bulk of the design must be clean."""
+        violations = small_engine.design_rule_violations()
+        assert len(violations) < 0.2 * len(small_engine.netlist.gates)

@@ -1,0 +1,50 @@
+"""Early (hold) path tracing tests."""
+
+import pytest
+
+from repro.timing.propagation import effective_early
+from repro.timing.report import trace_early_path, trace_worst_path
+
+
+class TestTraceEarlyPath:
+    def test_reconstructs_early_arrival(self, small_engine):
+        graph, state = small_engine.graph, small_engine.state
+        for endpoint in graph.endpoint_nodes()[:6]:
+            edges = trace_early_path(graph, state, endpoint)
+            if not edges:
+                continue
+            start = graph.edge(edges[0]).src
+            total = float(state.arrival_early[start])
+            for edge_id in edges:
+                total += effective_early(state, graph.edge(edge_id))
+            assert total == pytest.approx(
+                float(state.arrival_early[endpoint]), abs=1e-6
+            )
+
+    def test_early_path_no_longer_than_late(self, fig2_engine):
+        """Fig. 2: late path has 6 gates, early path cuts through K1."""
+        endpoint = fig2_engine.node_id("FF4", "D")
+        late = trace_worst_path(
+            fig2_engine.graph, fig2_engine.state, endpoint
+        )
+        early = trace_early_path(
+            fig2_engine.graph, fig2_engine.state, endpoint
+        )
+        late_gates = {
+            fig2_engine.graph.edge(e).gate for e in late
+            if fig2_engine.graph.edge(e).gate
+        }
+        early_gates = {
+            fig2_engine.graph.edge(e).gate for e in early
+            if fig2_engine.graph.edge(e).gate
+        }
+        assert "G1" in late_gates and "G2" in late_gates
+        assert "K1" in early_gates
+        assert "G1" not in early_gates
+
+    def test_paths_are_connected(self, small_engine):
+        graph, state = small_engine.graph, small_engine.state
+        endpoint = graph.endpoint_nodes()[0]
+        edges = trace_early_path(graph, state, endpoint)
+        for previous, current in zip(edges, edges[1:]):
+            assert graph.edge(previous).dst == graph.edge(current).src

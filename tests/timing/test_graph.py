@@ -1,0 +1,145 @@
+"""Timing-graph construction and surgical-update tests."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.liberty.builder import make_default_library
+from repro.netlist.core import Netlist, PinRef, PortDirection
+from repro.timing.graph import EdgeKind, NodeKind, TimingGraph
+
+LIB = make_default_library()
+
+
+def _sample():
+    n = Netlist("t", LIB)
+    n.add_port("clk", PortDirection.INPUT)
+    n.add_port("a", PortDirection.INPUT)
+    n.add_port("y", PortDirection.OUTPUT)
+    n.add_gate("u1", "NAND2_X1", {"A": "a", "B": "q", "Z": "w"})
+    n.add_gate("ff", "DFF_X1", {"D": "w", "CK": "clk", "Q": "q"})
+    n.add_gate("u2", "INV_X1", {"A": "w", "Z": "y"})
+    return n
+
+
+class TestConstruction:
+    def test_node_per_pin_and_port(self):
+        g = TimingGraph(_sample())
+        # 3 ports + u1(3 pins) + ff(3) + u2(2) = 11
+        assert g.node_count() == 11
+
+    def test_edge_kinds(self):
+        g = TimingGraph(_sample())
+        cell = [e for e in g.live_edges() if e.kind is EdgeKind.CELL]
+        net = [e for e in g.live_edges() if e.kind is EdgeKind.NET]
+        # u1: 2 arcs, ff: CK->Q, u2: 1 arc
+        assert len(cell) == 4
+        # a->u1.A, q->u1.B, w->ff.D, w->u2.A, clk->ff.CK, y port load
+        assert len(net) == 6
+
+    def test_endpoints(self):
+        netlist = _sample()
+        g = TimingGraph(netlist)
+        endpoint_refs = {
+            str(g.node(n).ref) for n in g.endpoint_nodes()
+        }
+        assert endpoint_refs == {"ff/D", "y"}
+
+    def test_endpoint_info_for_flop(self):
+        g = TimingGraph(_sample())
+        d_node = g.node_of[PinRef("ff", "D")]
+        info = g.endpoints[d_node]
+        assert info.gate == "ff"
+        assert info.setup_arc is not None and info.hold_arc is not None
+        assert g.node(info.ck_node).ref == PinRef("ff", "CK")
+
+    def test_port_kinds(self):
+        g = TimingGraph(_sample())
+        assert g.node(g.node_of[PinRef(None, "a")]).kind is NodeKind.PORT_IN
+        assert g.node(g.node_of[PinRef(None, "y")]).kind is NodeKind.PORT_OUT
+
+    def test_clock_sink_flag(self):
+        g = TimingGraph(_sample())
+        ck = g.node(g.node_of[PinRef("ff", "CK")])
+        assert ck.is_clock_sink
+
+
+class TestTopologicalOrder:
+    def test_sources_before_sinks(self):
+        g = TimingGraph(_sample())
+        order = g.topological_order()
+        position = {node_id: i for i, node_id in enumerate(order)}
+        for edge in g.live_edges():
+            assert position[edge.src] < position[edge.dst]
+
+    def test_covers_all_nodes(self):
+        g = TimingGraph(_sample())
+        assert len(g.topological_order()) == g.node_count()
+
+    def test_cycle_detected(self):
+        n = Netlist("loop", LIB)
+        n.add_gate("u1", "INV_X1", {"A": "w2", "Z": "w1"})
+        n.add_gate("u2", "INV_X1", {"A": "w1", "Z": "w2"})
+        with pytest.raises(TimingError):
+            TimingGraph(n).topological_order()
+
+
+class TestClockMarking:
+    def test_flood_stops_at_ck(self):
+        netlist = _sample()
+        g = TimingGraph(netlist)
+        g.mark_clock_tree(["clk"])
+        assert g.node(g.node_of[PinRef(None, "clk")]).is_clock_tree
+        assert g.node(g.node_of[PinRef("ff", "CK")]).is_clock_tree
+        # The data domain stays unmarked, including Q.
+        assert not g.node(g.node_of[PinRef("ff", "Q")]).is_clock_tree
+        assert not g.node(g.node_of[PinRef("u1", "A")]).is_clock_tree
+
+    def test_unknown_clock_port(self):
+        g = TimingGraph(_sample())
+        with pytest.raises(TimingError):
+            g.mark_clock_tree(["ghost"])
+
+
+class TestSurgicalUpdates:
+    def test_remove_gate_nodes(self):
+        netlist = _sample()
+        g = TimingGraph(netlist)
+        before = g.node_count()
+        netlist.remove_gate("u2")
+        g.remove_gate_nodes("u2")
+        assert g.node_count() == before - 2
+        assert PinRef("u2", "A") not in g.node_of
+        # Net edges into the removed nodes are gone too.
+        for edge in g.live_edges():
+            assert g.nodes[edge.src] is not None
+            assert g.nodes[edge.dst] is not None
+
+    def test_rebuild_net_after_load_change(self):
+        netlist = _sample()
+        g = TimingGraph(netlist)
+        netlist.connect("u2", "A", "a")   # move u2 off net w
+        g.rebuild_net("w")
+        g.rebuild_net("a")
+        w_edges = [e for e in g.live_edges() if e.net == "w"]
+        dsts = {str(g.node(e.dst).ref) for e in w_edges}
+        assert dsts == {"ff/D"}
+
+    def test_node_id_reuse(self):
+        netlist = _sample()
+        g = TimingGraph(netlist)
+        netlist.remove_gate("u2")
+        g.remove_gate_nodes("u2")
+        netlist.add_gate("u3", "INV_X1", {"A": "w", "Z": "y"})
+        g.add_gate_nodes("u3")
+        g.rebuild_net("w")
+        g.rebuild_net("y")
+        assert g.topological_order()  # still a clean DAG
+
+    def test_stale_node_access_raises(self):
+        netlist = _sample()
+        g = TimingGraph(netlist)
+        victim = g.node_of[PinRef("u2", "A")]
+        netlist.remove_gate("u2")
+        g.remove_gate_nodes("u2")
+        with pytest.raises(TimingError):
+            g.node(victim)

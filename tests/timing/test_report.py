@@ -1,0 +1,68 @@
+"""Timing-report tests."""
+
+import pytest
+
+from repro.timing.report import (
+    path_steps,
+    report_summary,
+    report_timing,
+    trace_worst_path,
+)
+
+
+class TestTraceWorstPath:
+    def test_path_ends_at_endpoint(self, fig2_engine):
+        endpoint = fig2_engine.node_id("FF4", "D")
+        edges = trace_worst_path(
+            fig2_engine.graph, fig2_engine.state, endpoint
+        )
+        assert edges
+        assert fig2_engine.graph.edge(edges[-1]).dst == endpoint
+
+    def test_path_is_connected(self, fig2_engine):
+        endpoint = fig2_engine.node_id("FF4", "D")
+        edges = trace_worst_path(
+            fig2_engine.graph, fig2_engine.state, endpoint
+        )
+        graph = fig2_engine.graph
+        for previous, current in zip(edges, edges[1:]):
+            assert graph.edge(previous).dst == graph.edge(current).src
+
+    def test_incrs_sum_to_arrival(self, fig2_engine):
+        endpoint = fig2_engine.node_id("FF4", "D")
+        edges = trace_worst_path(
+            fig2_engine.graph, fig2_engine.state, endpoint
+        )
+        steps = path_steps(fig2_engine, edges)
+        total = steps[0].arrival + sum(s.incr for s in steps[1:])
+        assert total == pytest.approx(
+            fig2_engine.state.arrival_late[endpoint]
+        )
+
+    def test_fig2_path_goes_through_main_chain(self, fig2_engine):
+        endpoint = fig2_engine.node_id("FF4", "D")
+        edges = trace_worst_path(
+            fig2_engine.graph, fig2_engine.state, endpoint
+        )
+        gates = {
+            fig2_engine.graph.edge(e).gate
+            for e in edges if fig2_engine.graph.edge(e).gate
+        }
+        assert {"G1", "G2", "G3", "G4", "G5", "G6"} <= gates
+
+
+class TestReports:
+    def test_summary_mentions_wns(self, fig2_engine):
+        text = report_summary(fig2_engine)
+        assert "WNS" in text and "-40.00" in text
+
+    def test_timing_report_shows_endpoint_block(self, fig2_engine):
+        text = report_timing(fig2_engine, max_endpoints=1)
+        assert "Endpoint: FF4/D" in text
+        assert "derate" in text
+        assert "G3" in text  # a path pin appears
+
+    def test_report_on_generated_design(self, small_engine):
+        text = report_timing(small_engine, max_endpoints=2)
+        assert "violations" in text
+        assert text.count("Endpoint:") == 2

@@ -1,0 +1,44 @@
+"""JSON timing-report tests."""
+
+import json
+
+import pytest
+
+from repro.timing.report import path_to_dict, report_timing_json
+
+
+class TestJsonReport:
+    def test_schema(self, fig2_engine):
+        payload = report_timing_json(fig2_engine, max_endpoints=2)
+        assert payload["design"] == "paper_fig2"
+        assert payload["wns"] == pytest.approx(-40.0)
+        assert len(payload["paths"]) == 2
+        worst = payload["paths"][0]
+        assert worst["endpoint"] == "FF4/D"
+        assert worst["slack"] == pytest.approx(-40.0)
+
+    def test_pins_reconstruct_arrival(self, fig2_engine):
+        payload = report_timing_json(fig2_engine, max_endpoints=1)
+        pins = payload["paths"][0]["pins"]
+        total = pins[0]["arrival"] + sum(p["incr"] for p in pins[1:])
+        assert total == pytest.approx(payload["paths"][0]["arrival"])
+
+    def test_json_serializable(self, small_engine):
+        payload = report_timing_json(small_engine)
+        json.dumps(payload)
+
+    def test_path_to_dict_matches_slack(self, small_engine):
+        worst = min(small_engine.setup_slacks(), key=lambda s: s.slack)
+        record = path_to_dict(small_engine, worst)
+        assert record["slack"] == worst.slack
+        assert record["pins"][-1]["name"] == worst.name
+
+
+class TestValidateCli:
+    def test_validate_command(self, capsys):
+        from repro.cli import main
+
+        code = main(["validate", "D1", "--rows", "5"])
+        out = capsys.readouterr().out
+        assert "error(s)" in out
+        assert code == 0  # suite designs are structurally clean

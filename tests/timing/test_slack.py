@@ -1,0 +1,111 @@
+"""Setup/hold slack extraction and required-time tests."""
+
+import math
+
+import pytest
+
+from repro.designs.paper_example import build_fig2_design
+from repro.timing.slack import (
+    CheckKind,
+    SlackSummary,
+    compute_required_times,
+    gate_worst_slacks,
+)
+from repro.timing.sta import STAEngine
+
+
+class TestFig2Slacks:
+    def test_setup_slack_values(self, fig2_engine):
+        slacks = {s.name: s.slack for s in fig2_engine.setup_slacks()}
+        # T = 700: the 740 ps GBA path violates by 40, the 510 ps side
+        # path has 190 to spare.
+        assert slacks["FF4/D"] == pytest.approx(-40.0)
+        assert slacks["FF5/D"] == pytest.approx(190.0)
+
+    def test_violating_endpoints_sorted_worst_first(self, fig2_engine):
+        violations = fig2_engine.violating_endpoints()
+        assert [v.name for v in violations] == ["FF4/D"]
+
+    def test_period_shift_moves_slack_linearly(self):
+        tight = build_fig2_design(period=600.0)
+        engine = STAEngine(tight.netlist, tight.constraints, None,
+                           tight.sta_config)
+        slacks = {s.name: s.slack for s in engine.setup_slacks()}
+        assert slacks["FF4/D"] == pytest.approx(-140.0)
+
+
+class TestSummary:
+    def test_from_slacks_aggregates(self, fig2_engine):
+        summary = fig2_engine.summary(CheckKind.SETUP)
+        assert summary.wns == pytest.approx(-40.0)
+        assert summary.tns == pytest.approx(-40.0)
+        assert summary.violations == 1
+        assert summary.endpoints == 4  # FF1/D, FF2/D, FF4/D, FF5/D
+
+    def test_empty_summary(self):
+        summary = SlackSummary.from_slacks(CheckKind.SETUP, [])
+        assert summary.wns == 0.0 and summary.endpoints == 0
+
+    def test_tns_only_sums_negatives(self, small_engine):
+        summary = small_engine.summary(CheckKind.SETUP)
+        slacks = [s.slack for s in small_engine.setup_slacks()]
+        assert summary.tns == pytest.approx(sum(s for s in slacks if s < 0))
+        assert summary.wns == pytest.approx(min(slacks))
+
+
+class TestHold:
+    def test_hold_slacks_cover_flop_endpoints(self, small_engine):
+        holds = small_engine.hold_slacks()
+        flop_endpoints = [
+            n for n in small_engine.graph.endpoint_nodes()
+            if small_engine.graph.endpoints[n].gate is not None
+        ]
+        assert len(holds) == len(flop_endpoints)
+
+    def test_hold_uses_early_data_late_clock(self, fig2_engine):
+        holds = {s.name: s for s in fig2_engine.hold_slacks()}
+        # Zero hold time and clock at 0, so hold slack == the *early*
+        # (minimum) data arrival: the 5-gate FF2->K1->G3..G6 short path
+        # at 100 ps per underated gate = 500 ps — not the 740 ps late
+        # path.
+        assert holds["FF4/D"].slack == pytest.approx(500.0)
+
+
+class TestRequiredTimes:
+    def test_required_at_endpoint_matches_slack(self, small_engine):
+        required = compute_required_times(
+            small_engine.graph, small_engine.state, small_engine.constraints
+        )
+        for s in small_engine.setup_slacks():
+            assert required[s.node] == pytest.approx(s.required)
+
+    def test_required_decreases_backward_along_path(self, small_engine):
+        """required(src) <= required(dst) - delay along every data edge."""
+        from repro.timing.propagation import effective_late
+
+        graph, state = small_engine.graph, small_engine.state
+        required = compute_required_times(
+            graph, state, small_engine.constraints
+        )
+        for edge in graph.live_edges():
+            if graph.node(edge.src).is_clock_tree:
+                continue
+            if graph.node(edge.dst).is_clock_tree:
+                continue
+            if math.isinf(required[edge.dst]):
+                continue
+            assert (
+                required[edge.src]
+                <= required[edge.dst] - effective_late(state, edge) + 1e-6
+            )
+
+    def test_gate_worst_slack_bounded_by_wns(self, small_engine):
+        required = compute_required_times(
+            small_engine.graph, small_engine.state, small_engine.constraints
+        )
+        gate_slacks = gate_worst_slacks(
+            small_engine.graph, small_engine.state, required
+        )
+        assert gate_slacks
+        wns = small_engine.summary(CheckKind.SETUP).wns
+        assert min(gate_slacks.values()) == pytest.approx(wns, abs=1e-6)
