@@ -9,11 +9,16 @@ Environment knobs:
 * ``REPRO_BENCH_DESIGNS`` — comma-separated subset (default: all ten).
 * ``REPRO_BENCH_TRANSFORMS`` — closure move budget for Tables 2/5
   (default 150).
+* ``REPRO_BENCH_METRICS_DIR`` — where each bench's metrics snapshot is
+  written as ``BENCH_<name>.json`` (default ``bench_metrics/``; set
+  empty to disable).
 """
 
 from __future__ import annotations
 
 import os
+import re
+from pathlib import Path
 
 import pytest
 
@@ -36,6 +41,31 @@ def bench_design_names() -> list[str]:
 
 def closure_budget() -> int:
     return int(os.environ.get("REPRO_BENCH_TRANSFORMS", "150"))
+
+
+@pytest.fixture(autouse=True)
+def bench_metrics_snapshot(request):
+    """Archive each bench's metrics as ``BENCH_<name>.json``.
+
+    The process-wide registry is cleared before the bench and dumped
+    after it, so every run of the suite leaves one JSON per bench —
+    solver iteration counts, timing-update histograms, etc. — tracking
+    the perf trajectory across PRs.  Work done lazily inside
+    session-scoped caches lands in the bench that first triggered it.
+    """
+    directory = os.environ.get("REPRO_BENCH_METRICS_DIR", "bench_metrics")
+    if not directory:
+        yield
+        return
+    from repro.obs import default_registry
+
+    registry = default_registry()
+    registry.reset()
+    yield
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    registry.save_json(out_dir / f"BENCH_{name}.json")
 
 
 @pytest.fixture(scope="session")

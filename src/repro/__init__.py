@@ -70,6 +70,7 @@ from repro.opt import (
     TimingClosureOptimizer,
     run_flow_comparison,
 )
+from repro import obs
 from repro.analysis import pessimism_report, summarize_pessimism
 from repro.timing.corners import Corner, MultiCornerAnalysis
 from repro.mgba.validation import endpoint_split_validation, holdout_validation
@@ -103,6 +104,8 @@ __all__ = [
     "Corner", "MultiCornerAnalysis",
     "holdout_validation", "endpoint_split_validation",
     "save_weights", "load_weights",
+    # observability (tracing spans, metrics registry, solver telemetry)
+    "obs",
     # designs
     "Design", "DesignSpec", "build_design", "generate_design",
     "__version__",

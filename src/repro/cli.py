@@ -2,11 +2,21 @@
 
 Subcommands
 -----------
-``sta``       report GBA timing of a suite design (or Verilog files).
-``mgba``      run the mGBA flow and report correlation before/after.
-``closure``   run the closure optimizer (GBA- or mGBA-driven).
-``generate``  emit a suite design as Verilog + SDC + AOCV files.
-``designs``   list the D1-D10 suite.
+``sta``        report GBA timing of a suite design (or Verilog files).
+``mgba``       run the mGBA flow and report correlation before/after.
+``closure``    run the closure optimizer (GBA- or mGBA-driven).
+``generate``   emit a suite design as Verilog + SDC + AOCV files.
+``designs``    list the D1-D10 suite.
+``obs-report`` pretty-print a captured trace as a runtime breakdown.
+
+Global observability flags (before the subcommand):
+
+* ``--trace FILE`` — capture every tracing span of the run as JSONL
+  (read it back with ``obs-report``);
+* ``--chrome-trace FILE`` — same spans as a Chrome ``trace_event``
+  file for ``chrome://tracing`` / Perfetto;
+* ``--metrics FILE`` — dump the metrics registry (counters, gauges,
+  histograms) as JSON when the command finishes.
 """
 
 from __future__ import annotations
@@ -98,7 +108,36 @@ def _cmd_mgba(args) -> int:
     return 0
 
 
+def _cmd_obs_report(args) -> int:
+    import json
+
+    from repro.obs import format_breakdown, load_trace
+
+    try:
+        roots = load_trace(args.trace_file)
+    except FileNotFoundError:
+        print(f"obs-report: no such trace file: {args.trace_file}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        print(f"obs-report: {args.trace_file} is not a span JSONL "
+              f"trace ({exc})", file=sys.stderr)
+        return 2
+    spans = sum(1 for root in roots for _ in root.walk())
+    print(f"Trace {args.trace_file}: {len(roots)} root span(s), "
+          f"{spans} total")
+    print()
+    print(format_breakdown(roots))
+    return 0
+
+
 def _cmd_closure(args) -> int:
+    name = args.design or args.design_flag
+    if not name:
+        print("closure: a design name is required "
+              "(positional or --design)", file=sys.stderr)
+        return 2
+    args.design = name
     design = build_design(args.design)
     config = ClosureConfig(
         use_mgba=args.mgba,
@@ -229,6 +268,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="mGBA pessimism-reduction framework (DAC'18 repro)",
     )
     parser.add_argument("-v", "--verbose", action="store_true")
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a JSONL span trace of the run (see obs-report)",
+    )
+    parser.add_argument(
+        "--chrome-trace", metavar="FILE",
+        help="write a Chrome trace_event file of the run",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE",
+        help="write the metrics-registry snapshot as JSON",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_designs = sub.add_parser("designs", help="list the design suite")
@@ -257,7 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_clo = sub.add_parser("closure", help="run closure optimization")
-    p_clo.add_argument("design")
+    p_clo.add_argument("design", nargs="?", default=None)
+    p_clo.add_argument(
+        "--design", dest="design_flag", metavar="NAME",
+        help="design name (alternative to the positional argument)",
+    )
     p_clo.add_argument("--mgba", action="store_true")
     p_clo.add_argument("--max-transforms", type=int, default=200)
     p_clo.add_argument("--acceptable", type=int, default=0)
@@ -292,6 +347,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_corners.add_argument("design")
 
+    p_obs = sub.add_parser(
+        "obs-report",
+        help="per-stage runtime breakdown of a --trace JSONL file",
+    )
+    p_obs.add_argument("trace_file")
+
     return parser
 
 
@@ -305,6 +366,7 @@ _COMMANDS = {
     "pessimism": _cmd_pessimism,
     "validate": _cmd_validate,
     "corners": _cmd_corners,
+    "obs-report": _cmd_obs_report,
 }
 
 
@@ -313,7 +375,33 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.verbose:
         enable_console_logging()
-    return _COMMANDS[args.command](args)
+    for out_path in (args.trace, args.chrome_trace, args.metrics):
+        if out_path:
+            parent = Path(out_path).parent
+            if str(parent) != "." and not parent.is_dir():
+                print(f"repro-sta: output directory does not exist: "
+                      f"{parent}", file=sys.stderr)
+                return 2
+    tracer = None
+    if args.trace or args.chrome_trace:
+        from repro.obs import install_tracer
+
+        tracer = install_tracer()
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if tracer is not None:
+            from repro.obs import uninstall_tracer
+
+            uninstall_tracer()
+            if args.trace:
+                tracer.export_jsonl(args.trace)
+            if args.chrome_trace:
+                tracer.export_chrome(args.chrome_trace)
+        if args.metrics:
+            from repro.obs import default_registry
+
+            default_registry().save_json(args.metrics)
 
 
 if __name__ == "__main__":

@@ -16,7 +16,6 @@ runtime breakdown, which is everything Tables 3-5 need.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +32,8 @@ from repro.mgba.solvers import (
     solve_scg,
     solve_with_row_sampling,
 )
+from repro.obs.metrics import counter, gauge
+from repro.obs.trace import Span, span
 from repro.pba.engine import PBAEngine
 from repro.pba.enumerate import enumerate_worst_paths
 from repro.pba.paths import TimingPath
@@ -78,9 +79,19 @@ class MGBAConfig:
         return runner(problem, self)
 
 
+#: Stage keys of one flow invocation, in execution order.
+STAGE_NAMES = ("select", "pba", "solve", "apply")
+
+
 @dataclass
 class MGBAResult:
-    """Everything produced by one mGBA flow invocation."""
+    """Everything produced by one mGBA flow invocation.
+
+    The runtime breakdown lives in ``stages`` — one
+    :class:`~repro.obs.trace.Span` per flow stage (``"apply"`` is
+    absent when ``run(apply=False)``); the ``seconds_*`` properties
+    are derived views kept for backward compatibility.
+    """
 
     paths: list[TimingPath]
     problem: MGBAProblem
@@ -90,18 +101,35 @@ class MGBAResult:
     mse_mgba: float
     pass_ratio_gba: float
     pass_ratio_mgba: float
-    seconds_select: float
-    seconds_pba: float
-    seconds_solve: float
-    seconds_apply: float
+    stages: dict[str, Span] = field(default_factory=dict)
+    #: The enclosing ``mgba.run`` span (stage spans are its children).
+    run_span: Span | None = None
+
+    def stage_seconds(self, name: str) -> float:
+        """Wall seconds of one stage (0.0 when the stage did not run)."""
+        stage = self.stages.get(name)
+        return stage.duration if stage is not None else 0.0
+
+    @property
+    def seconds_select(self) -> float:
+        return self.stage_seconds("select")
+
+    @property
+    def seconds_pba(self) -> float:
+        return self.stage_seconds("pba")
+
+    @property
+    def seconds_solve(self) -> float:
+        return self.stage_seconds("solve")
+
+    @property
+    def seconds_apply(self) -> float:
+        return self.stage_seconds("apply")
 
     @property
     def total_seconds(self) -> float:
-        """Wall clock of the whole flow."""
-        return (
-            self.seconds_select + self.seconds_pba
-            + self.seconds_solve + self.seconds_apply
-        )
+        """Wall clock of the whole flow: the sum of its stage spans."""
+        return sum(stage.duration for stage in self.stages.values())
 
     @property
     def pass_ratio_improvement(self) -> float:
@@ -132,29 +160,44 @@ class MGBAFlow:
         engine.clear_gate_weights()
         engine.update_timing()
 
-        t0 = time.perf_counter()
-        paths = self.select_paths(engine)
-        t1 = time.perf_counter()
-        if not paths:
-            raise SolverError(
-                "no timing paths selected; is the design constrained?"
+        stages: dict[str, Span] = {}
+        with span("mgba.run", solver=self.config.solver) as run_span:
+            with span("mgba.select") as stages["select"]:
+                paths = self.select_paths(engine)
+            stages["select"].set(paths=len(paths))
+            counter("paths.selected").inc(len(paths))
+            if not paths:
+                raise SolverError(
+                    "no timing paths selected; is the design constrained?"
+                )
+            with span("mgba.pba") as stages["pba"]:
+                pba = PBAEngine(engine, recalc_slew=self.config.recalc_slew)
+                pba.analyze(paths)
+                # Never fit against false paths: their "golden" slack is
+                # a fiction (the path cannot happen), and set_false_path
+                # is exactly the launch-pair information GBA lacks.
+                paths = [p for p in paths if not p.is_false]
+            if not paths:
+                raise SolverError("every selected path is a false path")
+            with span("mgba.solve", solver=self.config.solver) \
+                    as stages["solve"]:
+                problem = build_problem(
+                    paths,
+                    epsilon=self.config.epsilon,
+                    penalty=self.config.penalty,
+                )
+                solution = self.config.solve(problem)
+            stages["solve"].set(
+                rows=problem.num_paths,
+                gates=problem.num_gates,
+                iterations=solution.iterations,
             )
-        pba = PBAEngine(engine, recalc_slew=self.config.recalc_slew)
-        pba.analyze(paths)
-        # Never fit against false paths: their "golden" slack is a
-        # fiction (the path cannot happen), and set_false_path is
-        # exactly the launch-pair information GBA lacks.
-        paths = [p for p in paths if not p.is_false]
-        if not paths:
-            raise SolverError("every selected path is a false path")
-        t2 = time.perf_counter()
-        problem = build_problem(
-            paths, epsilon=self.config.epsilon, penalty=self.config.penalty
-        )
-        solution = self.config.solve(problem)
-        t3 = time.perf_counter()
-        weights = weights_from_solution(problem, solution.x)
-        corrected = problem.corrected_slacks(solution.x)
+            weights = weights_from_solution(problem, solution.x)
+            corrected = problem.corrected_slacks(solution.x)
+            if apply:
+                with span("mgba.apply") as stages["apply"]:
+                    engine.set_gate_weights(weights)
+                    engine.update_timing()
         result = MGBAResult(
             paths=paths,
             problem=problem,
@@ -164,16 +207,11 @@ class MGBAFlow:
             mse_mgba=mse(corrected, problem.s_pba),
             pass_ratio_gba=pass_ratio(problem.s_gba, problem.s_pba),
             pass_ratio_mgba=pass_ratio(corrected, problem.s_pba),
-            seconds_select=t1 - t0,
-            seconds_pba=t2 - t1,
-            seconds_solve=t3 - t2,
-            seconds_apply=0.0,
+            stages=stages,
+            run_span=run_span,
         )
-        if apply:
-            t4 = time.perf_counter()
-            engine.set_gate_weights(weights)
-            engine.update_timing()
-            result.seconds_apply = time.perf_counter() - t4
+        gauge("mgba.pass_ratio").set(result.pass_ratio_mgba)
+        gauge("mgba.mse").set(result.mse_mgba)
         return result
 
 

@@ -12,8 +12,10 @@ import numpy as np
 class SolverResult:
     """Outcome of one solver run.
 
-    ``history`` records the objective (or tracked metric) per outer
-    iteration so benches can plot convergence; ``extras`` carries
+    ``history`` records the objective samples so benches can plot
+    convergence, and ``history_iters`` the iteration index each sample
+    was taken at (SCG samples only every ``objective_every`` iterations,
+    so the x-axis is *not* ``range(len(history))``); ``extras`` carries
     solver-specific data (e.g. the row counts of Algorithm 1's doubling
     schedule).
     """
@@ -25,7 +27,12 @@ class SolverResult:
     runtime: float
     objective: float
     history: list[float] = field(default_factory=list)
+    history_iters: list[int] = field(default_factory=list)
     extras: dict = field(default_factory=dict)
+
+    def convergence_curve(self) -> "list[tuple[int, float]]":
+        """(iteration, objective) pairs — the plottable history."""
+        return list(zip(self.history_iters, self.history))
 
 
 class Stopwatch:

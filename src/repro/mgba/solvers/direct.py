@@ -41,6 +41,7 @@ def solve_direct(
     weight = np.sqrt(problem.penalty)
     x = np.zeros(problem.num_gates)
     history: list[float] = []
+    history_iters: list[int] = []
     iterations = 0
     for outer in range(max_outer):
         if outer == 0:
@@ -60,6 +61,7 @@ def solve_direct(
         x = result[0]
         iterations += int(result[2])
         history.append(problem.objective(x))
+        history_iters.append(iterations)
         if outer > 0 and np.all(matrix @ x >= lower - 1e-9):
             break
     return SolverResult(
@@ -70,4 +72,5 @@ def solve_direct(
         runtime=watch.elapsed(),
         objective=problem.objective(x),
         history=history,
+        history_iters=history_iters,
     )

@@ -13,6 +13,8 @@ import numpy as np
 
 from repro.mgba.problem import MGBAProblem
 from repro.mgba.solvers.base import SolverResult, Stopwatch, relative_change
+from repro.obs.metrics import counter, histogram
+from repro.obs.telemetry import IterationStats, iteration_callbacks
 
 
 def solve_gd(
@@ -22,15 +24,20 @@ def solve_gd(
     eps: float = 1e-3,
     max_iter: int = 2000,
     step_decay: float = 0.01,
+    on_iteration=None,
 ) -> SolverResult:
     """Minimize the penalized objective by plain gradient descent.
 
     Parameters mirror Algorithm 2 where they overlap: ``step`` is the
     paper's s = 0.02, ``eps`` its convergence parameter 1e-3.
+    ``on_iteration`` (plus process-wide subscribers) receives one
+    :class:`~repro.obs.telemetry.IterationStats` per iteration.
     """
     watch = Stopwatch()
+    callbacks = iteration_callbacks(on_iteration)
     x = np.zeros(problem.num_gates) if x0 is None else x0.astype(float).copy()
     history: list[float] = []
+    history_iters: list[int] = []
     converged = False
     iteration = 0
     for iteration in range(1, max_iter + 1):
@@ -43,16 +50,31 @@ def solve_gd(
         x_next = x - alpha * grad
         change = relative_change(x_next, x)
         x = x_next
-        history.append(problem.objective(x))
+        current = problem.objective(x)
+        history.append(current)
+        history_iters.append(iteration)
+        if callbacks:
+            stats = IterationStats(
+                solver="gd", iteration=iteration, grad_norm=norm,
+                step=alpha, beta=0.0, objective=current,
+                x_change=change, rows=problem.num_paths,
+            )
+            for callback in callbacks:
+                callback(stats)
         if change < eps:
             converged = True
             break
+    runtime = watch.elapsed()
+    counter("solver.runs").inc()
+    counter("solver.iterations").inc(iteration)
+    histogram("solver.solve_seconds").observe(runtime)
     return SolverResult(
         x=x,
         solver="gd",
         iterations=iteration,
         converged=converged,
-        runtime=watch.elapsed(),
+        runtime=runtime,
         objective=problem.objective(x),
         history=history,
+        history_iters=history_iters,
     )

@@ -20,6 +20,7 @@ import numpy as np
 from repro.mgba.problem import MGBAProblem
 from repro.mgba.solvers.base import SolverResult, Stopwatch, relative_change
 from repro.mgba.solvers.scg import solve_scg
+from repro.obs.metrics import counter, histogram
 from repro.utils.rng import make_rng
 
 
@@ -31,6 +32,7 @@ def solve_with_row_sampling(
     max_rounds: int = 32,
     seed=None,
     scg_kwargs: dict | None = None,
+    on_iteration=None,
 ) -> SolverResult:
     """Run Algorithm 1 (uniform sampling + SCG inner solves).
 
@@ -45,11 +47,18 @@ def solve_with_row_sampling(
     one and the solution-movement test measures real convergence rather
     than subset-resampling noise.  The inner SCG warm-starts from the
     previous round's solution.
+
+    ``on_iteration`` is forwarded to every inner SCG solve, so a
+    subscriber sees the concatenated per-iteration stream across
+    rounds (``IterationStats.iteration`` restarts with each round's
+    fresh step schedule; ``rows`` identifies the round's subset size).
     """
     watch = Stopwatch()
     rng = make_rng(seed)
     scg_kwargs = dict(scg_kwargs or {})
     scg_kwargs.setdefault("seed", rng)
+    if on_iteration is not None:
+        scg_kwargs.setdefault("on_iteration", on_iteration)
     # Inner rounds are probes, not final answers: sample the objective
     # often, call a stall early, and cap the iteration budget — the
     # doubling schedule (not any single round) carries convergence.
@@ -63,6 +72,7 @@ def solve_with_row_sampling(
     x = np.zeros(problem.num_gates)
     rounds: list[dict] = []
     history: list[float] = []
+    history_iters: list[int] = []
     total_iterations = 0
     converged = False
     for _ in range(max_rounds):
@@ -77,6 +87,9 @@ def solve_with_row_sampling(
         x = inner.x
         objective = problem.objective(x)
         history.append(objective)
+        # x-axis for convergence plots: cumulative inner iterations
+        # spent when this full-problem objective was sampled.
+        history_iters.append(total_iterations)
         # The paper's row-count condition: m'' must exceed the number
         # of nonzero components of x*, else the reduced system is
         # underdetermined and its solution overfits the sampled rows.
@@ -101,13 +114,19 @@ def solve_with_row_sampling(
         # min_rows floor is in force the paper's pure ratio-doubling
         # would wastefully re-run identical round sizes.
         ratio = max(ratio * 2.0, 2.0 * rows_wanted / m)
+    runtime = watch.elapsed()
+    counter("sampling.rounds").inc(len(rounds))
+    histogram("sampling.round_rows").observe(
+        rounds[-1]["rows"] if rounds else 0
+    )
     return SolverResult(
         x=x,
         solver="scg+rs",
         iterations=total_iterations,
         converged=converged,
-        runtime=watch.elapsed(),
+        runtime=runtime,
         objective=problem.objective(x),
         history=history,
+        history_iters=history_iters,
         extras={"rounds": rounds},
     )

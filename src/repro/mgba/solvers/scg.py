@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.mgba.problem import MGBAProblem
 from repro.mgba.solvers.base import SolverResult, Stopwatch, relative_change
+from repro.obs.metrics import counter, histogram
+from repro.obs.telemetry import IterationStats, iteration_callbacks
 from repro.utils.rng import make_rng
 
 
@@ -49,6 +51,7 @@ def solve_scg(
     stall_checks: int = 8,
     stall_tol: float = 1e-3,
     seed=None,
+    on_iteration=None,
 ) -> SolverResult:
     """Run Algorithm 2 on a problem.
 
@@ -65,9 +68,17 @@ def solve_scg(
     ``objective_every`` iterations the true objective is sampled; when
     the best of the last ``stall_checks`` samples no longer improves on
     the best before them by ``stall_tol`` (relative), the run stops.
+
+    ``on_iteration`` (plus any process-wide subscriber from
+    :mod:`repro.obs.telemetry`) receives one
+    :class:`~repro.obs.telemetry.IterationStats` per iteration.
+    Telemetry only *reads* values the solver already computed — it
+    never touches the RNG stream, so an instrumented run returns a
+    bit-identical ``x`` for the same seed.
     """
     watch = Stopwatch()
     rng = make_rng(seed)
+    callbacks = iteration_callbacks(on_iteration)
     m = problem.num_paths
     k_rows = max(1, int(round(rows_fraction * m)))
     # Eq. (11)'s distribution is fixed for a given A, so build the
@@ -80,11 +91,13 @@ def solve_scg(
     grad_prev = np.zeros_like(x)
     direction = np.zeros_like(x)
     history: list[float] = []
+    history_iters: list[int] = []
     converged = False
     small_steps = 0
     iteration = 0
     best_objective = problem.objective(x)
     best_x = x.copy()
+    grad_norm_hist = histogram("scg.grad_norm")
     for iteration in range(1, max_iter + 1):
         rows = np.searchsorted(cumulative, rng.random(k_rows), side="right")
         grad = problem.row_gradient(x, rows)
@@ -110,9 +123,13 @@ def solve_scg(
         change = relative_change(x_next, x)
         x = x_next
         grad_prev = grad
+        stalled = False
+        sampled: float | None = None
         if iteration % objective_every == 0:
-            current = problem.objective(x)
+            sampled = current = problem.objective(x)
             history.append(current)
+            history_iters.append(iteration)
+            grad_norm_hist.observe(norm)
             if current < best_objective:
                 best_objective = current
                 best_x = x.copy()
@@ -120,8 +137,18 @@ def solve_scg(
                 recent_best = min(history[-stall_checks:])
                 earlier_best = min(history[:-stall_checks])
                 if recent_best > earlier_best * (1.0 - stall_tol):
-                    converged = True
-                    break
+                    stalled = True
+        if callbacks:
+            stats = IterationStats(
+                solver="scg", iteration=decay_clock, grad_norm=norm,
+                step=alpha, beta=beta, objective=sampled,
+                x_change=change, rows=k_rows,
+            )
+            for callback in callbacks:
+                callback(stats)
+        if stalled:
+            converged = True
+            break
         if change < eps:
             small_steps += 1
             if small_steps >= check_window:
@@ -135,13 +162,18 @@ def solve_scg(
         # happened to stop.
         x = best_x
         final = best_objective
+    runtime = watch.elapsed()
+    counter("solver.runs").inc()
+    counter("solver.iterations").inc(iteration)
+    histogram("solver.solve_seconds").observe(runtime)
     return SolverResult(
         x=x,
         solver="scg",
         iterations=iteration,
         converged=converged,
-        runtime=watch.elapsed(),
+        runtime=runtime,
         objective=final,
         history=history,
+        history_iters=history_iters,
         extras={"rows_per_iteration": k_rows},
     )

@@ -1,0 +1,66 @@
+"""Observability layer: tracing spans, metrics, solver telemetry.
+
+Three independent, zero-dependency facilities the rest of the library
+is instrumented with (see ``docs/observability.md`` for the tour):
+
+* :mod:`repro.obs.trace` — hierarchical :func:`span` context managers
+  with wall/CPU time and attributes, collected by a :class:`Tracer`
+  and exportable as JSONL or Chrome ``trace_event`` files;
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of counters, gauges, and fixed-bucket histograms;
+* :mod:`repro.obs.telemetry` — per-iteration :class:`IterationStats`
+  callbacks published by the mGBA solvers.
+
+Everything is importable from the package root::
+
+    from repro.obs import span, tracing, counter, record_iterations
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    default_registry,
+    gauge,
+    histogram,
+)
+from repro.obs.report import (
+    format_breakdown,
+    format_tracer,
+    load_trace,
+    stage_breakdown,
+)
+from repro.obs.telemetry import (
+    IterationStats,
+    iteration_callbacks,
+    record_iterations,
+    subscribe,
+    unsubscribe,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    install_tracer,
+    span,
+    tracing,
+    uninstall_tracer,
+)
+
+__all__ = [
+    # tracing
+    "Span", "Tracer", "span", "tracing",
+    "install_tracer", "uninstall_tracer",
+    "current_tracer", "current_span",
+    # metrics
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "default_registry", "counter", "gauge", "histogram",
+    # telemetry
+    "IterationStats", "subscribe", "unsubscribe",
+    "iteration_callbacks", "record_iterations",
+    # reports
+    "load_trace", "stage_breakdown", "format_breakdown", "format_tracer",
+]

@@ -1,0 +1,153 @@
+"""Reading traces back: JSONL parsing and per-stage breakdown tables.
+
+The inverse of :meth:`repro.obs.trace.Tracer.export_jsonl`:
+:func:`load_trace` re-assembles the span forest from a JSONL file, and
+:func:`format_breakdown` renders it as the per-stage runtime table the
+``repro-sta obs-report`` subcommand prints::
+
+    stage                        calls   wall(s)    cpu(s)   self(s)      %
+    closure.run                      1     12.41     12.38      0.52  100.0
+      closure.mgba_fit               1      3.10      3.09      0.01   25.0
+        mgba.run                     1      3.09      3.08      0.02   24.9
+          mgba.select                1      0.41      0.41      0.41    3.3
+    ...
+
+Aggregation is by *tree path*: two spans count in the same row when
+their name chain from the root matches, so repeated stages (every
+``sta.update_timing`` inside the fix loop) fold into one row with a
+call count instead of thousands of lines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.trace import Span, Tracer
+
+
+def parse_records(records: "list[dict]") -> "list[Span]":
+    """Rebuild the span forest from flattened records (see to_records)."""
+    spans: dict[int, Span] = {}
+    roots: list[Span] = []
+    for record in records:
+        span_obj = Span(
+            name=record["name"],
+            attrs=dict(record.get("attrs") or {}),
+            start=record.get("start", 0.0),
+            end=record.get("end"),
+            cpu_start=record.get("cpu_start", 0.0),
+            cpu_end=record.get("cpu_end"),
+            error=record.get("error"),
+        )
+        spans[record["id"]] = span_obj
+        parent = record.get("parent")
+        if parent is None:
+            roots.append(span_obj)
+        else:
+            try:
+                spans[parent].children.append(span_obj)
+            except KeyError:
+                raise ValueError(
+                    f"span {record['id']} references unknown parent {parent}"
+                ) from None
+    return roots
+
+
+def load_trace(path) -> "list[Span]":
+    """Load a JSONL trace file into its root spans."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return parse_records(records)
+
+
+@dataclass
+class BreakdownRow:
+    """Aggregate of every span sharing one name chain from the root."""
+
+    path: tuple[str, ...]
+    calls: int = 0
+    wall: float = 0.0
+    cpu: float = 0.0
+    self_wall: float = 0.0
+    errors: int = 0
+    children: "dict[str, BreakdownRow]" = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.path[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.path) - 1
+
+
+def stage_breakdown(roots: "list[Span]") -> "list[BreakdownRow]":
+    """Fold a span forest into aggregated rows, one per name chain."""
+    top: dict[str, BreakdownRow] = {}
+
+    def fold(span_obj: Span, siblings: "dict[str, BreakdownRow]",
+             prefix: tuple[str, ...]) -> None:
+        path = prefix + (span_obj.name,)
+        row = siblings.get(span_obj.name)
+        if row is None:
+            row = siblings[span_obj.name] = BreakdownRow(path=path)
+        row.calls += 1
+        row.wall += span_obj.duration
+        row.cpu += span_obj.cpu_seconds
+        row.self_wall += span_obj.self_seconds
+        if span_obj.error is not None:
+            row.errors += 1
+        for child in span_obj.children:
+            fold(child, row.children, path)
+
+    for root in roots:
+        fold(root, top, ())
+
+    rows: list[BreakdownRow] = []
+
+    def flatten(row: BreakdownRow) -> None:
+        rows.append(row)
+        for child in sorted(
+            row.children.values(), key=lambda r: -r.wall
+        ):
+            flatten(child)
+
+    for row in sorted(top.values(), key=lambda r: -r.wall):
+        flatten(row)
+    return rows
+
+
+def format_breakdown(roots: "list[Span]") -> str:
+    """Render the per-stage runtime breakdown table."""
+    rows = stage_breakdown(roots)
+    if not rows:
+        return "(empty trace)"
+    total_wall = sum(r.wall for r in rows if r.depth == 0) or 1.0
+    name_width = max(
+        len("stage"), *(2 * r.depth + len(r.name) for r in rows)
+    )
+    header = (
+        f"{'stage':<{name_width}}  {'calls':>6}  {'wall(s)':>9}  "
+        f"{'cpu(s)':>9}  {'self(s)':>9}  {'%':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        label = "  " * row.depth + row.name
+        if row.errors:
+            label += f" [!{row.errors}]"
+        lines.append(
+            f"{label:<{name_width}}  {row.calls:>6}  {row.wall:>9.3f}  "
+            f"{row.cpu:>9.3f}  {row.self_wall:>9.3f}  "
+            f"{100.0 * row.wall / total_wall:>6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_tracer(tracer: Tracer) -> str:
+    """Breakdown of a live (in-memory) tracer."""
+    return format_breakdown(tracer.roots)

@@ -1,0 +1,96 @@
+"""Per-iteration solver telemetry.
+
+The solvers (:func:`~repro.mgba.solvers.scg.solve_scg`,
+:func:`~repro.mgba.solvers.gd.solve_gd`, and the Algorithm-1 wrapper)
+publish one :class:`IterationStats` per outer iteration to whoever
+subscribed — either a callback passed directly as ``on_iteration=`` or
+a process-wide subscriber registered here.
+
+Design constraints (see the solver docstrings):
+
+* **No RNG perturbation** — stats are read-only views of values the
+  solver already computed; a telemetry-enabled run is bit-identical to
+  a silent one for the same seed.
+* **Cheap no-subscriber path** — solvers snapshot the subscriber tuple
+  once per solve and guard the hot loop with a single truthiness check;
+  with nobody listening the cost is one ``if`` per iteration.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """One solver iteration, as seen from outside.
+
+    ``objective`` is ``None`` on iterations where the solver did not
+    sample it (SCG samples every ``objective_every`` iterations — the
+    full objective is exactly the cost stochastic solvers avoid).
+    ``beta`` is the Polak-Ribiere mixing coefficient (0.0 for plain
+    gradient descent).  ``step`` is the applied step length alpha_k.
+    """
+
+    solver: str
+    iteration: int
+    grad_norm: float
+    step: float
+    beta: float = 0.0
+    objective: float | None = None
+    x_change: float = 0.0
+    #: Rows visited this iteration (k'' for SCG, m for GD).
+    rows: int = 0
+
+
+IterationCallback = Callable[[IterationStats], None]
+
+_subscribers: list[IterationCallback] = []
+
+
+def subscribe(callback: IterationCallback) -> IterationCallback:
+    """Register a process-wide per-iteration callback; returns it."""
+    _subscribers.append(callback)
+    return callback
+
+
+def unsubscribe(callback: IterationCallback) -> None:
+    """Remove a previously registered callback (no-op if absent)."""
+    try:
+        _subscribers.remove(callback)
+    except ValueError:
+        pass
+
+
+def iteration_callbacks(
+    extra: Optional[IterationCallback] = None,
+) -> tuple[IterationCallback, ...]:
+    """Solver-side snapshot: global subscribers plus a local callback.
+
+    Returns an (often empty) tuple the solver captures once per run —
+    subscription changes mid-solve intentionally do not take effect.
+    """
+    if extra is None:
+        return tuple(_subscribers)
+    return tuple(_subscribers) + (extra,)
+
+
+@contextmanager
+def record_iterations(into: "list[IterationStats] | None" = None):
+    """Scope-subscribe a list collector; yields the list.
+
+    ::
+
+        with record_iterations() as stats:
+            solve_scg(problem, seed=0)
+        print(stats[-1].grad_norm)
+    """
+    collected: list[IterationStats] = [] if into is None else into
+    callback = collected.append
+    subscribe(callback)
+    try:
+        yield collected
+    finally:
+        unsubscribe(callback)

@@ -1,0 +1,235 @@
+"""Hierarchical tracing spans (zero-dependency).
+
+A *span* is one timed region of the flow — ``mgba.solve``, say — with a
+wall-clock interval, a CPU-time interval, arbitrary attributes, and
+child spans for the regions nested inside it.  Opening a span is cheap
+(two clock reads and one small object), so the instrumented layers open
+them unconditionally: the span a caller keeps (``MGBAResult.stages``)
+is useful even when no collector is installed, and everything else is
+garbage the moment the ``with`` block exits.
+
+A :class:`Tracer` collects every *root* span closed while it is
+installed (:func:`install_tracer` / the :func:`tracing` context
+manager), and can export the forest as JSONL (one flattened span per
+line, re-assemblable by :mod:`repro.obs.report`) or as a Chrome
+``trace_event`` file loadable in ``chrome://tracing`` / Perfetto.
+
+Typical use::
+
+    from repro.obs import span, tracing
+
+    with tracing() as tracer:
+        with span("flow", design="D3"):
+            with span("flow.solve"):
+                ...
+    tracer.export_jsonl("trace.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One timed, attributed, possibly-nested region."""
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start: float = 0.0        #: perf_counter at open (s)
+    end: float | None = None  #: perf_counter at close; None while open
+    cpu_start: float = 0.0    #: process_time at open (s)
+    cpu_end: float | None = None
+    children: "list[Span]" = field(default_factory=list)
+    error: str | None = None  #: exception type name if the body raised
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def cpu_seconds(self) -> float:
+        """CPU seconds consumed by the process inside this span."""
+        if self.cpu_end is None:
+            return 0.0
+        return self.cpu_end - self.cpu_start
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall seconds not covered by any child span."""
+        return self.duration - sum(c.duration for c in self.children)
+
+    def child(self, name: str) -> "Span | None":
+        """First direct child with this name (None when absent)."""
+        for c in self.children:
+            if c.name == name:
+                return c
+        return None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to an open (or closed) span."""
+        self.attrs.update(attrs)
+        return self
+
+    def walk(self) -> "Iterator[Span]":
+        """This span and every descendant, depth-first, pre-order."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+
+class _State(threading.local):
+    """Per-thread open-span stack + installed tracer."""
+
+    def __init__(self):
+        self.stack: list[Span] = []
+        self.tracer: "Tracer | None" = None
+
+
+_state = _State()
+
+
+class Tracer:
+    """Collects the root spans closed while installed."""
+
+    def __init__(self):
+        self.roots: list[Span] = []
+
+    def add_root(self, span_obj: Span) -> None:
+        self.roots.append(span_obj)
+
+    def all_spans(self) -> Iterator[Span]:
+        """Every collected span, depth-first across roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_records(self) -> list[dict]:
+        """Flatten the forest to JSON-able records.
+
+        Each record carries an ``id`` (depth-first index) and
+        ``parent`` id (None for roots) so the tree round-trips.
+        """
+        records: list[dict] = []
+
+        def emit(span_obj: Span, parent: int | None) -> None:
+            my_id = len(records)
+            record = {
+                "id": my_id,
+                "parent": parent,
+                "name": span_obj.name,
+                "start": span_obj.start,
+                "end": span_obj.end,
+                "cpu_start": span_obj.cpu_start,
+                "cpu_end": span_obj.cpu_end,
+                "attrs": span_obj.attrs,
+            }
+            if span_obj.error is not None:
+                record["error"] = span_obj.error
+            records.append(record)
+            for c in span_obj.children:
+                emit(c, my_id)
+
+        for root in self.roots:
+            emit(root, None)
+        return records
+
+    def export_jsonl(self, path) -> None:
+        """Write one flattened span record per line."""
+        with open(path, "w") as fh:
+            for record in self.to_records():
+                fh.write(json.dumps(record, default=str) + "\n")
+
+    def export_chrome(self, path) -> None:
+        """Write a Chrome ``trace_event`` file (``chrome://tracing``)."""
+        events = []
+        for record in self.to_records():
+            end = record["end"]
+            duration = 0.0 if end is None else end - record["start"]
+            events.append({
+                "name": record["name"],
+                "ph": "X",
+                "ts": record["start"] * 1e6,   # microseconds
+                "dur": duration * 1e6,
+                "pid": 1,
+                "tid": 1,
+                "args": record["attrs"],
+            })
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": events}, fh, default=str)
+
+
+def install_tracer(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) the collector for this thread's root spans."""
+    if tracer is None:
+        tracer = Tracer()
+    _state.tracer = tracer
+    return tracer
+
+
+def uninstall_tracer() -> Tracer | None:
+    """Remove and return the installed tracer (None when absent)."""
+    tracer = _state.tracer
+    _state.tracer = None
+    return tracer
+
+
+def current_tracer() -> Tracer | None:
+    """The installed tracer, if any."""
+    return _state.tracer
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, if any."""
+    return _state.stack[-1] if _state.stack else None
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None):
+    """Scope-install a tracer: ``with tracing() as t: ... t.roots``."""
+    previous = _state.tracer
+    installed = install_tracer(tracer)
+    try:
+        yield installed
+    finally:
+        _state.tracer = previous
+
+
+@contextmanager
+def span(name: str, **attrs: Any):
+    """Open a span named ``name``; nests under any enclosing span.
+
+    Always times the region and yields the :class:`Span` (callers may
+    keep it — the mGBA flow does, for its runtime breakdown).  The span
+    is attached to the enclosing open span when there is one, and
+    handed to the installed tracer when it closes as a root.
+    """
+    span_obj = Span(name=name, attrs=attrs)
+    stack = _state.stack
+    parent = stack[-1] if stack else None
+    if parent is not None:
+        parent.children.append(span_obj)
+    stack.append(span_obj)
+    span_obj.start = time.perf_counter()
+    span_obj.cpu_start = time.process_time()
+    try:
+        yield span_obj
+    except BaseException as exc:
+        span_obj.error = type(exc).__name__
+        raise
+    finally:
+        span_obj.cpu_end = time.process_time()
+        span_obj.end = time.perf_counter()
+        stack.pop()
+        if parent is None and _state.tracer is not None:
+            _state.tracer.add_root(span_obj)

@@ -21,12 +21,13 @@ real violations, and exits earlier with a smaller design — Table 2.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.mgba.flow import MGBAConfig, MGBAFlow, MGBAResult
 from repro.netlist.core import Netlist
 from repro.netlist.placement import Placement
+from repro.obs.metrics import counter
+from repro.obs.trace import Span, span
 from repro.opt.qor import QoRMetrics
 from repro.opt.transforms import TransformEngine
 from repro.sdc.constraints import Constraints
@@ -89,6 +90,10 @@ class ClosureReport:
     #: Replayable ECO commands for every accepted move, in order (see
     #: :mod:`repro.opt.eco`).
     eco_commands: list[str] = field(default_factory=list)
+    #: The ``closure.run`` tracing span (fix/recover/mGBA stages are
+    #: its children); the ``seconds_*`` fields above are derived from
+    #: its tree.
+    run_span: Span | None = None
 
     @property
     def seconds_optimization(self) -> float:
@@ -238,13 +243,11 @@ class TimingClosureOptimizer:
 
     def _refresh_mgba(self) -> None:
         """Re-fit the correction against the current netlist."""
-        import time as _time
-
-        t0 = _time.perf_counter()
-        MGBAFlow(self.config.mgba).run(self.engine)
-        self.transforms.refresh_clock_gates()
+        with span("closure.mgba_refresh") as refresh_span:
+            MGBAFlow(self.config.mgba).run(self.engine)
+            self.transforms.refresh_clock_gates()
         self._mgba_refreshes += 1
-        self._seconds_mgba_extra += _time.perf_counter() - t0
+        self._refresh_spans.append(refresh_span)
 
     def fix_hold_violations(self) -> int:
         """Pad hold-violating endpoints with delay buffers.
@@ -346,31 +349,41 @@ class TimingClosureOptimizer:
         """Execute the configured flow and return its report."""
         self._tried = 0
         self._mgba_refreshes = 0
-        self._seconds_mgba_extra = 0.0
+        self._refresh_spans: list[Span] = []
         self._eco: list[str] = []
-        start = time.perf_counter()
-        self.engine.update_timing()
-        initial = QoRMetrics.measure(self.engine)
-        mgba_result = None
-        seconds_mgba = 0.0
-        if self.config.use_mgba:
-            t0 = time.perf_counter()
-            mgba_result = MGBAFlow(self.config.mgba).run(self.engine)
-            seconds_mgba = time.perf_counter() - t0
-            logger.info(
-                "mGBA fit: pass ratio %.2f%% -> %.2f%%",
-                100 * mgba_result.pass_ratio_gba,
-                100 * mgba_result.pass_ratio_mgba,
-            )
-        t_fix = time.perf_counter()
-        fixed, iterations = self.fix_violations()
-        if self.config.fix_hold:
-            fixed += self.fix_hold_violations()
-        fix_tried = self._tried
-        t_recover = time.perf_counter()
-        recovered = self.recover() if self.config.recovery else 0
-        t_done = time.perf_counter()
-        final = QoRMetrics.measure(self.engine)
+        with span(
+            "closure.run", use_mgba=self.config.use_mgba
+        ) as run_span:
+            self.engine.update_timing()
+            initial = QoRMetrics.measure(self.engine)
+            mgba_result = None
+            seconds_fit = 0.0
+            if self.config.use_mgba:
+                with span("closure.mgba_fit") as fit_span:
+                    mgba_result = MGBAFlow(self.config.mgba).run(self.engine)
+                seconds_fit = fit_span.duration
+                logger.info(
+                    "mGBA fit: pass ratio %.2f%% -> %.2f%%",
+                    100 * mgba_result.pass_ratio_gba,
+                    100 * mgba_result.pass_ratio_mgba,
+                )
+            with span("closure.fix") as fix_span:
+                fixed, iterations = self.fix_violations()
+                if self.config.fix_hold:
+                    with span("closure.fix_hold"):
+                        fixed += self.fix_hold_violations()
+            fix_span.set(applied=fixed, iterations=iterations)
+            fix_tried = self._tried
+            with span("closure.recover") as recover_span:
+                recovered = self.recover() if self.config.recovery else 0
+            recover_span.set(applied=recovered)
+            final = QoRMetrics.measure(self.engine)
+        # mGBA refreshes happen *inside* the fix loop; keep the
+        # historical accounting: they count toward seconds_mgba, not
+        # seconds_fix.
+        seconds_refresh = sum(s.duration for s in self._refresh_spans)
+        counter("closure.transforms_tried").inc(self._tried)
+        counter("closure.transforms_applied").inc(fixed + recovered)
         return ClosureReport(
             initial=initial,
             final=final,
@@ -381,11 +394,12 @@ class TimingClosureOptimizer:
             recovery_applied=recovered,
             recovery_tried=self._tried - fix_tried,
             iterations=iterations,
-            seconds_total=time.perf_counter() - start,
-            seconds_mgba=seconds_mgba + self._seconds_mgba_extra,
-            seconds_fix=t_recover - t_fix - self._seconds_mgba_extra,
-            seconds_recovery=t_done - t_recover,
+            seconds_total=run_span.duration,
+            seconds_mgba=seconds_fit + seconds_refresh,
+            seconds_fix=fix_span.duration - seconds_refresh,
+            seconds_recovery=recover_span.duration,
             mgba_refreshes=self._mgba_refreshes,
             mgba_result=mgba_result,
             eco_commands=list(self._eco),
+            run_span=run_span,
         )

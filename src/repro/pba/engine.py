@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from repro.errors import TimingError
 from repro.netlist.core import PinRef
+from repro.obs.metrics import counter
+from repro.obs.trace import span
 from repro.timing.graph import EdgeKind, NodeKind, TimingGraph
 from repro.timing.propagation import EdgeDomain, classify_edge, effective_late
 from repro.timing.slack import setup_required
@@ -247,8 +249,10 @@ class PBAEngine:
 
     def analyze(self, paths: "list[TimingPath]") -> "list[TimingPath]":
         """Analyze a batch of paths in place; returns the same list."""
-        for path in paths:
-            self.analyze_path(path)
+        with span("pba.analyze", paths=len(paths)):
+            for path in paths:
+                self.analyze_path(path)
+        counter("pba.paths_analyzed").inc(len(paths))
         return paths
 
     # ------------------------------------------------------------------

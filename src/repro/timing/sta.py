@@ -24,6 +24,8 @@ from repro.errors import TimingError
 from repro.netlist.core import Netlist
 from repro.netlist.edit import ChangeRecord
 from repro.netlist.placement import Placement
+from repro.obs.metrics import counter, histogram
+from repro.obs.trace import span
 from repro.sdc.constraints import Constraints
 from repro.timing.crpr import CRPRCalculator
 from repro.timing.delaycalc import DelayCalculator
@@ -176,12 +178,19 @@ class STAEngine:
 
     def update_timing(self) -> None:
         """Full delay calculation + propagation over the whole design."""
-        if self._structure_dirty:
-            self._refresh_structure()
-        propagate_full(self.graph, self.calc, self.state, self.boundary())
-        self.crpr.invalidate()
-        self._setup_slack_cache = None
-        self._timing_fresh = True
+        with span(
+            "sta.update_timing", structure_dirty=self._structure_dirty
+        ) as update_span:
+            if self._structure_dirty:
+                self._refresh_structure()
+            propagate_full(
+                self.graph, self.calc, self.state, self.boundary()
+            )
+            self.crpr.invalidate()
+            self._setup_slack_cache = None
+            self._timing_fresh = True
+        counter("sta.full_updates").inc()
+        histogram("sta.update_seconds").observe(update_span.duration)
 
     def ensure_timing(self) -> None:
         """Run a full update if no valid timing is available."""
@@ -215,6 +224,7 @@ class STAEngine:
 
         self._setup_slack_cache = None
         apply_change_incremental(self, change)
+        counter("sta.incremental_updates").inc()
 
     # ------------------------------------------------------------------
     # Results

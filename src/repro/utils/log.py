@@ -22,13 +22,32 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(f"{_BASE}.{name}")
 
 
-def enable_console_logging(level: int = logging.INFO) -> None:
-    """Attach a basic stderr handler to the ``repro`` logger (CLI use)."""
+_DEFAULT_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def enable_console_logging(
+    level: int = logging.INFO, fmt: "str | None" = None
+) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` logger (CLI use).
+
+    Idempotent: repeated calls reuse the handler this function
+    installed (handlers added by the embedding application are left
+    alone) and re-apply the requested ``level`` and ``fmt`` — so
+    ``enable_console_logging(logging.DEBUG)`` after an earlier
+    INFO-level call actually turns debug output on.  Returns the
+    console handler.
+    """
     logger = logging.getLogger(_BASE)
-    if not logger.handlers:
+    handler = next(
+        (h for h in logger.handlers
+         if getattr(h, "_repro_console", False)),
+        None,
+    )
+    if handler is None:
         handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
-        )
+        handler._repro_console = True
         logger.addHandler(handler)
+    handler.setFormatter(logging.Formatter(fmt or _DEFAULT_FORMAT))
+    handler.setLevel(level)
     logger.setLevel(level)
+    return handler

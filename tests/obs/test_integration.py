@@ -1,0 +1,143 @@
+"""Observability integration: instrumented flows and the CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.mgba.flow import MGBAConfig, MGBAFlow
+from repro.obs import tracing, uninstall_tracer
+from tests.conftest import engine_for
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    yield
+    uninstall_tracer()
+
+
+@pytest.fixture(scope="module")
+def traced_flow(medium_design):
+    engine = engine_for(medium_design)
+    with tracing() as tracer:
+        result = MGBAFlow(MGBAConfig(k_per_endpoint=6, seed=0)).run(engine)
+    return tracer, result
+
+
+class TestFlowSpans:
+    def test_total_seconds_is_sum_of_stage_spans(self, traced_flow):
+        """Acceptance: total_seconds == sum of the stage spans."""
+        _, result = traced_flow
+        assert result.total_seconds == pytest.approx(
+            sum(stage.duration for stage in result.stages.values())
+        )
+        assert set(result.stages) == {"select", "pba", "solve", "apply"}
+
+    def test_seconds_properties_derive_from_spans(self, traced_flow):
+        _, result = traced_flow
+        assert result.seconds_select \
+            == result.stages["select"].duration
+        assert result.seconds_pba == result.stages["pba"].duration
+        assert result.seconds_solve == result.stages["solve"].duration
+        assert result.seconds_apply == result.stages["apply"].duration
+
+    def test_stage_spans_are_children_of_run_span(self, traced_flow):
+        _, result = traced_flow
+        assert result.run_span is not None
+        assert result.run_span.name == "mgba.run"
+        for stage in result.stages.values():
+            assert stage in result.run_span.children
+
+    def test_tracer_captured_nested_flow(self, traced_flow):
+        tracer, _ = traced_flow
+        names = [s.name for s in tracer.all_spans()]
+        for expected in ("mgba.run", "mgba.select", "mgba.pba",
+                         "mgba.solve", "mgba.apply", "pba.analyze",
+                         "sta.update_timing"):
+            assert expected in names, expected
+
+    def test_solve_span_attrs(self, traced_flow):
+        _, result = traced_flow
+        solve = result.stages["solve"]
+        assert solve.attrs["rows"] == result.problem.num_paths
+        assert solve.attrs["gates"] == result.problem.num_gates
+        assert solve.attrs["iterations"] == result.solution.iterations
+
+    def test_apply_false_has_no_apply_stage(self, medium_design):
+        engine = engine_for(medium_design)
+        result = MGBAFlow(MGBAConfig(k_per_endpoint=6, seed=0)).run(
+            engine, apply=False
+        )
+        assert "apply" not in result.stages
+        assert result.seconds_apply == 0.0
+
+
+class TestCLIObservability:
+    def test_trace_and_metrics_flags(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.json"
+        code = main([
+            "--trace", str(trace_path),
+            "--metrics", str(metrics_path),
+            "closure", "--design", "D1",
+            "--mgba", "--max-transforms", "5",
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        # Trace covers the closure and mGBA stages (acceptance).
+        from repro.obs import load_trace
+
+        names = {
+            s.name
+            for root in load_trace(trace_path)
+            for s in root.walk()
+        }
+        for expected in ("closure.run", "closure.fix",
+                         "closure.recover", "closure.mgba_fit",
+                         "mgba.select", "mgba.pba", "mgba.solve",
+                         "mgba.apply"):
+            assert expected in names, expected
+
+        # Metrics carry solver counters and at least one histogram.
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["solver.iterations"]["value"] > 0
+        assert any(
+            entry.get("type") == "histogram" and entry["count"] > 0
+            for entry in snapshot.values()
+        )
+
+    def test_obs_report_renders_breakdown(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert main([
+            "--trace", str(trace_path),
+            "mgba", "D1", "--k", "5", "--solver", "direct",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs-report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mgba.run" in out
+        assert "mgba.solve" in out
+        assert "wall(s)" in out
+        assert "calls" in out
+
+    def test_chrome_trace_flag(self, tmp_path, capsys):
+        chrome_path = tmp_path / "chrome.json"
+        assert main([
+            "--chrome-trace", str(chrome_path),
+            "mgba", "D1", "--k", "5", "--solver", "direct",
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(chrome_path.read_text())
+        assert any(
+            event["name"] == "mgba.run"
+            for event in payload["traceEvents"]
+        )
+
+    def test_closure_design_flag_required(self, capsys):
+        assert main(["closure"]) == 2
+        assert "design" in capsys.readouterr().err
+
+    def test_closure_positional_still_works(self, capsys):
+        assert main(["closure", "D1", "--max-transforms", "2"]) == 0
+        assert "before" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Solver-telemetry tests: subscribers, determinism, no-op path."""
+
+import numpy as np
+import pytest
+
+from repro.mgba.problem import build_problem
+from repro.mgba.solvers import solve_gd, solve_scg, solve_with_row_sampling
+from repro.obs import (
+    IterationStats,
+    iteration_callbacks,
+    record_iterations,
+    subscribe,
+    unsubscribe,
+)
+from repro.obs.telemetry import _subscribers
+from repro.pba.engine import PBAEngine
+from repro.pba.enumerate import enumerate_worst_paths
+from tests.conftest import engine_for
+
+
+@pytest.fixture(scope="module")
+def problem(medium_design):
+    engine = engine_for(medium_design)
+    engine.update_timing()
+    paths = enumerate_worst_paths(engine.graph, engine.state, 8)
+    PBAEngine(engine).analyze(paths)
+    return build_problem(paths)
+
+
+class TestSubscription:
+    def test_no_subscriber_fast_path(self):
+        assert iteration_callbacks() == ()
+        assert not _subscribers
+
+    def test_subscribe_unsubscribe(self):
+        def callback(stats):
+            pass
+
+        subscribe(callback)
+        assert iteration_callbacks() == (callback,)
+        unsubscribe(callback)
+        assert iteration_callbacks() == ()
+        unsubscribe(callback)  # double-remove is a no-op
+
+    def test_extra_callback_appended(self):
+        def extra(stats):
+            pass
+
+        assert iteration_callbacks(extra) == (extra,)
+
+    def test_record_iterations_scopes_cleanly(self):
+        with record_iterations() as collected:
+            assert len(_subscribers) == 1
+        assert not _subscribers
+        assert collected == []
+
+
+class TestSolverTelemetry:
+    def test_scg_publishes_per_iteration(self, problem):
+        with record_iterations() as stats:
+            result = solve_scg(problem, seed=0, max_iter=200)
+        assert len(stats) == result.iterations
+        first = stats[0]
+        assert isinstance(first, IterationStats)
+        assert first.solver == "scg"
+        assert first.iteration == 1
+        assert first.grad_norm > 0
+        assert first.step > 0
+        assert first.rows == result.extras["rows_per_iteration"]
+        # Objective only on sampled iterations (objective_every = 25).
+        sampled = [s for s in stats if s.objective is not None]
+        assert all(s.iteration % 25 == 0 for s in sampled)
+        assert len(sampled) == len(result.history)
+
+    def test_gd_publishes_with_zero_beta(self, problem):
+        with record_iterations() as stats:
+            result = solve_gd(problem, max_iter=50)
+        assert len(stats) == result.iterations
+        assert all(s.beta == 0.0 for s in stats)
+        assert all(s.objective is not None for s in stats)
+        assert all(s.rows == problem.num_paths for s in stats)
+
+    def test_row_sampling_forwards_callback(self, problem):
+        collected = []
+        result = solve_with_row_sampling(
+            problem, seed=0, on_iteration=collected.append
+        )
+        assert len(collected) == result.iterations
+        # Round sizes show up through the stats' rows field.
+        assert len({s.rows for s in collected}) >= 1
+
+    def test_on_iteration_param_needs_no_global_subscriber(self, problem):
+        collected = []
+        solve_scg(
+            problem, seed=0, max_iter=50,
+            on_iteration=collected.append,
+        )
+        assert collected
+        assert not _subscribers
+
+
+class TestDeterminism:
+    """Telemetry must observe, never perturb (acceptance criterion)."""
+
+    def test_scg_bit_identical_with_telemetry(self, problem):
+        silent = solve_scg(problem, seed=123)
+        with record_iterations():
+            observed = solve_scg(problem, seed=123)
+        assert np.array_equal(silent.x, observed.x)
+        assert silent.iterations == observed.iterations
+        assert silent.history == observed.history
+        assert silent.history_iters == observed.history_iters
+
+    def test_row_sampling_bit_identical_with_telemetry(self, problem):
+        silent = solve_with_row_sampling(problem, seed=7)
+        observed = solve_with_row_sampling(
+            problem, seed=7, on_iteration=lambda stats: None
+        )
+        assert np.array_equal(silent.x, observed.x)
+        assert silent.iterations == observed.iterations
+
+
+class TestHistoryIters:
+    def test_scg_history_has_iteration_axis(self, problem):
+        result = solve_scg(problem, seed=0)
+        assert len(result.history_iters) == len(result.history)
+        assert result.history_iters == sorted(result.history_iters)
+        assert all(i % 25 == 0 for i in result.history_iters)
+        assert result.convergence_curve() == list(
+            zip(result.history_iters, result.history)
+        )
+
+    def test_gd_history_is_dense(self, problem):
+        result = solve_gd(problem, max_iter=40)
+        assert result.history_iters == list(
+            range(1, result.iterations + 1)
+        )
+
+    def test_sampling_history_is_cumulative(self, problem):
+        result = solve_with_row_sampling(problem, seed=0)
+        assert len(result.history_iters) == len(result.history)
+        assert result.history_iters == sorted(result.history_iters)
+        assert result.history_iters[-1] <= result.iterations

@@ -1,0 +1,193 @@
+"""Tracing-span tests: nesting, ordering, export round-trips."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import (
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    format_breakdown,
+    install_tracer,
+    load_trace,
+    span,
+    stage_breakdown,
+    tracing,
+    uninstall_tracer,
+)
+from repro.obs.report import parse_records
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Tests must not leave a tracer installed for the rest of the run."""
+    yield
+    uninstall_tracer()
+
+
+class TestSpanNesting:
+    def test_children_attach_to_enclosing_span(self):
+        with span("outer") as outer:
+            with span("inner.a"):
+                pass
+            with span("inner.b"):
+                with span("leaf"):
+                    pass
+        names = [s.name for s in outer.walk()]
+        assert names == ["outer", "inner.a", "inner.b", "leaf"]
+        assert outer.child("inner.b").child("leaf") is not None
+        assert outer.child("missing") is None
+
+    def test_current_span_tracks_stack(self):
+        assert current_span() is None
+        with span("a") as a:
+            assert current_span() is a
+            with span("b") as b:
+                assert current_span() is b
+            assert current_span() is a
+        assert current_span() is None
+
+    def test_timing_monotone_and_contained(self):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                time.sleep(0.01)
+        assert inner.duration >= 0.01
+        assert outer.duration >= inner.duration
+        assert outer.start <= inner.start
+        assert outer.end >= inner.end
+        assert outer.self_seconds == pytest.approx(
+            outer.duration - inner.duration
+        )
+
+    def test_attrs_via_kwargs_and_set(self):
+        with span("s", design="D1") as s:
+            s.set(paths=42)
+        assert s.attrs == {"design": "D1", "paths": 42}
+
+    def test_exception_recorded_and_propagated(self):
+        with pytest.raises(ValueError):
+            with span("boom") as s:
+                raise ValueError("no")
+        assert s.error == "ValueError"
+        assert s.end is not None  # closed despite the raise
+
+    def test_open_span_has_zero_duration(self):
+        s = Span(name="open")
+        assert s.duration == 0.0
+        assert s.cpu_seconds == 0.0
+
+
+class TestTracerCollection:
+    def test_collects_only_roots(self):
+        with tracing() as tracer:
+            with span("root1"):
+                with span("child"):
+                    pass
+            with span("root2"):
+                pass
+        assert [r.name for r in tracer.roots] == ["root1", "root2"]
+        assert [s.name for s in tracer.all_spans()] == [
+            "root1", "child", "root2"
+        ]
+
+    def test_no_tracer_is_silent(self):
+        assert current_tracer() is None
+        with span("untracked"):
+            pass  # nothing to assert: must simply not blow up
+
+    def test_install_uninstall(self):
+        tracer = install_tracer()
+        assert current_tracer() is tracer
+        assert uninstall_tracer() is tracer
+        assert current_tracer() is None
+        assert uninstall_tracer() is None
+
+    def test_tracing_restores_previous(self):
+        outer_tracer = install_tracer()
+        with tracing() as inner_tracer:
+            assert current_tracer() is inner_tracer
+        assert current_tracer() is outer_tracer
+
+
+class TestExport:
+    def _sample_tracer(self) -> Tracer:
+        with tracing() as tracer:
+            with span("flow", design="D3"):
+                with span("flow.solve", iterations=7):
+                    pass
+                with span("flow.apply"):
+                    pass
+        return tracer
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tmp_path / "t.jsonl"
+        tracer.export_jsonl(path)
+        roots = load_trace(path)
+        assert len(roots) == 1
+        original = tracer.roots[0]
+        loaded = roots[0]
+        assert [s.name for s in loaded.walk()] \
+            == [s.name for s in original.walk()]
+        for a, b in zip(loaded.walk(), original.walk()):
+            assert a.start == b.start
+            assert a.end == b.end
+            assert a.attrs == b.attrs
+
+    def test_jsonl_is_one_object_per_line(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tmp_path / "t.jsonl"
+        tracer.export_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert records[0]["parent"] is None
+        assert records[1]["parent"] == records[0]["id"]
+
+    def test_chrome_export(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tmp_path / "chrome.json"
+        tracer.export_chrome(path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == 3
+        assert all(e["ph"] == "X" for e in events)
+        assert events[0]["name"] == "flow"
+        assert events[0]["dur"] >= events[1]["dur"]
+
+    def test_parse_rejects_orphan_parent(self):
+        with pytest.raises(ValueError):
+            parse_records([
+                {"id": 0, "parent": 99, "name": "x",
+                 "start": 0.0, "end": 1.0},
+            ])
+
+
+class TestBreakdown:
+    def test_aggregates_repeated_stages(self):
+        with tracing() as tracer:
+            with span("run"):
+                for _ in range(3):
+                    with span("step"):
+                        pass
+        rows = stage_breakdown(tracer.roots)
+        by_name = {row.name: row for row in rows}
+        assert by_name["run"].calls == 1
+        assert by_name["step"].calls == 3
+        assert by_name["step"].depth == 1
+
+    def test_format_contains_names_and_counts(self):
+        with tracing() as tracer:
+            with span("closure.run"):
+                with span("closure.fix"):
+                    pass
+        text = format_breakdown(tracer.roots)
+        assert "closure.run" in text
+        assert "closure.fix" in text
+        assert "wall(s)" in text
+
+    def test_empty_trace(self):
+        assert format_breakdown([]) == "(empty trace)"

@@ -32,6 +32,31 @@ class TestLog:
         enable_console_logging(logging.INFO)
         assert len(logging.getLogger("repro").handlers) == handlers_before
 
+    def test_repeated_call_honours_new_level(self):
+        handler = enable_console_logging(logging.INFO)
+        assert handler.level == logging.INFO
+        same = enable_console_logging(logging.DEBUG)
+        assert same is handler
+        assert handler.level == logging.DEBUG
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_fmt_argument_applied_and_updated(self):
+        handler = enable_console_logging(fmt="%(levelname)s %(message)s")
+        assert handler.formatter._fmt == "%(levelname)s %(message)s"
+        enable_console_logging(fmt="%(message)s")
+        assert handler.formatter._fmt == "%(message)s"
+
+    def test_foreign_handlers_left_alone(self):
+        logger = logging.getLogger("repro")
+        foreign = logging.NullHandler()
+        logger.addHandler(foreign)
+        try:
+            handler = enable_console_logging(logging.WARNING)
+            assert handler is not foreign
+            assert foreign in logger.handlers
+        finally:
+            logger.removeHandler(foreign)
+
     def test_child_loggers_propagate(self):
         child = get_logger("timing")
         assert child.parent.name in ("repro", "root")
