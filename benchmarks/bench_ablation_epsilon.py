@@ -8,7 +8,6 @@ trade the paper fixes at "a small tolerance".
 """
 
 import numpy as np
-import pytest
 
 from repro.mgba.metrics import mse, pass_ratio
 from repro.mgba.problem import build_problem

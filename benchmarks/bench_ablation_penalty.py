@@ -7,7 +7,6 @@ the penalty form practical.
 """
 
 import numpy as np
-import pytest
 
 from repro.mgba.metrics import mse
 from repro.mgba.problem import build_problem

@@ -17,7 +17,6 @@ ratio after fitting (how much the framework absorbs).
 
 import copy
 
-import pytest
 
 from repro.mgba.metrics import pass_ratio
 from repro.mgba.problem import build_problem

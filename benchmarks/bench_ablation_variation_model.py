@@ -9,7 +9,6 @@ the framework is agnostic: correlation lands high against either.
 
 import copy
 
-import pytest
 
 from repro.mgba.metrics import pass_ratio
 from repro.mgba.problem import build_problem

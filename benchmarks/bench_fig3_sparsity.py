@@ -23,7 +23,6 @@ correction over its path — documented in EXPERIMENTS.md.
 from dataclasses import replace
 
 import numpy as np
-import pytest
 
 from repro.designs.generator import DesignSpec, generate_design
 from repro.mgba.apply import solution_sparsity

@@ -10,7 +10,6 @@ count, reaching a small relative error at a fraction of the rows.
 """
 
 import numpy as np
-import pytest
 
 from repro.mgba.problem import build_problem
 from repro.mgba.solvers import solve_direct

@@ -12,9 +12,7 @@ the same-budget global selection on both error and coverage.  The
 benchmarked kernel is the per-endpoint selection itself.
 """
 
-import pytest
 
-from repro.mgba.flow import corrected_path_slacks
 from repro.mgba.metrics import relative_error_phi
 from repro.mgba.problem import build_problem
 from repro.mgba.selection import (

@@ -10,7 +10,6 @@ timing essentially preserved.  WNS/TNS percentages are judged at
 sign-off (golden PBA), exactly as a tapeout would.
 """
 
-import pytest
 
 from benchmarks.conftest import bench_design_names, print_table
 

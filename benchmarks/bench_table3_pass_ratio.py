@@ -8,7 +8,6 @@ Shape to reproduce: large positive improvement on every design; mGBA
 above 90% on average; no design's pass ratio degraded by the fit.
 """
 
-import pytest
 
 from repro.mgba.flow import MGBAConfig, MGBAFlow
 from repro.timing.sta import STAEngine

@@ -10,7 +10,6 @@ the mGBA flow's transform loop does no more work than the GBA flow's
 Absolute seconds are laptop-Python scale, not server-C++ scale.
 """
 
-import pytest
 
 from benchmarks.conftest import bench_design_names, print_table
 

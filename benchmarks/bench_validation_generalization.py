@@ -5,7 +5,6 @@ Fits on each design's top-k paths and evaluates on held-out deeper
 paths and on held-out endpoints.
 """
 
-import pytest
 
 from repro.mgba.validation import (
     endpoint_split_validation,

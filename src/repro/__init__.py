@@ -26,6 +26,7 @@ from repro.errors import (
     AOCVError,
     LibertyError,
     NetlistError,
+    ParallelError,
     ParseError,
     ReproError,
     SDCError,
@@ -71,6 +72,13 @@ from repro.opt import (
     run_flow_comparison,
 )
 from repro import obs
+from repro import parallel
+from repro.parallel import (
+    Executor,
+    evaluate_suite,
+    get_executor,
+    set_default_workers,
+)
 from repro.analysis import pessimism_report, summarize_pessimism
 from repro.timing.corners import Corner, MultiCornerAnalysis
 from repro.mgba.validation import endpoint_split_validation, holdout_validation
@@ -82,7 +90,7 @@ __version__ = "1.0.0"
 __all__ = [
     # errors
     "ReproError", "LibertyError", "NetlistError", "SDCError", "AOCVError",
-    "TimingError", "SolverError", "ParseError",
+    "TimingError", "SolverError", "ParseError", "ParallelError",
     # substrates
     "Library", "make_default_library", "parse_liberty", "write_liberty",
     "Netlist", "Placement", "parse_verilog", "write_verilog",
@@ -106,6 +114,9 @@ __all__ = [
     "save_weights", "load_weights",
     # observability (tracing spans, metrics registry, solver telemetry)
     "obs",
+    # parallel execution (serial/thread/process executors, suite fan-out)
+    "parallel", "Executor", "get_executor", "set_default_workers",
+    "evaluate_suite",
     # designs
     "Design", "DesignSpec", "build_design", "generate_design",
     "__version__",

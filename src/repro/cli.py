@@ -17,6 +17,14 @@ Global observability flags (before the subcommand):
   file for ``chrome://tracing`` / Perfetto;
 * ``--metrics FILE`` — dump the metrics registry (counters, gauges,
   histograms) as JSON when the command finishes.
+
+Global parallelism flag (before the subcommand):
+
+* ``--workers N`` — fan the parallel regions (multi-corner STA,
+  per-endpoint PBA, design-suite evaluation) over N workers; overrides
+  ``REPRO_WORKERS``.  Backend via ``REPRO_PARALLEL_BACKEND``
+  (``thread`` default, ``process`` for CPU-bound wins).  See
+  ``docs/parallelism.md``.
 """
 
 from __future__ import annotations
@@ -49,23 +57,20 @@ def _cmd_designs(args) -> int:
         for name in design_names():
             print(name)
         return 0
+    from repro.parallel import evaluate_suite
+
     header = (
         f"{'design':<7} {'gates':>6} {'flops':>6} {'nets':>6} "
         f"{'endpoints':>9} {'period(ps)':>11} {'violations':>10}"
     )
     print(header)
     print("-" * len(header))
-    for name in design_names():
-        engine = _engine_for(name)
-        stats = engine.netlist.stats()
-        summary = engine.summary()
-        period = min(
-            c.period for c in engine.constraints.clocks.values()
-        )
+    # Fans one design per worker under --workers / REPRO_WORKERS.
+    for report in evaluate_suite(design_names()):
         print(
-            f"{name:<7} {stats['gates']:>6} {stats['flops']:>6} "
-            f"{stats['nets']:>6} {summary.endpoints:>9} "
-            f"{period:>11.1f} {summary.violations:>10}"
+            f"{report.name:<7} {report.gates:>6} {report.flops:>6} "
+            f"{report.nets:>6} {report.endpoints:>9} "
+            f"{report.period:>11.1f} {report.violations:>10}"
         )
     return 0
 
@@ -269,6 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("-v", "--verbose", action="store_true")
     parser.add_argument(
+        "--workers", type=int, metavar="N", default=None,
+        help="worker count for parallel regions (overrides REPRO_WORKERS; "
+             "backend via REPRO_PARALLEL_BACKEND, default thread)",
+    )
+    parser.add_argument(
         "--trace", metavar="FILE",
         help="write a JSONL span trace of the run (see obs-report)",
     )
@@ -375,6 +385,15 @@ def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.verbose:
         enable_console_logging()
+    if args.workers is not None:
+        from repro.errors import ParallelError
+        from repro.parallel import set_default_workers
+
+        try:
+            set_default_workers(args.workers)
+        except ParallelError as exc:
+            print(f"repro-sta: {exc}", file=sys.stderr)
+            return 2
     for out_path in (args.trace, args.chrome_trace, args.metrics):
         if out_path:
             parent = Path(out_path).parent
@@ -390,6 +409,10 @@ def main(argv: "list[str] | None" = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     finally:
+        if args.workers is not None:
+            from repro.parallel import set_default_workers
+
+            set_default_workers(None)
         if tracer is not None:
             from repro.obs import uninstall_tracer
 

@@ -36,6 +36,36 @@ class SolverError(ReproError):
     """Optimization-solver failure (divergence, bad shapes, ...)."""
 
 
+class ParallelError(ReproError):
+    """A parallel worker failed, or the executor is misconfigured.
+
+    When a chunk of work raises inside a worker (thread or child
+    process), the executor re-raises a :class:`ParallelError` in the
+    caller carrying enough context to debug it without re-running
+    serially:
+
+    Attributes
+    ----------
+    chunk:
+        Index of the failing chunk (0-based), or -1 for configuration
+        errors raised before any work was distributed.
+    backend:
+        Executor backend name (``"serial"`` / ``"thread"`` /
+        ``"process"``), or ``""`` for configuration errors.
+    child_traceback:
+        The worker-side formatted traceback.  For child processes this
+        is the only faithful record — the original exception object may
+        not survive pickling back to the parent.
+    """
+
+    def __init__(self, message: str, chunk: int = -1, backend: str = "",
+                 child_traceback: str = ""):
+        self.chunk = chunk
+        self.backend = backend
+        self.child_traceback = child_traceback
+        super().__init__(message)
+
+
 class ParseError(ReproError):
     """Syntax error in one of the text formats (Verilog/Liberty/SDC/AOCV).
 

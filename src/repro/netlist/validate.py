@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.liberty.cell import PinDirection
-from repro.netlist.core import Netlist, PortDirection
+from repro.netlist.core import Netlist
 
 
 class Severity(enum.Enum):

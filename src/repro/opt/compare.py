@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.opt.closure import ClosureConfig, ClosureReport, TimingClosureOptimizer
-from repro.opt.qor import QoRMetrics
 from repro.pba.engine import PBAEngine
 from repro.timing.sta import STAEngine
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.netlist.core import Netlist
 from repro.timing.slack import CheckKind
 from repro.timing.sta import STAEngine
 

@@ -1,0 +1,47 @@
+"""Parallel execution layer for the STA / PBA / mGBA hot paths.
+
+Public surface (see ``docs/parallelism.md`` for the tour):
+
+* :mod:`repro.parallel.executor` — the serial / thread / process
+  :class:`Executor` backends behind ``REPRO_WORKERS`` and the CLI's
+  global ``--workers`` flag;
+* :mod:`repro.parallel.fanout` — design-suite fan-out
+  (:func:`evaluate_suite`), the coarsest parallel axis.
+
+The finer axes live next to the code they accelerate:
+``MultiCornerAnalysis.update_all`` (one corner per worker),
+``enumerate_worst_paths`` / ``PBAEngine.analyze`` (per-endpoint and
+per-path sharding), and ``MGBAConfig(workers=...)`` for the flow.
+"""
+
+from repro.parallel.executor import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunk_ranges,
+    default_executor,
+    get_executor,
+    resolve_backend,
+    resolve_workers,
+    set_default_workers,
+)
+from repro.parallel.fanout import DesignReport, evaluate_design, evaluate_suite
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "chunk_ranges",
+    "default_executor",
+    "get_executor",
+    "resolve_backend",
+    "resolve_workers",
+    "set_default_workers",
+    "DesignReport",
+    "evaluate_design",
+    "evaluate_suite",
+]

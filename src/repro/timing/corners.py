@@ -10,19 +10,38 @@ Setup is checked at every corner (slow corners usually dominate but
 derating can flip paths); hold at every corner too (fast corners
 dominate).  The merged view is per-endpoint worst — exactly how a
 multi-corner signoff report is read.
+
+Corners are mutually independent (each owns its engine), so
+``update_all`` fans one corner per worker through
+:mod:`repro.parallel`; the merge iterates corners in declaration
+order, so results are bit-identical to a serial update on every
+backend.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.aocv.table import DeratingTable
 from repro.errors import TimingError
 from repro.netlist.core import Netlist
 from repro.netlist.placement import Placement
+from repro.obs.trace import span
+from repro.parallel.executor import Executor, default_executor
 from repro.sdc.constraints import Constraints
 from repro.timing.slack import CheckKind, EndpointSlack, SlackSummary
 from repro.timing.sta import STAConfig, STAEngine
+
+
+def _updated_engine(engine: STAEngine) -> STAEngine:
+    """Worker body of the corner fan-out (module-level: picklable).
+
+    Returns the engine so the process backend can ship the fully
+    propagated copy back; serial/thread backends hand back the very
+    object they were given, updated in place.
+    """
+    engine.update_timing()
+    return engine
 
 
 @dataclass(frozen=True)
@@ -93,10 +112,33 @@ class MultiCornerAnalysis:
         except KeyError:
             raise TimingError(f"unknown corner {corner_name!r}") from None
 
-    def update_all(self) -> None:
-        """Run timing at every corner."""
-        for engine in self.engines.values():
-            engine.update_timing()
+    def update_all(self, executor: "Executor | None" = None) -> None:
+        """Run timing at every corner — one corner per worker.
+
+        With the default (serial) executor this is the plain in-order
+        loop; with ``REPRO_WORKERS`` / ``--workers`` > 1 the corners
+        run concurrently and the engines are re-installed in corner
+        declaration order, so every downstream merge is bit-identical
+        to the serial result.  The process backend replaces each engine
+        with its round-tripped, fully propagated copy.
+        """
+        if executor is None:
+            executor = default_executor()
+        names = list(self.engines)
+        with span(
+            "corners.update_all",
+            corners=len(names),
+            backend=executor.backend,
+            workers=executor.workers,
+        ):
+            updated = executor.map(
+                _updated_engine,
+                [self.engines[name] for name in names],
+                chunk_size=1,
+                label="corners.update_all",
+            )
+        for name, engine in zip(names, updated):
+            self.engines[name] = engine
 
     # ------------------------------------------------------------------
     # Merged views

@@ -20,7 +20,6 @@ from repro.timing.graph import TimingGraph
 from repro.timing.propagation import (
     BoundaryConditions,
     TimingState,
-    compute_out_edges,
     relax_node,
 )
 

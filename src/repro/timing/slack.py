@@ -15,12 +15,7 @@ from repro.errors import TimingError
 from repro.sdc.constraints import Clock, Constraints
 from repro.timing.crpr import CRPRCalculator
 from repro.timing.graph import EndpointInfo, NodeKind, TimingGraph
-from repro.timing.propagation import (
-    NEG_INF,
-    POS_INF,
-    TimingState,
-    effective_late,
-)
+from repro.timing.propagation import POS_INF, TimingState, effective_late
 
 
 class CheckKind(enum.Enum):

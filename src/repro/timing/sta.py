@@ -16,7 +16,7 @@ operations the rest of the system needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.aocv.depth import compute_gba_depths
 from repro.aocv.table import DeratingTable

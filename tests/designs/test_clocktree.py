@@ -1,6 +1,5 @@
 """Clock-tree builder tests."""
 
-import pytest
 
 from repro.designs.clocktree import build_clock_tree
 from repro.liberty.builder import make_default_library

@@ -1,8 +1,7 @@
 """Synthetic-design generator tests."""
 
-import pytest
 
-from repro.designs.generator import DesignSpec, generate_design, scaled_spec
+from repro.designs.generator import generate_design, scaled_spec
 from repro.netlist.validate import Severity, validate_netlist
 from tests.conftest import SMALL_SPEC, engine_for
 

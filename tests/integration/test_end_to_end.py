@@ -11,7 +11,7 @@ from repro.aocv.table import load_aocv, write_aocv
 from repro.designs.generator import DesignSpec, generate_design
 from repro.liberty.parser import parse_liberty
 from repro.liberty.writer import write_liberty
-from repro.mgba.flow import MGBAConfig, MGBAFlow
+from repro.mgba.flow import MGBAConfig
 from repro.netlist.verilog import parse_verilog, write_verilog
 from repro.opt.closure import ClosureConfig, TimingClosureOptimizer
 from repro.sdc.parser import parse_sdc

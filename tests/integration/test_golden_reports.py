@@ -7,7 +7,6 @@ Update the golden file deliberately when the format changes.
 
 from pathlib import Path
 
-import pytest
 
 from repro.timing.report import report_timing
 

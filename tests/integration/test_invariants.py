@@ -7,7 +7,6 @@ enumeration, PBA, and the mGBA fit.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.aocv.depth import compute_gba_depths

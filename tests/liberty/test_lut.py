@@ -1,6 +1,5 @@
 """Unit and property tests for 2-D lookup tables."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

@@ -1,6 +1,5 @@
 """MGBAFlow with slew-recalculated golden."""
 
-import pytest
 
 from repro.mgba.flow import MGBAConfig, MGBAFlow
 from tests.conftest import engine_for

@@ -1,6 +1,5 @@
 """Closure-loop tests."""
 
-import pytest
 
 from repro.opt.closure import ClosureConfig, TimingClosureOptimizer
 from repro.designs.generator import generate_design

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.opt.closure import ClosureConfig
-from repro.opt.compare import FlowComparison, run_flow_comparison, signoff_qor
+from repro.opt.compare import run_flow_comparison, signoff_qor
 from repro.designs.generator import DesignSpec, generate_design
 from tests.conftest import engine_for
 

@@ -6,7 +6,7 @@ from repro.opt.closure import ClosureConfig, TimingClosureOptimizer
 from repro.opt.transforms import TransformEngine
 from repro.timing.slack import CheckKind
 from repro.designs.generator import generate_design
-from tests.conftest import SMALL_SPEC, engine_for
+from tests.conftest import engine_for
 
 
 from repro.designs.generator import DesignSpec

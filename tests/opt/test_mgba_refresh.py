@@ -1,6 +1,5 @@
 """Periodic mGBA re-fit inside the closure loop."""
 
-import pytest
 
 from repro.designs.generator import DesignSpec, generate_design
 from repro.mgba.flow import MGBAConfig

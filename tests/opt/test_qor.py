@@ -3,7 +3,6 @@
 import pytest
 
 from repro.opt.qor import QoRMetrics
-from tests.conftest import engine_for
 
 
 class TestMeasure:

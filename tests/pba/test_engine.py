@@ -6,11 +6,7 @@ import pytest
 from repro.errors import TimingError
 from repro.pba.engine import PBAEngine
 from repro.pba.enumerate import enumerate_worst_paths, worst_paths_to_endpoint
-from repro.designs.paper_example import (
-    GBA_PATH_DELAY,
-    PBA_PATH_DELAY,
-    build_fig2_design,
-)
+from repro.designs.paper_example import GBA_PATH_DELAY, PBA_PATH_DELAY
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """Path-enumeration tests: exactness against brute force, ordering."""
 
-import itertools
 
 import pytest
 

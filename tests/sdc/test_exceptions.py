@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SDCError
-from repro.sdc.constraints import Clock, Constraints, PathException
+from repro.sdc.constraints import Constraints, PathException
 from repro.sdc.parser import parse_sdc
 from repro.sdc.writer import write_sdc
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SDCError, SolverError, TimingError
+from repro.errors import SDCError, TimingError
 from repro.liberty.builder import make_default_library
 from repro.netlist.core import Netlist, PortDirection
 from repro.sdc.constraints import Clock, Constraints

@@ -1,6 +1,5 @@
 """Design-rule-check tests (max transition / max capacitance)."""
 
-import pytest
 
 from repro.liberty.builder import MAX_TRANSITION, make_default_library
 from repro.netlist.core import Netlist, PortDirection

@@ -4,12 +4,10 @@ These are the load-bearing tests for the optimizer — a silent
 incremental drift would corrupt every closure result downstream.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.netlist.edit import insert_buffer, remove_buffer, resize_gate
-from repro.timing.sta import STAEngine
 from tests.conftest import SMALL_SPEC, engine_for
 from repro.designs.generator import generate_design
 

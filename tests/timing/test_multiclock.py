@@ -4,7 +4,6 @@ import pytest
 
 from repro.designs.generator import DesignSpec, generate_design
 from repro.timing.slack import endpoint_clock_map
-from repro.timing.sta import STAEngine
 from tests.conftest import engine_for
 
 MC_SPEC = DesignSpec(
@@ -55,7 +54,6 @@ class TestClockMap:
         to clkX."""
         graph = mc_engine.graph
         clock_map = endpoint_clock_map(graph, mc_design.constraints)
-        from repro.timing.report import trace_worst_path
 
         checked = 0
         for node_id, info in graph.endpoints.items():

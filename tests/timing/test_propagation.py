@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.designs.paper_example import build_fig2_design
 from repro.netlist.core import PinRef
 from repro.timing.propagation import (
     EdgeDomain,
@@ -12,7 +11,7 @@ from repro.timing.propagation import (
     effective_late,
 )
 from repro.timing.graph import EdgeKind
-from repro.timing.sta import STAConfig, STAEngine
+from repro.timing.sta import STAEngine
 
 
 class TestFig2Arrivals:
