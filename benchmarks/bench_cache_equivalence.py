@@ -1,0 +1,189 @@
+"""Cache-equivalence bench: cold vs warm service runs must be identical.
+
+The artifact cache's whole contract is *transparency* — a warm run
+(every artifact served from ``.repro_cache/``) must return results
+bit-identical to the cold run that populated it, and must not be
+slower.  This bench drives the same query batch (``sta`` +
+``pba_slacks`` + ``mgba_fit``) through two fresh
+:class:`~repro.service.engine.TimingService` instances sharing one
+cache directory and hard-checks:
+
+* every deterministic result field is equal cold-vs-warm;
+* the warm run recorded at least one ``cache.hit.<cls>`` for each of
+  the ``sta`` / ``pba`` / ``fit`` artifact classes;
+* warm wall time does not exceed cold wall time (with slack for
+  timer noise on sub-second runs).
+
+Also runnable as a script for the ``bench-smoke`` CI gate::
+
+    python benchmarks/bench_cache_equivalence.py --check --designs D1
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+from repro.context import RunContext
+from repro.obs import default_registry
+from repro.service import TimingService
+
+from benchmarks.conftest import bench_design_names, print_table
+
+#: Artifact classes one warm (sta, pba_slacks, mgba_fit) batch must hit.
+EXPECTED_HIT_CLASSES = ("sta", "pba", "fit")
+
+#: Warm may exceed cold by this factor before we call it a regression —
+#: sub-second runs are dominated by timer noise and engine build time.
+WARM_SLOWDOWN_TOLERANCE = 1.25
+
+
+def _query_batch(names):
+    batch = []
+    for name in names:
+        batch.append({"op": "sta", "design": name})
+        batch.append({"op": "pba_slacks", "design": name, "k": 16})
+        batch.append({"op": "mgba_fit", "design": name})
+    return batch
+
+
+def _run_pass(names, cache_dir):
+    """One fresh service over the shared cache dir; returns run facts."""
+    context = RunContext.from_env(
+        workers=1, backend="serial", cache_dir=cache_dir,
+    )
+    service = TimingService(context=context)
+    registry = default_registry()
+    before = {
+        name: registry.counter(name).value
+        for name in (
+            ["cache.hit", "cache.miss"]
+            + [f"cache.hit.{cls}" for cls in EXPECTED_HIT_CLASSES]
+        )
+    }
+    start = time.perf_counter()
+    outcomes = service.submit(_query_batch(names))
+    wall = time.perf_counter() - start
+    hits = {
+        name: registry.counter(name).value - before[name]
+        for name in before
+    }
+    return outcomes, wall, hits
+
+
+def compare_cold_warm(names, cache_dir):
+    """(cold outcomes, warm outcomes, cold wall, warm wall, warm hits)."""
+    cold, cold_wall, _ = _run_pass(names, cache_dir)
+    warm, warm_wall, warm_hits = _run_pass(names, cache_dir)
+    return cold, warm, cold_wall, warm_wall, warm_hits
+
+
+def equivalence_failures(cold, warm):
+    """Human-readable divergences between the cold and warm passes."""
+    failures = []
+    for c, w in zip(cold, warm):
+        label = f"{c.query.op}({c.query.design})"
+        if not (c.ok and w.ok):
+            failures.append(f"{label}: cold ok={c.ok}, warm ok={w.ok}")
+        elif c.result != w.result:  # frozen dataclasses; seconds excluded
+            failures.append(f"{label}: cold and warm results differ")
+        elif not w.cached:
+            failures.append(f"{label}: warm pass was not served from cache")
+    return failures
+
+
+def missing_hit_classes(warm_hits):
+    return [
+        cls for cls in EXPECTED_HIT_CLASSES
+        if warm_hits.get(f"cache.hit.{cls}", 0) < 1
+    ]
+
+
+def test_cache_cold_vs_warm(tmp_path):
+    """Cold and warm service passes are bit-identical; warm hits cache."""
+    names = bench_design_names()[:1]
+    cold, warm, cold_wall, warm_wall, warm_hits = compare_cold_warm(
+        names, str(tmp_path / "cache")
+    )
+    rows = [
+        [c.query.op, c.query.design,
+         f"{c.seconds:.3f}", f"{w.seconds:.3f}",
+         "hit" if w.cached else "MISS",
+         "ok" if c.result == w.result else "DIVERGED"]
+        for c, w in zip(cold, warm)
+    ]
+    print_table(
+        f"cache cold-vs-warm ({', '.join(names)})",
+        ["op", "design", "cold s", "warm s", "warm src", "equal"],
+        rows,
+        note=f"wall: cold {cold_wall:.2f}s, warm {warm_wall:.2f}s",
+    )
+    assert not equivalence_failures(cold, warm)
+    assert not missing_hit_classes(warm_hits)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cache equivalence: cold vs warm service passes",
+    )
+    parser.add_argument(
+        "--designs", default="",
+        help="comma-separated subset (default: REPRO_BENCH_DESIGNS or all)",
+    )
+    parser.add_argument(
+        "--cache-dir", default="",
+        help="cache directory (default: a fresh temporary directory)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on divergence, missing cache hits, or a warm pass "
+             "slower than the cold pass",
+    )
+    args = parser.parse_args(argv)
+    names = (
+        [n.strip() for n in args.designs.split(",") if n.strip()]
+        or bench_design_names()
+    )
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_dir = args.cache_dir or os.path.join(scratch, "cache")
+        cold, warm, cold_wall, warm_wall, warm_hits = compare_cold_warm(
+            names, cache_dir
+        )
+    rows = [
+        [c.query.op, c.query.design,
+         f"{c.seconds:.3f}", f"{w.seconds:.3f}",
+         "hit" if w.cached else "MISS",
+         "ok" if c.ok and w.ok and c.result == w.result else "DIVERGED"]
+        for c, w in zip(cold, warm)
+    ]
+    print_table(
+        f"cache cold-vs-warm over {len(names)} design(s)",
+        ["op", "design", "cold s", "warm s", "warm src", "equal"],
+        rows,
+    )
+    print(f"wall: cold {cold_wall:.2f}s, warm {warm_wall:.2f}s")
+    failures = equivalence_failures(cold, warm)
+    for cls in missing_hit_classes(warm_hits):
+        failures.append(f"no cache.hit.{cls} recorded on the warm pass")
+    if warm_wall > cold_wall * WARM_SLOWDOWN_TOLERANCE:
+        failures.append(
+            f"warm pass slower than cold: {warm_wall:.2f}s vs "
+            f"{cold_wall:.2f}s (tolerance {WARM_SLOWDOWN_TOLERANCE}x)"
+        )
+    if failures and args.check:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if failures:
+        for failure in failures:
+            print(f"warn: {failure}", file=sys.stderr)
+    else:
+        print("cache cold-vs-warm equivalence: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

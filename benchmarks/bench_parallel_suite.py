@@ -24,7 +24,8 @@ import os
 import sys
 import time
 
-from repro.parallel import SerialExecutor, evaluate_suite, get_executor
+from repro.parallel import SerialExecutor, get_executor
+from repro.service.suite import evaluate_suite
 
 from benchmarks.conftest import bench_design_names, print_table
 

@@ -43,6 +43,22 @@ def closure_budget() -> int:
     return int(os.environ.get("REPRO_BENCH_TRANSFORMS", "150"))
 
 
+#: Snapshot filenames already emitted this session.  Sanitizing node
+#: names can collapse distinct parametrizations (``[a/b]`` and
+#: ``[a.b]`` both sanitize to ``a_b``), so collisions get a monotonic
+#: ``__N`` suffix instead of silently overwriting the earlier snapshot.
+_snapshot_names: dict[str, int] = {}
+
+
+def _snapshot_filename(node_name: str) -> str:
+    base = re.sub(r"[^A-Za-z0-9_.-]+", "_", node_name)
+    seen = _snapshot_names.get(base)
+    _snapshot_names[base] = 0 if seen is None else seen + 1
+    if seen is None:
+        return f"BENCH_{base}.json"
+    return f"BENCH_{base}__{seen + 1}.json"
+
+
 @pytest.fixture(autouse=True)
 def bench_metrics_snapshot(request):
     """Archive each bench's metrics as ``BENCH_<name>.json``.
@@ -52,6 +68,8 @@ def bench_metrics_snapshot(request):
     solver iteration counts, timing-update histograms, etc. — tracking
     the perf trajectory across PRs.  Work done lazily inside
     session-scoped caches lands in the bench that first triggered it.
+    Filenames are collision-safe: two benches whose sanitized names
+    coincide get distinct numbered snapshots.
     """
     directory = os.environ.get("REPRO_BENCH_METRICS_DIR", "bench_metrics")
     if not directory:
@@ -62,10 +80,9 @@ def bench_metrics_snapshot(request):
     registry = default_registry()
     registry.reset()
     yield
-    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
     out_dir = Path(directory)
     out_dir.mkdir(parents=True, exist_ok=True)
-    registry.save_json(out_dir / f"BENCH_{name}.json")
+    registry.save_json(out_dir / _snapshot_filename(request.node.name))
 
 
 @pytest.fixture(scope="session")

@@ -75,9 +75,23 @@ from repro import obs
 from repro import parallel
 from repro.parallel import (
     Executor,
-    evaluate_suite,
     get_executor,
     set_default_workers,
+)
+from repro import api
+from repro.api import (
+    ClosureResult,
+    FitResult,
+    GoldenSlacksResult,
+    RunContext,
+    STAResult,
+)
+from repro import service
+from repro.service import (
+    ArtifactCache,
+    DesignReport,
+    TimingService,
+    evaluate_suite,
 )
 from repro.analysis import pessimism_report, summarize_pessimism
 from repro.timing.corners import Corner, MultiCornerAnalysis
@@ -114,9 +128,14 @@ __all__ = [
     "save_weights", "load_weights",
     # observability (tracing spans, metrics registry, solver telemetry)
     "obs",
-    # parallel execution (serial/thread/process executors, suite fan-out)
+    # parallel execution (serial/thread/process executors)
     "parallel", "Executor", "get_executor", "set_default_workers",
-    "evaluate_suite",
+    # stable facade + unified run context
+    "api", "RunContext",
+    "STAResult", "GoldenSlacksResult", "FitResult", "ClosureResult",
+    # service layer (artifact cache, batched queries, suite fan-out)
+    "service", "TimingService", "ArtifactCache",
+    "DesignReport", "evaluate_suite",
     # designs
     "Design", "DesignSpec", "build_design", "generate_design",
     "__version__",

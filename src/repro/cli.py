@@ -7,7 +7,15 @@ Subcommands
 ``closure``    run the closure optimizer (GBA- or mGBA-driven).
 ``generate``   emit a suite design as Verilog + SDC + AOCV files.
 ``designs``    list the D1-D10 suite.
+``batch``      run a JSONL query file as one coalesced service batch.
+``serve``      answer JSONL queries line-by-line on stdin/stdout.
 ``obs-report`` pretty-print a captured trace as a runtime breakdown.
+
+Query commands route through the stable :mod:`repro.api` facade;
+``batch`` / ``serve`` go through the :class:`repro.service`
+:class:`~repro.service.engine.TimingService` and its content-addressed
+artifact cache (``--cache-dir`` / ``--no-cache``; see
+``docs/service.md``).
 
 Global observability flags (before the subcommand):
 
@@ -33,11 +41,10 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import api
 from repro.aocv.table import write_aocv
 from repro.designs import build_design, design_names
-from repro.mgba.flow import MGBAConfig, MGBAFlow
 from repro.netlist.verilog import save_verilog
-from repro.opt.closure import ClosureConfig, TimingClosureOptimizer
 from repro.sdc.writer import save_sdc
 from repro.timing.report import report_summary, report_timing
 from repro.timing.sta import STAEngine
@@ -45,11 +52,7 @@ from repro.utils.log import enable_console_logging
 
 
 def _engine_for(design_name: str) -> STAEngine:
-    design = build_design(design_name)
-    return STAEngine(
-        design.netlist, design.constraints,
-        design.placement, design.sta_config,
-    )
+    return api.make_engine(design_name)
 
 
 def _cmd_designs(args) -> int:
@@ -57,7 +60,6 @@ def _cmd_designs(args) -> int:
         for name in design_names():
             print(name)
         return 0
-    from repro.parallel import evaluate_suite
 
     header = (
         f"{'design':<7} {'gates':>6} {'flops':>6} {'nets':>6} "
@@ -66,7 +68,7 @@ def _cmd_designs(args) -> int:
     print(header)
     print("-" * len(header))
     # Fans one design per worker under --workers / REPRO_WORKERS.
-    for report in evaluate_suite(design_names()):
+    for report in api.evaluate(design_names()):
         print(
             f"{report.name:<7} {report.gates:>6} {report.flops:>6} "
             f"{report.nets:>6} {report.endpoints:>9} "
@@ -90,23 +92,22 @@ def _cmd_sta(args) -> int:
 
 def _cmd_mgba(args) -> int:
     engine = _engine_for(args.design)
-    flow = MGBAFlow(MGBAConfig(
-        k_per_endpoint=args.k, solver=args.solver, seed=args.seed
-    ))
-    result = flow.run(engine)
+    context = api.RunContext.from_env(
+        k_per_endpoint=args.k, solver=args.solver, seed=args.seed,
+    )
+    result = api.fit(engine, context)
     print(f"design:            {args.design}")
-    print(f"paths fitted:      {result.problem.num_paths}")
-    print(f"gates (variables): {result.problem.num_gates}")
-    print(f"solver:            {result.solution.solver} "
-          f"({result.solution.iterations} iters, "
-          f"{result.solution.runtime:.2f}s)")
+    print(f"paths fitted:      {result.num_paths}")
+    print(f"gates (variables): {result.num_gates}")
+    print(f"solver:            {result.solver} "
+          f"({result.iterations} iters, {result.seconds:.2f}s)")
     print(f"mse   GBA -> mGBA: {result.mse_gba:.3e} -> {result.mse_mgba:.3e}")
     print(f"pass  GBA -> mGBA: {result.pass_ratio_gba:.2%} -> "
           f"{result.pass_ratio_mgba:.2%}")
     if args.save_weights:
         from repro.mgba.persistence import save_weights
 
-        save_weights(result.weights, engine.netlist, args.save_weights)
+        save_weights(result.weight_map(), engine.netlist, args.save_weights)
         print(f"weights saved to {args.save_weights}")
     print()
     print(report_summary(engine))
@@ -116,23 +117,92 @@ def _cmd_mgba(args) -> int:
 def _cmd_obs_report(args) -> int:
     import json
 
-    from repro.obs import format_breakdown, load_trace
+    from repro.obs import (
+        format_breakdown,
+        format_metrics,
+        load_metrics,
+        load_trace,
+    )
 
-    try:
-        roots = load_trace(args.trace_file)
-    except FileNotFoundError:
-        print(f"obs-report: no such trace file: {args.trace_file}",
+    if not args.trace_file and not args.metrics_file:
+        print("obs-report: give a trace file and/or --metrics FILE",
               file=sys.stderr)
         return 2
-    except (json.JSONDecodeError, KeyError, ValueError) as exc:
-        print(f"obs-report: {args.trace_file} is not a span JSONL "
-              f"trace ({exc})", file=sys.stderr)
-        return 2
-    spans = sum(1 for root in roots for _ in root.walk())
-    print(f"Trace {args.trace_file}: {len(roots)} root span(s), "
-          f"{spans} total")
-    print()
-    print(format_breakdown(roots))
+    if args.trace_file:
+        try:
+            roots = load_trace(args.trace_file)
+        except FileNotFoundError:
+            print(f"obs-report: no such trace file: {args.trace_file}",
+                  file=sys.stderr)
+            return 2
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            print(f"obs-report: {args.trace_file} is not a span JSONL "
+                  f"trace ({exc})", file=sys.stderr)
+            return 2
+        spans = sum(1 for root in roots for _ in root.walk())
+        print(f"Trace {args.trace_file}: {len(roots)} root span(s), "
+              f"{spans} total")
+        print()
+        print(format_breakdown(roots))
+    if args.metrics_file:
+        if args.trace_file:
+            print()
+        snapshot = load_metrics(args.metrics_file)
+        if snapshot is None:
+            # Tolerate a missing or empty snapshot: a run that died
+            # before its --metrics dump should not break reporting.
+            print(f"Metrics {args.metrics_file}: "
+                  "missing or empty (nothing recorded)")
+        else:
+            print(f"Metrics {args.metrics_file}:")
+            print()
+            print(format_metrics(snapshot))
+    return 0
+
+
+def _service_for(args):
+    from repro.context import RunContext
+    from repro.service import TimingService
+
+    overrides = {}
+    if getattr(args, "cache_dir", None):
+        overrides["cache_dir"] = args.cache_dir
+    if getattr(args, "no_cache", False):
+        overrides["cache"] = False
+    return TimingService(context=RunContext.from_env(**overrides))
+
+
+def _cmd_batch(args) -> int:
+    from repro.service import run_batch, write_responses
+
+    service = _service_for(args)
+    if args.input == "-":
+        responses = run_batch(service, sys.stdin)
+    else:
+        try:
+            with open(args.input) as fh:
+                responses = run_batch(service, fh)
+        except OSError as exc:
+            print(f"batch: cannot read {args.input}: {exc}",
+                  file=sys.stderr)
+            return 2
+    errors = sum(1 for r in responses if not r.get("ok"))
+    if args.output == "-":
+        write_responses(responses, sys.stdout)
+    else:
+        with open(args.output, "w") as fh:
+            count = write_responses(responses, fh)
+        print(f"wrote {count} response(s) ({errors} error(s)) "
+              f"to {args.output}")
+    return 2 if errors else 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    service = _service_for(args)
+    served = serve(service, sys.stdin, sys.stdout)
+    print(f"served {served} request(s)", file=sys.stderr)
     return 0
 
 
@@ -143,33 +213,32 @@ def _cmd_closure(args) -> int:
               "(positional or --design)", file=sys.stderr)
         return 2
     args.design = name
-    design = build_design(args.design)
-    config = ClosureConfig(
+    result = api.close_timing(
+        args.design,
         use_mgba=args.mgba,
         max_transforms=args.max_transforms,
         acceptable_violations=args.acceptable,
     )
-    optimizer = TimingClosureOptimizer(
-        design.netlist, design.constraints,
-        design.placement, design.sta_config, config,
-    )
-    report = optimizer.run()
     if args.eco:
         from repro.opt.eco import save_eco
 
-        save_eco(report.eco_commands, args.eco, args.design)
-        print(f"wrote {len(report.eco_commands)} ECO command(s) "
+        save_eco(list(result.eco_commands), args.eco, args.design)
+        print(f"wrote {len(result.eco_commands)} ECO command(s) "
               f"to {args.eco}")
     flavor = "mGBA" if args.mgba else "GBA"
     print(f"{flavor} closure on {args.design}:")
-    print(f"  transforms: {report.transforms_applied} applied / "
-          f"{report.transforms_tried} tried")
-    print(f"  runtime:    {report.seconds_total:.2f}s "
-          f"(mGBA fit {report.seconds_mgba:.2f}s)")
-    for label, qor in (("before", report.initial), ("after", report.final)):
-        print(f"  {label:<7} WNS={qor.wns:9.1f}  TNS={qor.tns:11.1f}  "
-              f"area={qor.area:9.1f}  leakage={qor.leakage:9.1f}  "
-              f"buffers={qor.buffers:4d}  violations={qor.violations}")
+    print(f"  transforms: {result.transforms_applied} applied / "
+          f"{result.transforms_tried} tried")
+    print(f"  runtime:    {result.seconds:.2f}s")
+    print(f"  before  WNS={result.wns_before:9.1f}  "
+          f"TNS={result.tns_before:11.1f}  "
+          f"violations={result.violations_before}")
+    print(f"  after   WNS={result.wns_after:9.1f}  "
+          f"TNS={result.tns_after:11.1f}  "
+          f"area={result.area_after:9.1f}  "
+          f"leakage={result.leakage_after:9.1f}  "
+          f"buffers={result.buffers_after:4d}  "
+          f"violations={result.violations_after}")
     return 0
 
 
@@ -240,6 +309,7 @@ def _cmd_pessimism(args) -> int:
 def _cmd_compare(args) -> int:
     from repro.designs.suite import design_factory
     from repro.mgba.flow import MGBAConfig
+    from repro.opt.closure import ClosureConfig
     from repro.opt.compare import run_flow_comparison
     from repro.reporting import comparison_to_dict, save_json
 
@@ -357,11 +427,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_corners.add_argument("design")
 
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a JSONL query file as one coalesced service batch",
+    )
+    p_batch.add_argument(
+        "input", help="JSONL request file ('-' for stdin); one query "
+                      "object per line (see docs/service.md)",
+    )
+    p_batch.add_argument(
+        "-o", "--output", default="-",
+        help="JSONL response file (default: stdout)",
+    )
+    for p_svc in (p_batch, sub.add_parser(
+        "serve",
+        help="answer JSONL queries line-by-line on stdin/stdout",
+    )):
+        p_svc.add_argument(
+            "--cache-dir", metavar="DIR",
+            help="artifact-cache directory "
+                 "(default .repro_cache, or REPRO_CACHE_DIR)",
+        )
+        p_svc.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the artifact cache for this invocation",
+        )
+
     p_obs = sub.add_parser(
         "obs-report",
         help="per-stage runtime breakdown of a --trace JSONL file",
     )
-    p_obs.add_argument("trace_file")
+    p_obs.add_argument("trace_file", nargs="?", default=None)
+    p_obs.add_argument(
+        "--metrics", dest="metrics_file", metavar="FILE",
+        help="also summarize a --metrics JSON snapshot "
+             "(missing/empty files are reported, not fatal)",
+    )
 
     return parser
 
@@ -376,6 +477,8 @@ _COMMANDS = {
     "pessimism": _cmd_pessimism,
     "validate": _cmd_validate,
     "corners": _cmd_corners,
+    "batch": _cmd_batch,
+    "serve": _cmd_serve,
     "obs-report": _cmd_obs_report,
 }
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.context import RunContext
 from repro.errors import SolverError
 from repro.mgba.apply import weights_from_solution
 from repro.mgba.metrics import mse, pass_ratio
@@ -150,10 +151,32 @@ class MGBAResult:
 
 
 class MGBAFlow:
-    """Orchestrates select -> golden -> fit -> update on one engine."""
+    """Orchestrates select -> golden -> fit -> update on one engine.
 
-    def __init__(self, config: MGBAConfig | None = None):
-        self.config = config or MGBAConfig()
+    Configurable two ways (they are equivalent): the legacy
+    ``MGBAFlow(MGBAConfig(...))`` form, or the unified
+    ``MGBAFlow(context=RunContext(...))`` form the facade and service
+    use.  When both are given the explicit ``config`` wins for fit
+    knobs.  ``solve_cache`` is an optional duck-typed hook with
+    ``lookup(problem, config)`` / ``store(problem, config, solution)``
+    — the service passes its content-addressed ``x*`` cache here so
+    identical problems never pay for a second solve.
+    """
+
+    def __init__(self, config: MGBAConfig | None = None,
+                 context: "RunContext | None" = None,
+                 solve_cache=None):
+        if config is None:
+            config = (
+                context.mgba_config() if context is not None
+                else MGBAConfig()
+            )
+        self.config = config
+        self.context = (
+            context if context is not None
+            else RunContext.from_config(config)
+        )
+        self.solve_cache = solve_cache
 
     def select_paths(self, engine: STAEngine,
                      executor: "Executor | None" = None) -> list[TimingPath]:
@@ -164,7 +187,7 @@ class MGBAFlow:
             k_per_endpoint=self.config.k_per_endpoint,
             max_total=self.config.max_paths,
             executor=executor if executor is not None
-            else self.config.executor(),
+            else self.context.executor(),
         )
         return per_endpoint_topk(
             raw, self.config.k_per_endpoint, self.config.max_paths
@@ -176,7 +199,7 @@ class MGBAFlow:
         engine.update_timing()
 
         stages: dict[str, Span] = {}
-        executor = self.config.executor()
+        executor = self.context.executor()
         with span(
             "mgba.run", solver=self.config.solver,
             backend=executor.backend, workers=executor.workers,
@@ -205,11 +228,22 @@ class MGBAFlow:
                     epsilon=self.config.epsilon,
                     penalty=self.config.penalty,
                 )
-                solution = self.config.solve(problem)
+                solution = None
+                cached_solve = False
+                if self.solve_cache is not None:
+                    solution = self.solve_cache.lookup(problem, self.config)
+                    cached_solve = solution is not None
+                if solution is None:
+                    solution = self.config.solve(problem)
+                    if self.solve_cache is not None:
+                        self.solve_cache.store(
+                            problem, self.config, solution
+                        )
             stages["solve"].set(
                 rows=problem.num_paths,
                 gates=problem.num_gates,
                 iterations=solution.iterations,
+                cached=cached_solve,
             )
             weights = weights_from_solution(problem, solution.x)
             corrected = problem.corrected_slacks(solution.x)

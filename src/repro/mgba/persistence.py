@@ -19,8 +19,15 @@ from repro.netlist.core import Netlist
 FORMAT_VERSION = 1
 
 
-def netlist_fingerprint(netlist: Netlist) -> str:
-    """Stable hash of the netlist's structure (cells + connectivity)."""
+def _structure_fingerprint(netlist: Netlist) -> str:
+    """Stable hash of the netlist's structure (cells + connectivity).
+
+    Part of the version-1 weight-file format — existing files carry
+    this exact digest, so it must stay byte-stable.  For *new* code
+    that wants a content address, use
+    :func:`repro.service.keys.netlist_hash`, which also covers ports
+    and module structure.
+    """
     hasher = hashlib.sha256()
     for name in sorted(netlist.gates):
         gate = netlist.gates[name]
@@ -31,13 +38,30 @@ def netlist_fingerprint(netlist: Netlist) -> str:
     return hasher.hexdigest()[:16]
 
 
+def __getattr__(name: str):
+    if name == "netlist_fingerprint":
+        import warnings
+
+        warnings.warn(
+            "repro.mgba.persistence.netlist_fingerprint is deprecated; "
+            "use repro.service.keys.netlist_hash for content addressing "
+            "(the weight-file format keeps its own internal fingerprint)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _structure_fingerprint
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 def weights_to_json(weights: dict[str, float], netlist: Netlist) -> str:
     """Serialize a weight map with provenance."""
     payload = {
         "format": FORMAT_VERSION,
         "design": netlist.name,
         "gates": len(netlist.gates),
-        "fingerprint": netlist_fingerprint(netlist),
+        "fingerprint": _structure_fingerprint(netlist),
         "weights": dict(sorted(weights.items())),
     }
     return json.dumps(payload, indent=2)
@@ -69,7 +93,7 @@ def weights_from_json(
             f"not {netlist.name!r}"
         )
     if strict:
-        fingerprint = netlist_fingerprint(netlist)
+        fingerprint = _structure_fingerprint(netlist)
         if payload.get("fingerprint") != fingerprint:
             raise SolverError(
                 "netlist has structurally changed since the fit; "

@@ -28,7 +28,9 @@ from repro.obs.metrics import (
 )
 from repro.obs.report import (
     format_breakdown,
+    format_metrics,
     format_tracer,
+    load_metrics,
     load_trace,
     stage_breakdown,
 )
@@ -63,4 +65,5 @@ __all__ = [
     "iteration_callbacks", "record_iterations",
     # reports
     "load_trace", "stage_breakdown", "format_breakdown", "format_tracer",
+    "load_metrics", "format_metrics",
 ]

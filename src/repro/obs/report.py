@@ -151,3 +151,52 @@ def format_breakdown(roots: "list[Span]") -> str:
 def format_tracer(tracer: Tracer) -> str:
     """Breakdown of a live (in-memory) tracer."""
     return format_breakdown(tracer.roots)
+
+
+def load_metrics(path) -> "dict | None":
+    """Load a ``--metrics`` JSON snapshot, tolerantly.
+
+    Returns the snapshot dict, or ``None`` when the file is missing,
+    empty, or not a JSON object — a run that crashed before writing
+    metrics should degrade an ``obs-report`` invocation to a note, not
+    a traceback.
+    """
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError:
+        return None
+    text = text.strip()
+    if not text:
+        return None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def format_metrics(snapshot: "dict") -> str:
+    """Render a metrics snapshot (``MetricsRegistry.snapshot``) as a table."""
+    if not snapshot:
+        return "(no metrics recorded)"
+    name_width = max(len("metric"), *(len(name) for name in snapshot))
+    header = f"{'metric':<{name_width}}  {'type':<9}  value"
+    lines = [header, "-" * len(header)]
+    for name in sorted(snapshot):
+        record = snapshot[name]
+        if not isinstance(record, dict):
+            lines.append(f"{name:<{name_width}}  {'?':<9}  {record}")
+            continue
+        kind = record.get("type", "?")
+        if kind == "histogram":
+            value = (
+                f"count={record.get('count')} mean={record.get('mean'):.4g} "
+                f"p50={record.get('p50'):.4g} p99={record.get('p99'):.4g}"
+                if record.get("count")
+                else "count=0"
+            )
+        else:
+            value = f"{record.get('value')}"
+        lines.append(f"{name:<{name_width}}  {kind:<9}  {value}")
+    return "\n".join(lines)

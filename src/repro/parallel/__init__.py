@@ -4,15 +4,20 @@ Public surface (see ``docs/parallelism.md`` for the tour):
 
 * :mod:`repro.parallel.executor` — the serial / thread / process
   :class:`Executor` backends behind ``REPRO_WORKERS`` and the CLI's
-  global ``--workers`` flag;
-* :mod:`repro.parallel.fanout` — design-suite fan-out
-  (:func:`evaluate_suite`), the coarsest parallel axis.
+  global ``--workers`` flag.
 
 The finer axes live next to the code they accelerate:
 ``MultiCornerAnalysis.update_all`` (one corner per worker),
 ``enumerate_worst_paths`` / ``PBAEngine.analyze`` (per-endpoint and
-per-path sharding), and ``MGBAConfig(workers=...)`` for the flow.
+per-path sharding), and :class:`~repro.context.RunContext` for the
+flow and service.
+
+Design-suite fan-out (``evaluate_suite`` and friends) moved to
+:mod:`repro.service.suite`; importing it from here still works for one
+release but emits a :class:`DeprecationWarning` (see ``docs/api.md``).
 """
+
+import warnings
 
 from repro.parallel.executor import (
     BACKENDS,
@@ -27,7 +32,6 @@ from repro.parallel.executor import (
     resolve_workers,
     set_default_workers,
 )
-from repro.parallel.fanout import DesignReport, evaluate_design, evaluate_suite
 
 __all__ = [
     "BACKENDS",
@@ -41,7 +45,29 @@ __all__ = [
     "resolve_backend",
     "resolve_workers",
     "set_default_workers",
+    # deprecated re-exports (moved to repro.service.suite)
     "DesignReport",
     "evaluate_design",
     "evaluate_suite",
 ]
+
+#: Names that moved to :mod:`repro.service.suite` in the service-layer
+#: redesign.  Resolved lazily so ``import repro.parallel`` stays silent;
+#: only *using* a moved name warns.
+_MOVED = ("DesignReport", "evaluate_design", "evaluate_suite")
+
+
+def __getattr__(name):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.parallel.{name} moved to repro.service.suite.{name}; "
+            "the repro.parallel alias will be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.service import suite
+
+        return getattr(suite, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

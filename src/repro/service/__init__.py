@@ -1,0 +1,54 @@
+"""The mGBA service layer: cached artifacts + batched timing queries.
+
+Three pieces compose here (see ``docs/service.md``):
+
+* :mod:`repro.service.keys` — content addresses for every expensive
+  artifact (STA state, PBA golden slacks, fitted ``x*`` vectors);
+* :mod:`repro.service.store` — the two-tier cache (in-process LRU over
+  an on-disk store under ``.repro_cache/``);
+* :mod:`repro.service.engine` — the :class:`TimingService` that
+  answers coalesced, sharded batches of ``sta`` / ``pba_slacks`` /
+  ``mgba_fit`` / ``evaluate`` queries;
+* :mod:`repro.service.batch` — the JSONL protocol behind
+  ``repro-sta batch`` and ``repro-sta serve``;
+* :mod:`repro.service.suite` — design-suite fan-out (moved from
+  ``repro.parallel.fanout``, which remains as a deprecated alias).
+"""
+
+from repro.service.batch import run_batch, serve, write_responses
+from repro.service.engine import (
+    Query,
+    QueryResult,
+    ServiceError,
+    TimingService,
+)
+from repro.service.keys import DesignKey, design_key, netlist_hash
+from repro.service.store import (
+    ARTIFACT_CLASSES,
+    SCHEMA_VERSION,
+    ArtifactCache,
+    DiskStore,
+    LRUCache,
+)
+from repro.service.suite import DesignReport, evaluate_design, evaluate_suite
+
+__all__ = [
+    "ARTIFACT_CLASSES",
+    "ArtifactCache",
+    "DesignKey",
+    "DesignReport",
+    "DiskStore",
+    "LRUCache",
+    "Query",
+    "QueryResult",
+    "SCHEMA_VERSION",
+    "ServiceError",
+    "TimingService",
+    "design_key",
+    "evaluate_design",
+    "evaluate_suite",
+    "netlist_hash",
+    "run_batch",
+    "serve",
+    "write_responses",
+]

@@ -1,0 +1,124 @@
+"""JSONL batch protocol: stream queries in, stream results out.
+
+This is the wire format behind ``repro-sta batch`` and ``repro-sta
+serve`` (see ``docs/service.md``).  One request per line::
+
+    {"id": 1, "op": "sta", "design": "D1"}
+    {"id": 2, "op": "pba_slacks", "design": "D1", "k": 32}
+    {"id": 3, "op": "mgba_fit", "design": "D1", "solver": "pgd"}
+
+and one response per request, same ``id``, in request order::
+
+    {"id": 1, "op": "sta", "design": "D1", "ok": true,
+     "cached": false, "seconds": 0.41, "result": {...}}
+
+A malformed line or failed query produces an error record
+(``"ok": false`` plus ``"error"``) instead of aborting the stream —
+a batch file with one typo still computes the other N-1 queries.
+
+``run_batch`` reads the whole input and submits it as **one** batch,
+so duplicates coalesce and distinct designs shard across workers;
+``serve`` answers line-by-line (flushing after each response) for
+interactive front-ends that pipeline requests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, TextIO
+
+from repro.obs.trace import span
+from repro.service.engine import Query, QueryResult, TimingService
+
+
+def parse_request(line: str) -> "dict[str, Any]":
+    """One JSONL line → request dict; raises ValueError when malformed."""
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        raise ValueError(
+            f"request must be a JSON object, got {type(record).__name__}"
+        )
+    return record
+
+
+def _error_record(request_id: Any, message: str) -> "dict[str, Any]":
+    record: "dict[str, Any]" = {"ok": False, "error": message}
+    if request_id is not None:
+        record["id"] = request_id
+    return record
+
+
+def _response(request_id: Any, outcome: QueryResult) -> "dict[str, Any]":
+    record = outcome.to_dict()
+    if request_id is not None:
+        record = {"id": request_id, **record}
+    return record
+
+
+def run_batch(service: TimingService,
+              lines: "Iterable[str]") -> "list[dict[str, Any]]":
+    """Parse a JSONL request stream, run it as one coalesced batch.
+
+    Returns response records in request order; parse failures become
+    error records in place, without consuming a service query.
+    """
+    requests: "list[tuple[Any, Query | None, str | None]]" = []
+    for lineno, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = parse_request(text)
+            requests.append((record.get("id"), Query.from_any(record), None))
+        except Exception as exc:
+            requests.append(
+                (None, None, f"line {lineno}: {type(exc).__name__}: {exc}")
+            )
+    queries = [q for _, q, _ in requests if q is not None]
+    with span("service.run_batch", requests=len(requests)):
+        outcomes = iter(service.submit(queries))
+    responses: "list[dict[str, Any]]" = []
+    for request_id, query, error in requests:
+        if query is None:
+            responses.append(_error_record(request_id, error or "malformed"))
+        else:
+            responses.append(_response(request_id, next(outcomes)))
+    return responses
+
+
+def write_responses(responses: "Iterable[dict[str, Any]]",
+                    stream: TextIO) -> int:
+    """Emit response records as JSONL; returns how many were written."""
+    count = 0
+    for record in responses:
+        stream.write(json.dumps(record, default=str) + "\n")
+        count += 1
+    return count
+
+
+def serve(service: TimingService, in_stream: TextIO,
+          out_stream: TextIO) -> int:
+    """Answer requests line-by-line until EOF; returns queries served.
+
+    Each response is flushed immediately, so a front-end driving the
+    service through pipes sees every answer as soon as it is computed.
+    Unlike :func:`run_batch` there is no cross-request coalescing —
+    but the artifact cache still makes repeats cheap.
+    """
+    served = 0
+    for line in in_stream:
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            record = parse_request(text)
+            query = Query.from_any(record)
+        except Exception as exc:
+            response = _error_record(None, f"{type(exc).__name__}: {exc}")
+        else:
+            outcome = service.submit([query])[0]
+            response = _response(record.get("id"), outcome)
+        out_stream.write(json.dumps(response, default=str) + "\n")
+        out_stream.flush()
+        served += 1
+    return served

@@ -1,0 +1,491 @@
+"""The persistent timing service: batched queries over cached artifacts.
+
+A :class:`TimingService` owns registered designs, their live
+:class:`~repro.timing.sta.STAEngine` instances (the in-process tier of
+the "timing graph + STA state" artifact class), and an
+:class:`~repro.service.store.ArtifactCache` for everything expensive:
+
+* ``sta`` — GBA slack vectors keyed by the design's content address;
+* ``pba`` — golden PBA endpoint slacks keyed additionally by (k',
+  slew-recalc, variation);
+* ``solve`` — fitted ``x*`` vectors keyed by (A-matrix fingerprint,
+  solver config);
+* ``fit`` — whole-flow fit results keyed by (design, fit knobs).
+
+Queries arrive as :class:`Query` values (or the JSONL dicts of
+``docs/service.md``), are **coalesced** (duplicate queries in one
+batch compute once), and cache-miss groups are **sharded** across the
+:mod:`repro.parallel` executors — one design per worker, the same
+shard axis as ``evaluate_suite``, so results are bit-identical at any
+worker count.
+
+Invalidation is key *rotation*, not deletion: a
+:class:`~repro.netlist.edit.ChangeRecord` fed to :meth:`apply_change`
+updates the live engine incrementally (``repro.timing.incremental``)
+and recomputes the design's content address, so every dependent lookup
+misses and recomputes — while artifacts of the *previous* content stay
+on disk and hit again if an optimizer reverts the edit.  A stale fit
+can never be served because nothing maps the new key to old bytes
+(property-tested in ``tests/service``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
+
+from repro import api
+from repro.context import RunContext
+from repro.designs.generator import Design
+from repro.errors import ReproError
+from repro.obs.metrics import counter
+from repro.obs.trace import span
+from repro.service import keys as keymod
+from repro.service.store import ArtifactCache
+from repro.service.suite import DesignReport
+from repro.timing.sta import STAEngine
+
+#: Query operations the service understands, in pipeline order.
+QUERY_OPS = ("sta", "pba_slacks", "mgba_fit", "evaluate")
+
+#: mgba_fit parameters that override the service context per query.
+_FIT_PARAMS = (
+    "solver", "seed", "epsilon", "penalty", "k_per_endpoint",
+    "max_paths", "recalc_slew",
+)
+
+
+class ServiceError(ReproError):
+    """A malformed or unanswerable service query."""
+
+
+def _hashable(value: Any) -> Any:
+    """Recursively freeze JSON-ish values so queries are hashable."""
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(
+            sorted((k, _hashable(v)) for k, v in value.items())
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class Query:
+    """One service query: an operation, a design, and its parameters.
+
+    Frozen and hashable, so a batch can be coalesced with a dict;
+    ``params`` is a sorted tuple of (name, value) pairs.
+    """
+
+    op: str
+    design: str = ""
+    params: "tuple[tuple[str, Any], ...]" = ()
+
+    def __post_init__(self):
+        if self.op not in QUERY_OPS:
+            raise ServiceError(
+                f"unknown query op {self.op!r}; choose from {QUERY_OPS}"
+            )
+
+    @classmethod
+    def from_any(cls, raw: "Query | dict") -> "Query":
+        """Normalize a dict (one parsed JSONL record) into a query."""
+        if isinstance(raw, Query):
+            return raw
+        if not isinstance(raw, dict):
+            raise ServiceError(
+                f"query must be a Query or dict, got {type(raw).__name__}"
+            )
+        payload = dict(raw)
+        payload.pop("id", None)
+        op = payload.pop("op", None)
+        if not op:
+            raise ServiceError("query record is missing 'op'")
+        design = payload.pop("design", "") or ""
+        params = tuple(sorted(
+            (name, _hashable(value)) for name, value in payload.items()
+        ))
+        return cls(op=str(op), design=str(design), params=params)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass
+class QueryResult:
+    """One query's outcome: the result object plus cache provenance."""
+
+    query: Query
+    ok: bool
+    cached: bool = False
+    seconds: float = 0.0
+    result: Any = None
+    error: "str | None" = None
+
+    def to_dict(self) -> "dict[str, Any]":
+        """JSONL response payload (see ``docs/service.md``)."""
+        record: "dict[str, Any]" = {
+            "op": self.query.op,
+            "design": self.query.design,
+            "ok": self.ok,
+            "cached": self.cached,
+            "seconds": round(self.seconds, 6),
+        }
+        if self.ok:
+            if isinstance(self.result, (list, tuple)):
+                record["result"] = [
+                    r.to_dict() if hasattr(r, "to_dict") else r
+                    for r in self.result
+                ]
+            elif hasattr(self.result, "to_dict"):
+                record["result"] = self.result.to_dict()
+            else:
+                record["result"] = self.result
+        else:
+            record["error"] = self.error
+        return record
+
+
+class _SolveCache:
+    """The flow-side hook that reuses ``x*`` across identical problems."""
+
+    def __init__(self, cache: ArtifactCache):
+        self.cache = cache
+
+    def _key(self, problem, config) -> str:
+        return keymod.solve_key(
+            keymod.problem_fingerprint(problem),
+            config.solver, config.seed,
+        )
+
+    def lookup(self, problem, config):
+        return self.cache.get("solve", self._key(problem, config))
+
+    def store(self, problem, config, solution) -> None:
+        self.cache.put("solve", self._key(problem, config), solution)
+
+
+def _run_query_group(job: "tuple[RunContext, str, tuple[Query, ...]]") \
+        -> "list[QueryResult]":
+    """Worker body of the cache-miss shard (module-level: picklable).
+
+    Builds a fresh service in the worker — sharing the *disk* cache
+    tier with the parent through the context's ``cache_dir`` — and
+    runs one design's queries serially.  A fresh service per group is
+    what makes the thread backend safe: no two workers ever touch the
+    same engine.
+    """
+    context, _design, queries = job
+    service = TimingService(context=context.replace(workers=1))
+    return [service._run(query) for query in queries]
+
+
+class TimingService:
+    """Persistent, cached, batched timing queries over many designs."""
+
+    #: Live engines kept in memory at once (LRU beyond this).
+    max_engines = 8
+
+    def __init__(self, context: "RunContext | None" = None,
+                 cache: "ArtifactCache | None" = None):
+        self.context = context or RunContext.from_env()
+        self.cache = (
+            cache if cache is not None
+            else ArtifactCache.from_context(self.context)
+        )
+        self._bundles: "dict[str, Design]" = {}
+        self._factories: "dict[str, Callable[[], Design]]" = {}
+        self._engines: "OrderedDict[str, STAEngine]" = OrderedDict()
+        self._keys: "dict[str, keymod.DesignKey]" = {}
+        #: Names resolvable by rebuild in a worker process (suite/fig2).
+        self._by_name: "set[str]" = set()
+
+    # ------------------------------------------------------------------
+    # Design registry
+    # ------------------------------------------------------------------
+    def register_design(self, name: str,
+                        design: "Design | None" = None,
+                        factory: "Callable[[], Design] | None" = None) \
+            -> None:
+        """Register a design bundle or zero-arg factory under ``name``.
+
+        Unregistered names are resolved through
+        :func:`repro.api.load_design` on first use (suite names and
+        ``"fig2"``), which is also the only resolution path available
+        to process-backend shard workers.
+        """
+        if (design is None) == (factory is None):
+            raise ServiceError(
+                "register_design takes exactly one of design= or factory="
+            )
+        if design is not None:
+            self._bundles[name] = design
+        else:
+            self._factories[name] = factory  # type: ignore[assignment]
+        self._engines.pop(name, None)
+        self._keys.pop(name, None)
+
+    def design(self, name: str) -> Design:
+        """The (memoized) design bundle behind a registered name."""
+        bundle = self._bundles.get(name)
+        if bundle is None:
+            factory = self._factories.get(name)
+            if factory is not None:
+                bundle = factory()
+            else:
+                bundle = api.load_design(name)
+                self._by_name.add(name)
+            self._bundles[name] = bundle
+        return bundle
+
+    def engine(self, name: str) -> STAEngine:
+        """The live engine for a design (in-process STA-state tier)."""
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = api.make_engine(self.design(name), self.context)
+            self._engines[name] = engine
+        self._engines.move_to_end(name)
+        while len(self._engines) > self.max_engines:
+            self._engines.popitem(last=False)
+        return engine
+
+    def design_key(self, name: str) -> keymod.DesignKey:
+        """The design's current content address (memoized until edited)."""
+        key = self._keys.get(name)
+        if key is None:
+            bundle = self.design(name)
+            key = keymod.design_key(
+                bundle.netlist, bundle.constraints,
+                getattr(bundle, "placement", None), bundle.sta_config,
+            )
+            self._keys[name] = key
+        return key
+
+    def apply_change(self, name: str, change) -> None:
+        """Mirror a netlist edit: incremental engine update + key rotation.
+
+        The live engine re-propagates only the edit's cone
+        (:mod:`repro.timing.incremental`); the design's content address
+        rotates, so exactly the artifacts derived from the old content
+        stop being served — other designs, and this design's *previous*
+        content (hit again after a revert), are untouched.
+        """
+        engine = self._engines.get(name)
+        if engine is not None:
+            engine.apply_change(change)
+        self._keys.pop(name, None)
+        counter("service.invalidations").inc()
+
+    # ------------------------------------------------------------------
+    # Individual queries (raise on failure)
+    # ------------------------------------------------------------------
+    def sta(self, name: str) -> api.STAResult:
+        """GBA timing of one design (cached by content address)."""
+        result, _ = self._q_sta(Query(op="sta", design=name))
+        return result
+
+    def pba_slacks(self, name: str, k: "int | None" = None) \
+            -> api.GoldenSlacksResult:
+        """Golden PBA endpoint slacks (cached by content + k')."""
+        params = (("k", k),) if k is not None else ()
+        result, _ = self._q_pba(
+            Query(op="pba_slacks", design=name, params=params)
+        )
+        return result
+
+    def mgba_fit(self, name: str, **overrides: Any) -> api.FitResult:
+        """The mGBA fit (cached whole-flow; ``x*`` reused by fingerprint)."""
+        params = tuple(sorted(overrides.items()))
+        result, _ = self._q_fit(
+            Query(op="mgba_fit", design=name, params=params)
+        )
+        return result
+
+    def evaluate(self, names: "list[str] | None" = None,
+                 mgba: bool = False) -> "list[DesignReport]":
+        """Suite evaluation (uncached; internally fanned out)."""
+        params: "tuple[tuple[str, Any], ...]" = (("mgba", mgba),)
+        if names is not None:
+            params += (("designs", tuple(names)),)
+        result, _ = self._q_evaluate(
+            Query(op="evaluate", params=params)
+        )
+        return list(result)
+
+    # ------------------------------------------------------------------
+    # Query handlers: (result, cached)
+    # ------------------------------------------------------------------
+    def _cache_get(self, cls: str, key: str) -> Any:
+        if self.cache is None:
+            return None
+        return self.cache.get(cls, key)
+
+    def _cache_put(self, cls: str, key: str, value: Any) -> None:
+        if self.cache is not None:
+            self.cache.put(cls, key, value)
+
+    def _q_sta(self, query: Query) -> "tuple[api.STAResult, bool]":
+        key = self.design_key(query.design).token
+        hit = self._cache_get("sta", key)
+        if hit is not None:
+            return replace(hit, design=query.design), True
+        result = api.sta_result_from_engine(self.engine(query.design))
+        result = replace(result, design=query.design)
+        self._cache_put("sta", key, result)
+        return result, False
+
+    def _q_pba(self, query: Query) -> "tuple[api.GoldenSlacksResult, bool]":
+        k = query.param("k")
+        k = int(k) if k is not None else self.context.pba_k
+        key = keymod.pba_slacks_key(
+            self.design_key(query.design), k,
+            self.context.recalc_slew, "table",
+        )
+        hit = self._cache_get("pba", key)
+        if hit is not None:
+            return replace(hit, design=query.design), True
+        result = api.golden_slacks_from_engine(
+            self.engine(query.design), self.context, k
+        )
+        result = replace(result, design=query.design)
+        self._cache_put("pba", key, result)
+        return result, False
+
+    def _q_fit(self, query: Query) -> "tuple[api.FitResult, bool]":
+        overrides = {
+            name: value for name, value in query.params
+            if name in _FIT_PARAMS
+        }
+        ctx = self.context.replace(**overrides)
+        key = keymod.fit_key(
+            self.design_key(query.design), ctx.fit_fingerprint()
+        )
+        hit = self._cache_get("fit", key)
+        if hit is not None:
+            return replace(hit, design=query.design), True
+        solve_cache = (
+            _SolveCache(self.cache) if self.cache is not None else None
+        )
+        result = api.fit(
+            self.engine(query.design), ctx,
+            apply=False, solve_cache=solve_cache,
+        )
+        result = replace(result, design=query.design)
+        self._cache_put("fit", key, result)
+        return result, False
+
+    def _q_evaluate(self, query: Query) \
+            -> "tuple[tuple[DesignReport, ...], bool]":
+        names = query.param("designs")
+        reports = api.evaluate(
+            list(names) if names is not None else None,
+            mgba=bool(query.param("mgba", False)),
+            context=self.context,
+        )
+        return tuple(reports), False
+
+    _HANDLERS = {
+        "sta": _q_sta,
+        "pba_slacks": _q_pba,
+        "mgba_fit": _q_fit,
+        "evaluate": _q_evaluate,
+    }
+
+    def _run(self, query: Query) -> QueryResult:
+        """Execute one query, capturing failures into the result."""
+        start = time.perf_counter()
+        counter("service.queries").inc()
+        with span(
+            "service.query", op=query.op, design=query.design
+        ) as query_span:
+            try:
+                result, cached = self._HANDLERS[query.op](self, query)
+            except Exception as exc:
+                query_span.set(error_type=type(exc).__name__)
+                return QueryResult(
+                    query=query, ok=False,
+                    seconds=time.perf_counter() - start,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            query_span.set(cached=cached)
+        return QueryResult(
+            query=query, ok=True, cached=cached,
+            seconds=time.perf_counter() - start, result=result,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def submit(self, queries: "Sequence[Query | dict]") \
+            -> "list[QueryResult]":
+        """Run a batch: coalesce duplicates, shard misses, keep order.
+
+        Duplicate queries in one batch compute once and share the
+        result object; distinct designs fan out one-design-per-worker
+        through the context's executor (names a worker can rebuild —
+        suite designs and ``fig2`` — only; bundle-registered designs
+        run in process).  Results come back in input order.
+        """
+        normalized = [Query.from_any(q) for q in queries]
+        unique: "OrderedDict[Query, QueryResult | None]" = OrderedDict()
+        for query in normalized:
+            unique.setdefault(query, None)
+        coalesced = len(normalized) - len(unique)
+        if coalesced:
+            counter("service.coalesced").inc(coalesced)
+        with span(
+            "service.batch", queries=len(normalized),
+            unique=len(unique), coalesced=coalesced,
+        ):
+            self._execute(unique)
+        return [unique[query] for query in normalized]  # type: ignore
+
+    def _execute(self, unique: "OrderedDict[Query, QueryResult | None]") \
+            -> None:
+        executor = self.context.executor()
+        pending = list(unique)
+        shardable: "OrderedDict[str, list[Query]]" = OrderedDict()
+        inline: "list[Query]" = []
+        for query in pending:
+            if (
+                not executor.is_serial
+                and query.op != "evaluate"
+                and query.design
+                and self._rebuildable(query.design)
+            ):
+                shardable.setdefault(query.design, []).append(query)
+            else:
+                inline.append(query)
+        if len(shardable) > 1:
+            jobs = [
+                (self.context, design, tuple(queries))
+                for design, queries in shardable.items()
+            ]
+            groups = executor.map(
+                _run_query_group, jobs, chunk_size=1,
+                label="service.batch",
+            )
+            for results in groups:
+                for outcome in results:
+                    unique[outcome.query] = outcome
+        else:
+            inline = pending
+        for query in inline:
+            if unique.get(query) is None:
+                unique[query] = self._run(query)
+
+    def _rebuildable(self, name: str) -> bool:
+        """Can a worker process reconstruct this design from its name?"""
+        if name in self._bundles and name not in self._by_name:
+            return False
+        if name in self._factories:
+            return False
+        from repro.designs.suite import DESIGN_SPECS
+
+        return name in DESIGN_SPECS or name in ("fig2", "paper_fig2")

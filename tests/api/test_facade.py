@@ -1,0 +1,134 @@
+"""Facade tests: the ``repro.api`` surface is stable and frozen.
+
+The exact export list is snapshot-asserted — adding a name means
+updating the snapshot here *and* ``docs/api.md``; removing or renaming
+one requires a deprecation shim for a release (the policy in
+``docs/api.md``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.context import RunContext
+
+#: The supported surface, verbatim.  Update deliberately.
+EXPECTED_SURFACE = [
+    "RunContext",
+    "STAResult",
+    "GoldenSlacksResult",
+    "FitResult",
+    "ClosureResult",
+    "load_design",
+    "make_engine",
+    "run_sta",
+    "golden_slacks",
+    "fit",
+    "evaluate",
+    "close_timing",
+]
+
+
+class TestSurface:
+    def test_all_snapshot(self):
+        assert api.__all__ == EXPECTED_SURFACE
+
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name, None) is not None, name
+
+    def test_result_types_frozen(self):
+        for cls in (api.STAResult, api.GoldenSlacksResult,
+                    api.FitResult, api.ClosureResult, RunContext):
+            assert dataclasses.is_dataclass(cls)
+            assert cls.__dataclass_params__.frozen, cls.__name__
+
+    def test_seconds_excluded_from_equality(self):
+        a = api.STAResult(
+            design="x", wns=-1.0, tns=-2.0, violations=1,
+            endpoints=2, slacks=(("e", -1.0),), seconds=0.5,
+        )
+        b = dataclasses.replace(a, seconds=99.0)
+        assert a == b
+
+
+class TestRunContext:
+    def test_from_env_resolves_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/elsewhere")
+        ctx = RunContext.from_env()
+        assert ctx.workers == 3
+        assert ctx.backend == "thread"
+        assert ctx.cache is False
+        assert ctx.cache_dir == "/tmp/elsewhere"
+
+    def test_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        ctx = RunContext.from_env(workers=1, cache=True)
+        assert ctx.workers == 1
+        assert ctx.cache is True
+
+    def test_config_round_trip(self):
+        ctx = RunContext(solver="direct", epsilon=0.1, k_per_endpoint=7)
+        config = ctx.mgba_config()
+        assert config.solver == "direct"
+        assert config.epsilon == 0.1
+        assert config.k_per_endpoint == 7
+        back = RunContext.from_config(config)
+        assert back.fit_fingerprint() == ctx.fit_fingerprint()
+
+    def test_fingerprint_ignores_parallelism(self):
+        a = RunContext(workers=1, backend="serial")
+        b = RunContext(workers=8, backend="process")
+        assert a.fit_fingerprint() == b.fit_fingerprint()
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return RunContext.from_env(workers=1, backend="serial", cache=False)
+
+
+class TestVerbs:
+    def test_load_design_fig2(self):
+        design = api.load_design("fig2")
+        assert design.name == "paper_fig2"
+        assert design.placement is None
+
+    def test_load_design_suite(self):
+        assert api.load_design("D1").name == "D1"
+
+    def test_run_sta_deterministic(self, ctx):
+        a = api.run_sta("fig2", ctx)
+        b = api.run_sta("fig2", ctx)
+        assert a == b
+        assert a.wns == min(s for _, s in a.slacks)
+        assert a.to_dict()["design"] == "paper_fig2"
+
+    def test_golden_slacks(self, ctx):
+        result = api.golden_slacks("fig2", k=8, context=ctx)
+        sta = api.run_sta("fig2", ctx)
+        # PBA can only remove pessimism: golden WNS >= GBA WNS.
+        assert result.worst >= sta.wns - 1e-9
+
+    def test_fit_on_engine_applies_weights(self, ctx):
+        engine = api.make_engine("fig2", ctx)
+        before = engine.summary().wns
+        result = api.fit(engine, ctx.replace(solver="direct"))
+        assert result.converged
+        assert result.pass_ratio_mgba >= result.pass_ratio_gba
+        assert engine.summary().wns >= before - 1e-9
+        assert dict(result.weights) == result.weight_map()
+
+    def test_fit_deterministic(self, ctx):
+        fit_ctx = ctx.replace(solver="direct")
+        a = api.fit("fig2", fit_ctx, apply=False)
+        b = api.fit("fig2", fit_ctx, apply=False)
+        assert a == b
+
+    def test_evaluate_subset(self, ctx):
+        reports = api.evaluate(["D1"], context=ctx)
+        assert [r.name for r in reports] == ["D1"]

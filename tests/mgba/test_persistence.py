@@ -5,8 +5,8 @@ import pytest
 from repro.errors import SolverError
 from repro.mgba.flow import MGBAConfig, MGBAFlow
 from repro.mgba.persistence import (
+    _structure_fingerprint as netlist_fingerprint,
     load_weights,
-    netlist_fingerprint,
     save_weights,
     weights_from_json,
     weights_to_json,

@@ -1,0 +1,89 @@
+"""JSONL batch protocol tests: parsing, ordering, error records, serve."""
+
+import io
+import json
+
+import pytest
+
+from repro.context import RunContext
+from repro.service import TimingService, run_batch, serve, write_responses
+
+
+@pytest.fixture()
+def service(tmp_path):
+    return TimingService(context=RunContext.from_env(
+        workers=1, backend="serial", cache_dir=str(tmp_path / "cache"),
+        solver="direct", k_per_endpoint=6, pba_k=8,
+    ))
+
+
+def lines(*records):
+    return [json.dumps(r) for r in records]
+
+
+class TestRunBatch:
+    def test_responses_in_request_order_with_ids(self, service):
+        out = run_batch(service, lines(
+            {"id": "a", "op": "pba_slacks", "design": "fig2", "k": 8},
+            {"id": "b", "op": "sta", "design": "fig2"},
+        ))
+        assert [r["id"] for r in out] == ["a", "b"]
+        assert [r["op"] for r in out] == ["pba_slacks", "sta"]
+        assert all(r["ok"] for r in out)
+        assert out[1]["result"]["design"] == "fig2"
+
+    def test_malformed_line_becomes_error_record(self, service):
+        out = run_batch(service, [
+            "this is not json",
+            json.dumps({"id": 2, "op": "sta", "design": "fig2"}),
+        ])
+        assert out[0]["ok"] is False and "line 1" in out[0]["error"]
+        assert out[1]["ok"] is True and out[1]["id"] == 2
+
+    def test_missing_op_is_an_error(self, service):
+        out = run_batch(service, lines({"design": "fig2"}))
+        assert out[0]["ok"] is False
+
+    def test_blank_lines_skipped(self, service):
+        out = run_batch(service, [
+            "", "   ", json.dumps({"op": "sta", "design": "fig2"}),
+        ])
+        assert len(out) == 1 and out[0]["ok"]
+
+    def test_responses_are_json_serializable(self, service):
+        out = run_batch(service, lines(
+            {"op": "mgba_fit", "design": "fig2"},
+        ))
+        text = json.dumps(out)
+        assert json.loads(text)[0]["result"]["converged"] is True
+
+    def test_write_responses(self, service):
+        out = run_batch(service, lines({"op": "sta", "design": "fig2"}))
+        sink = io.StringIO()
+        assert write_responses(out, sink) == 1
+        assert json.loads(sink.getvalue().splitlines()[0])["ok"]
+
+
+class TestServe:
+    def test_line_by_line_with_flush(self, service):
+        source = io.StringIO("\n".join(lines(
+            {"id": 1, "op": "sta", "design": "fig2"},
+            {"id": 2, "op": "sta", "design": "fig2"},
+        )) + "\n")
+        sink = io.StringIO()
+        assert serve(service, source, sink) == 2
+        records = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert [r["id"] for r in records] == [1, 2]
+        assert records[0]["cached"] is False
+        assert records[1]["cached"] is True  # same query, warm
+
+    def test_malformed_line_keeps_serving(self, service):
+        source = io.StringIO(
+            "garbage\n"
+            + json.dumps({"id": 7, "op": "sta", "design": "fig2"}) + "\n"
+        )
+        sink = io.StringIO()
+        assert serve(service, source, sink) == 2
+        records = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert records[0]["ok"] is False
+        assert records[1]["ok"] is True and records[1]["id"] == 7

@@ -62,3 +62,71 @@ class TestCommands:
         assert len(netlist.gates) > 100
         assert constraints.primary_clock().period > 0
         assert table.validate_monotonic() == []
+
+
+class TestServiceCommands:
+    def test_batch_round_trip(self, tmp_path, capsys):
+        import json
+
+        requests = tmp_path / "queries.jsonl"
+        requests.write_text(
+            json.dumps({"id": 1, "op": "sta", "design": "fig2"}) + "\n"
+            + json.dumps({"id": 2, "op": "pba_slacks", "design": "fig2",
+                          "k": 8}) + "\n"
+        )
+        out_path = tmp_path / "responses.jsonl"
+        code = main([
+            "batch", str(requests), "-o", str(out_path),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        assert "2 response(s)" in capsys.readouterr().out
+        records = [json.loads(line)
+                   for line in out_path.read_text().splitlines()]
+        assert [r["id"] for r in records] == [1, 2]
+        assert all(r["ok"] for r in records)
+
+    def test_batch_error_exit_code(self, tmp_path, capsys):
+        requests = tmp_path / "queries.jsonl"
+        requests.write_text("not json\n")
+        code = main([
+            "batch", str(requests), "-o", str(tmp_path / "out.jsonl"),
+            "--no-cache",
+        ])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_batch_stdout(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(json.dumps({"op": "sta", "design": "fig2"}) + "\n"),
+        )
+        assert main(["batch", "-", "--no-cache"]) == 0
+        record = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert record["ok"] and record["op"] == "sta"
+
+
+class TestObsReportMetrics:
+    def test_missing_metrics_file_is_tolerated(self, tmp_path, capsys):
+        code = main([
+            "obs-report", "--metrics", str(tmp_path / "absent.json"),
+        ])
+        assert code == 0
+        assert "missing or empty" in capsys.readouterr().out
+
+    def test_metrics_table(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps({
+            "cache.hit": {"type": "counter", "value": 3},
+        }))
+        assert main(["obs-report", "--metrics", str(metrics)]) == 0
+        assert "cache.hit" in capsys.readouterr().out
+
+    def test_no_arguments_is_usage_error(self, capsys):
+        assert main(["obs-report"]) == 2
+        capsys.readouterr()

@@ -31,3 +31,21 @@ class TestSurface:
                      "AOCVError", "TimingError", "SolverError",
                      "ParseError"):
             assert issubclass(getattr(repro, name), repro.ReproError)
+
+    def test_facade_and_service_reexported(self):
+        """The service-layer names ride on the package root."""
+        assert repro.api is not None
+        assert repro.RunContext is repro.api.RunContext
+        assert repro.TimingService is repro.service.TimingService
+        assert repro.evaluate_suite is repro.service.evaluate_suite
+
+    def test_import_repro_does_not_warn(self, recwarn):
+        """Importing the package must not trip its own deprecation shims."""
+        import importlib
+
+        importlib.reload(repro)
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+            and "repro" in str(w.message)
+        ]
