@@ -10,6 +10,8 @@ Subcommands
 ``batch``      run a JSONL query file as one coalesced service batch.
 ``serve``      answer JSONL queries line-by-line on stdin/stdout.
 ``obs-report`` pretty-print a captured trace as a runtime breakdown.
+``bench-history`` list/compare the benchmark time series
+               (``bench_metrics/history.jsonl``) and flag regressions.
 
 Query commands route through the stable :mod:`repro.api` facade;
 ``batch`` / ``serve`` go through the :class:`repro.service`
@@ -24,7 +26,11 @@ Global observability flags (before the subcommand):
 * ``--chrome-trace FILE`` — same spans as a Chrome ``trace_event``
   file for ``chrome://tracing`` / Perfetto;
 * ``--metrics FILE`` — dump the metrics registry (counters, gauges,
-  histograms) as JSON when the command finishes.
+  histograms) as JSON when the command finishes;
+* ``--profile FILE`` — attach cProfile to the flow's top-level spans
+  (``mgba.run``, ``sta.update_timing``, ``closure.run``) and save the
+  aggregated per-function stats as JSON (render with
+  ``obs-report --profile FILE``).
 
 Global parallelism flag (before the subcommand):
 
@@ -120,14 +126,18 @@ def _cmd_obs_report(args) -> int:
     from repro.obs import (
         format_breakdown,
         format_metrics,
+        format_profile,
         load_metrics,
+        load_profile,
         load_trace,
     )
 
-    if not args.trace_file and not args.metrics_file:
-        print("obs-report: give a trace file and/or --metrics FILE",
-              file=sys.stderr)
+    if not args.trace_file and not args.metrics_file \
+            and not args.profile_file:
+        print("obs-report: give a trace file, --metrics FILE, "
+              "and/or --profile FILE", file=sys.stderr)
         return 2
+    printed = False
     if args.trace_file:
         try:
             roots = load_trace(args.trace_file)
@@ -143,9 +153,10 @@ def _cmd_obs_report(args) -> int:
         print(f"Trace {args.trace_file}: {len(roots)} root span(s), "
               f"{spans} total")
         print()
-        print(format_breakdown(roots))
+        print(format_breakdown(roots, sort=args.sort, top=args.top))
+        printed = True
     if args.metrics_file:
-        if args.trace_file:
+        if printed:
             print()
         snapshot = load_metrics(args.metrics_file)
         if snapshot is None:
@@ -157,6 +168,64 @@ def _cmd_obs_report(args) -> int:
             print(f"Metrics {args.metrics_file}:")
             print()
             print(format_metrics(snapshot))
+        printed = True
+    if args.profile_file:
+        if printed:
+            print()
+        data = load_profile(args.profile_file)
+        if data is None:
+            print(f"Profile {args.profile_file}: "
+                  "missing or empty (nothing recorded)")
+        else:
+            print(f"Profile {args.profile_file}:")
+            print()
+            print(format_profile(data, top=args.top or 20))
+    return 0
+
+
+def _cmd_bench_history(args) -> int:
+    from repro.obs.history import (
+        check,
+        compare,
+        format_compare,
+        format_list,
+        format_markdown,
+        load_history,
+    )
+
+    records = load_history(args.history_file)
+    if args.markdown:
+        print(format_markdown(records, tolerance=args.tolerance))
+        return 0
+    if args.check:
+        failures, warnings = check(
+            records, tolerance=args.tolerance, min_points=args.min_points
+        )
+        for verdict in warnings:
+            print(
+                f"bench-history: WARNING {verdict.bench}: "
+                f"{verdict.latest.seconds:.3f}s vs median "
+                f"{verdict.baseline_seconds:.3f}s "
+                f"({verdict.delta_percent:+.1f}%) — only "
+                f"{verdict.points} data point(s), advisory",
+                file=sys.stderr,
+            )
+        for verdict in failures:
+            print(
+                f"bench-history: REGRESSION {verdict.bench}: "
+                f"{verdict.latest.seconds:.3f}s vs median "
+                f"{verdict.baseline_seconds:.3f}s "
+                f"({verdict.delta_percent:+.1f}%, n={verdict.points})",
+                file=sys.stderr,
+            )
+        if not failures and not warnings:
+            print(f"bench-history: no regressions in {args.history_file} "
+                  f"(tolerance {args.tolerance:.0%})")
+        return 1 if failures else 0
+    if args.compare:
+        print(format_compare(compare(records, tolerance=args.tolerance)))
+        return 0
+    print(format_list(records))
     return 0
 
 
@@ -201,9 +270,10 @@ def _cmd_serve(args) -> int:
     from repro.service import serve
 
     service = _service_for(args)
-    served = serve(service, sys.stdin, sys.stdout)
-    print(f"served {served} request(s)", file=sys.stderr)
-    return 0
+    stats = serve(service, sys.stdin, sys.stdout)
+    print(f"served {stats.served} request(s) "
+          f"({stats.errors} error(s))", file=sys.stderr)
+    return 2 if stats.errors else 0
 
 
 def _cmd_closure(args) -> int:
@@ -360,6 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="FILE",
         help="write the metrics-registry snapshot as JSON",
     )
+    parser.add_argument(
+        "--profile", metavar="FILE",
+        help="attach cProfile to top-level flow spans and write the "
+             "aggregated stats as JSON (see obs-report --profile)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_designs = sub.add_parser("designs", help="list the design suite")
@@ -463,6 +538,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="also summarize a --metrics JSON snapshot "
              "(missing/empty files are reported, not fatal)",
     )
+    p_obs.add_argument(
+        "--profile", dest="profile_file", metavar="FILE",
+        help="also render a --profile JSON dump as a top-N "
+             "self-time table",
+    )
+    p_obs.add_argument(
+        "--sort", choices=["wall", "self", "calls"], default="wall",
+        help="sibling ordering of the breakdown rows (default: wall)",
+    )
+    p_obs.add_argument(
+        "--top", type=int, metavar="N", default=None,
+        help="truncate the breakdown (and profile table) to N rows",
+    )
+
+    p_hist = sub.add_parser(
+        "bench-history",
+        help="list/compare the benchmark time series and flag "
+             "runtime regressions",
+    )
+    p_hist.add_argument(
+        "history_file", nargs="?",
+        default="bench_metrics/history.jsonl",
+        help="history JSONL file (default: bench_metrics/history.jsonl)",
+    )
+    p_hist.add_argument(
+        "--compare", action="store_true",
+        help="judge the latest run of every series against its "
+             "median baseline",
+    )
+    p_hist.add_argument(
+        "--check", action="store_true",
+        help="like --compare but exit 1 on a regression backed by at "
+             "least --min-points runs (younger series only warn)",
+    )
+    p_hist.add_argument(
+        "--markdown", action="store_true",
+        help="render the full trend report as markdown",
+    )
+    p_hist.add_argument(
+        "--tolerance", type=float, default=0.2, metavar="FRAC",
+        help="relative band around the baseline before a run is "
+             "flagged (default: 0.2 = ±20%%)",
+    )
+    p_hist.add_argument(
+        "--min-points", type=int, default=3, metavar="N",
+        help="runs a series needs before --check fails on it "
+             "(default: 3)",
+    )
 
     return parser
 
@@ -480,6 +603,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "serve": _cmd_serve,
     "obs-report": _cmd_obs_report,
+    "bench-history": _cmd_bench_history,
 }
 
 
@@ -497,7 +621,8 @@ def main(argv: "list[str] | None" = None) -> int:
         except ParallelError as exc:
             print(f"repro-sta: {exc}", file=sys.stderr)
             return 2
-    for out_path in (args.trace, args.chrome_trace, args.metrics):
+    for out_path in (args.trace, args.chrome_trace, args.metrics,
+                     args.profile):
         if out_path:
             parent = Path(out_path).parent
             if str(parent) != "." and not parent.is_dir():
@@ -509,6 +634,12 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.obs import install_tracer
 
         tracer = install_tracer()
+    profiler = None
+    if args.profile:
+        from repro.obs import SpanProfiler, set_span_profiler
+
+        profiler = SpanProfiler()
+        set_span_profiler(profiler)
     try:
         return _COMMANDS[args.command](args)
     finally:
@@ -524,6 +655,11 @@ def main(argv: "list[str] | None" = None) -> int:
                 tracer.export_jsonl(args.trace)
             if args.chrome_trace:
                 tracer.export_chrome(args.chrome_trace)
+        if profiler is not None:
+            from repro.obs import set_span_profiler
+
+            set_span_profiler(None)
+            profiler.save_json(args.profile)
         if args.metrics:
             from repro.obs import default_registry
 

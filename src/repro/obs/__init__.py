@@ -9,13 +9,23 @@ is instrumented with (see ``docs/observability.md`` for the tour):
 * :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
   of counters, gauges, and fixed-bucket histograms;
 * :mod:`repro.obs.telemetry` — per-iteration :class:`IterationStats`
-  callbacks published by the mGBA solvers.
+  callbacks published by the mGBA solvers;
+* :mod:`repro.obs.history` — the append-only benchmark time series
+  behind ``repro-sta bench-history``;
+* :mod:`repro.obs.profile` — opt-in span-scoped cProfile
+  (``repro-sta --profile``).
 
 Everything is importable from the package root::
 
     from repro.obs import span, tracing, counter, record_iterations
 """
 
+from repro.obs.history import (
+    BenchRecord,
+    append_record,
+    compare,
+    load_history,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -34,6 +44,13 @@ from repro.obs.report import (
     load_trace,
     stage_breakdown,
 )
+from repro.obs.profile import (
+    DEFAULT_PROFILED_SPANS,
+    SpanProfiler,
+    format_profile,
+    load_profile,
+    profiling,
+)
 from repro.obs.telemetry import (
     IterationStats,
     iteration_callbacks,
@@ -44,9 +61,12 @@ from repro.obs.telemetry import (
 from repro.obs.trace import (
     Span,
     Tracer,
+    baggage,
+    current_baggage,
     current_span,
     current_tracer,
     install_tracer,
+    set_span_profiler,
     span,
     tracing,
     uninstall_tracer,
@@ -57,6 +77,7 @@ __all__ = [
     "Span", "Tracer", "span", "tracing",
     "install_tracer", "uninstall_tracer",
     "current_tracer", "current_span",
+    "baggage", "current_baggage", "set_span_profiler",
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "default_registry", "counter", "gauge", "histogram",
@@ -66,4 +87,9 @@ __all__ = [
     # reports
     "load_trace", "stage_breakdown", "format_breakdown", "format_tracer",
     "load_metrics", "format_metrics",
+    # history
+    "BenchRecord", "append_record", "load_history", "compare",
+    # profiling
+    "DEFAULT_PROFILED_SPANS", "SpanProfiler", "profiling",
+    "load_profile", "format_profile",
 ]

@@ -1,0 +1,350 @@
+"""Benchmark history: an append-only time series of bench runs.
+
+The per-run ``bench_metrics/BENCH_<name>.json`` snapshots capture *one*
+run in full; this module is the trajectory across runs.  Every bench
+executed under ``benchmarks/conftest.py`` appends one JSONL record to a
+history file (default ``bench_metrics/history.jsonl``), keyed by
+
+* ``sha`` — the git commit the run was taken at,
+* ``bench`` — the pytest node name (``test_table4_solver_race``),
+* ``fingerprint`` — a digest of the problem actually run (design
+  subset, transform budget, worker count), so a ``D1``-only CI smoke
+  run never gets compared against a full ten-design sweep.
+
+Records carry the bench's wall seconds plus a compact scalar summary
+of the metrics registry (counter values, histogram count/mean).  The
+file is append-only and line-oriented: concatenating two histories is
+a merge, a truncated last line is skipped, and nothing ever rewrites
+old records.
+
+:func:`compare` turns a history into per-bench verdicts — the latest
+run against the *median* of the earlier runs with the same
+(bench, fingerprint) key, flagged when outside a relative tolerance
+band — and :func:`format_markdown` renders the trend as a table per
+bench.  ``repro-sta bench-history`` is the CLI over all of this; its
+``--check`` mode stays advisory until a series has
+``min_points`` runs, so a young history warns instead of failing CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from statistics import median
+from typing import Any, Iterable
+
+#: Version of the history record schema (bump on incompatible change;
+#: readers skip records of a different schema instead of crashing).
+HISTORY_SCHEMA = 1
+
+
+def git_sha(short: int = 12) -> str:
+    """The current commit hash, or ``"unknown"`` outside a checkout.
+
+    Prefers the live repository; falls back to ``GITHUB_SHA`` (set in
+    CI even for shallow or detached checkouts).
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", f"--short={short}", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    env = os.environ.get("GITHUB_SHA", "")
+    return env[:short] if env else "unknown"
+
+
+def utc_now() -> str:
+    """ISO-8601 UTC timestamp for new records."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One bench run: identity key + measured outcome."""
+
+    sha: str
+    bench: str
+    fingerprint: str
+    seconds: float
+    when: str = ""
+    metrics: "dict[str, float]" = field(default_factory=dict)
+    schema: int = HISTORY_SCHEMA
+
+    @property
+    def key(self) -> "tuple[str, str]":
+        """The series this record belongs to (bench, fingerprint)."""
+        return (self.bench, self.fingerprint)
+
+    def to_dict(self) -> "dict[str, Any]":
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: "dict[str, Any]") -> "BenchRecord":
+        return cls(
+            sha=str(record.get("sha", "unknown")),
+            bench=str(record["bench"]),
+            fingerprint=str(record.get("fingerprint", "")),
+            seconds=float(record["seconds"]),
+            when=str(record.get("when", "")),
+            metrics={
+                str(k): float(v)
+                for k, v in (record.get("metrics") or {}).items()
+            },
+            schema=int(record.get("schema", HISTORY_SCHEMA)),
+        )
+
+
+def metrics_summary(snapshot: "dict[str, Any]",
+                    limit: int = 64) -> "dict[str, float]":
+    """Scalar digest of a registry snapshot for one history record.
+
+    Counters and gauges contribute their value; histograms contribute
+    ``<name>.count`` and ``<name>.mean`` — enough to trend solver
+    iterations or STA-update cost without archiving every bucket.
+    """
+    summary: "dict[str, float]" = {}
+    for name in sorted(snapshot):
+        if len(summary) >= limit:
+            break
+        record = snapshot[name]
+        if not isinstance(record, dict):
+            continue
+        kind = record.get("type")
+        if kind == "histogram":
+            count = record.get("count") or 0
+            if count:
+                summary[f"{name}.count"] = float(count)
+                summary[f"{name}.mean"] = float(record.get("mean", 0.0))
+        elif record.get("value") is not None:
+            summary[name] = float(record["value"])
+    return summary
+
+
+def append_record(path: "str | Path", record: BenchRecord) -> None:
+    """Append one record (creating the file and its directory)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record.to_dict(), default=str) + "\n")
+
+
+def load_history(path: "str | Path") -> "list[BenchRecord]":
+    """Every readable record, in file (= append) order.
+
+    Tolerant by design: a missing file is an empty history, and a
+    malformed or foreign-schema line (a truncated append, a future
+    writer) is skipped rather than fatal.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: "list[BenchRecord]" = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+                if raw.get("schema", HISTORY_SCHEMA) != HISTORY_SCHEMA:
+                    continue
+                records.append(BenchRecord.from_dict(raw))
+            except (ValueError, KeyError, TypeError):
+                continue
+    return records
+
+
+def series(records: "Iterable[BenchRecord]") \
+        -> "dict[tuple[str, str], list[BenchRecord]]":
+    """Group records into per-(bench, fingerprint) series, append order."""
+    grouped: "dict[tuple[str, str], list[BenchRecord]]" = {}
+    for record in records:
+        grouped.setdefault(record.key, []).append(record)
+    return grouped
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The latest run of one series against its own baseline."""
+
+    bench: str
+    fingerprint: str
+    latest: BenchRecord
+    baseline_seconds: "float | None"  #: median of earlier runs; None if first
+    points: int                       #: runs in the series, latest included
+    ratio: "float | None"             #: latest / baseline
+    status: str                       #: "ok" | "regression" | "improvement" | "new"
+
+    @property
+    def delta_percent(self) -> "float | None":
+        if self.ratio is None:
+            return None
+        return (self.ratio - 1.0) * 100.0
+
+
+def compare(records: "Iterable[BenchRecord]",
+            tolerance: float = 0.2) -> "list[Comparison]":
+    """Judge the latest run of every series against its history.
+
+    The baseline is the **median** seconds of all earlier runs in the
+    series — robust to one noisy CI machine — and the verdict is a
+    relative band: ``latest > baseline * (1 + tolerance)`` is a
+    regression, ``< baseline * (1 - tolerance)`` an improvement,
+    anything else ``ok``.  A series with a single run is ``new``.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    verdicts: "list[Comparison]" = []
+    for (bench, fingerprint), runs in sorted(series(records).items()):
+        latest = runs[-1]
+        earlier = runs[:-1]
+        if not earlier:
+            verdicts.append(Comparison(
+                bench=bench, fingerprint=fingerprint, latest=latest,
+                baseline_seconds=None, points=len(runs),
+                ratio=None, status="new",
+            ))
+            continue
+        baseline = median(r.seconds for r in earlier)
+        ratio = latest.seconds / baseline if baseline > 0 else None
+        if ratio is None:
+            status = "ok"
+        elif ratio > 1.0 + tolerance:
+            status = "regression"
+        elif ratio < 1.0 - tolerance:
+            status = "improvement"
+        else:
+            status = "ok"
+        verdicts.append(Comparison(
+            bench=bench, fingerprint=fingerprint, latest=latest,
+            baseline_seconds=baseline, points=len(runs),
+            ratio=ratio, status=status,
+        ))
+    return verdicts
+
+
+def check(records: "Iterable[BenchRecord]", tolerance: float = 0.2,
+          min_points: int = 3) \
+        -> "tuple[list[Comparison], list[Comparison]]":
+    """Split regressions into hard failures and advisory warnings.
+
+    A regression only *fails* once its series has ``min_points`` runs
+    (latest included) — below that the history is too young to trust,
+    so the same finding is a warning.  Returns
+    ``(failures, warnings)``.
+    """
+    failures: "list[Comparison]" = []
+    warnings: "list[Comparison]" = []
+    for verdict in compare(records, tolerance=tolerance):
+        if verdict.status != "regression":
+            continue
+        if verdict.points >= min_points:
+            failures.append(verdict)
+        else:
+            warnings.append(verdict)
+    return failures, warnings
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fingerprint_label(fingerprint: str) -> str:
+    return fingerprint[:8] if fingerprint else "-"
+
+
+def format_list(records: "Iterable[BenchRecord]") -> str:
+    """Fixed-width summary: one line per series, latest run shown."""
+    grouped = series(records)
+    if not grouped:
+        return "(empty history)"
+    rows = []
+    for (bench, fingerprint), runs in sorted(grouped.items()):
+        latest = runs[-1]
+        rows.append((
+            bench, _fingerprint_label(fingerprint), str(len(runs)),
+            latest.sha, f"{latest.seconds:.3f}", latest.when or "-",
+        ))
+    headers = ("bench", "fingerprint", "runs", "latest sha",
+               "seconds", "when")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_compare(verdicts: "Iterable[Comparison]") -> str:
+    """One line per series: latest vs baseline with its verdict."""
+    verdicts = list(verdicts)
+    if not verdicts:
+        return "(empty history)"
+    lines = []
+    for v in verdicts:
+        if v.baseline_seconds is None:
+            lines.append(
+                f"new         {v.bench} [{_fingerprint_label(v.fingerprint)}]"
+                f"  {v.latest.seconds:.3f}s (first run)"
+            )
+        else:
+            lines.append(
+                f"{v.status:<11} {v.bench}"
+                f" [{_fingerprint_label(v.fingerprint)}]"
+                f"  {v.latest.seconds:.3f}s vs median"
+                f" {v.baseline_seconds:.3f}s"
+                f" ({v.delta_percent:+.1f}%, n={v.points})"
+            )
+    return "\n".join(lines)
+
+
+def format_markdown(records: "Iterable[BenchRecord]",
+                    tolerance: float = 0.2) -> str:
+    """Markdown trend report: a table per bench series plus verdicts."""
+    grouped = series(records)
+    if not grouped:
+        return "# Benchmark history\n\n(empty history)\n"
+    verdicts = {
+        (v.bench, v.fingerprint): v
+        for v in compare(records, tolerance=tolerance)
+    }
+    lines = ["# Benchmark history", ""]
+    for (bench, fingerprint), runs in sorted(grouped.items()):
+        verdict = verdicts[(bench, fingerprint)]
+        badge = {
+            "regression": "🔺 regression",
+            "improvement": "🔻 improvement",
+            "new": "new",
+        }.get(verdict.status, "ok")
+        lines.append(
+            f"## `{bench}` (fingerprint `"
+            f"{_fingerprint_label(fingerprint)}`) — {badge}"
+        )
+        lines.append("")
+        lines.append("| sha | when | seconds | Δ vs prev |")
+        lines.append("|---|---|---:|---:|")
+        previous: "float | None" = None
+        for run in runs:
+            if previous and previous > 0:
+                delta = f"{(run.seconds / previous - 1.0) * 100.0:+.1f}%"
+            else:
+                delta = "-"
+            lines.append(
+                f"| `{run.sha}` | {run.when or '-'} |"
+                f" {run.seconds:.3f} | {delta} |"
+            )
+            previous = run.seconds
+        lines.append("")
+    return "\n".join(lines)

@@ -20,39 +20,59 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from bisect import bisect_right
 from typing import Sequence
 
 
 class Counter:
-    """A monotonically increasing value."""
+    """A monotonically increasing value.
 
-    __slots__ = ("name", "value")
+    Thread-safe: :meth:`inc` holds a per-instrument lock, so counters
+    updated from ``repro.parallel`` thread-backend workers never drop
+    increments (``x += y`` is not atomic in CPython).
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> dict:
         return {"type": "counter", "value": self.value}
 
 
 class Gauge:
-    """A value that can move both ways; records the last write."""
+    """A value that can move both ways; records the last write.
 
-    __slots__ = ("name", "value")
+    Thread-safe: :meth:`set` and :meth:`add` share a lock, so
+    concurrent ``add`` deltas (an in-flight gauge) never lose updates.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: float | None = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, delta: float) -> float:
+        """Adjust the gauge by ``delta`` (from 0 when unset); returns it."""
+        with self._lock:
+            self.value = (self.value or 0.0) + float(delta)
+            return self.value
 
     def to_dict(self) -> dict:
         return {"type": "gauge", "value": self.value}
@@ -79,7 +99,7 @@ class Histogram:
 
     __slots__ = (
         "name", "boundaries", "counts", "count", "total",
-        "minimum", "maximum",
+        "minimum", "maximum", "_lock",
     )
 
     def __init__(self, name: str, boundaries: Sequence[float] | None = None):
@@ -94,16 +114,19 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.counts[bisect_right(self.boundaries, value)] += 1
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        bucket = bisect_right(self.boundaries, value)
+        with self._lock:
+            self.counts[bucket] += 1
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:
@@ -149,6 +172,7 @@ class Histogram:
             "max": self.maximum if self.count else None,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
             "boundaries": self.boundaries,
             "counts": self.counts,
@@ -156,22 +180,29 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Name -> instrument map with on-demand creation."""
+    """Name -> instrument map with on-demand creation.
+
+    Thread-safe: on-demand creation races (two threads asking for the
+    same new name) resolve to one shared instrument under a registry
+    lock; the instruments themselves lock their own mutations.
+    """
 
     def __init__(self):
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, kind, factory):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, kind):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(instrument).__name__}, not {kind.__name__}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter, lambda: Counter(name))
@@ -187,18 +218,20 @@ class MetricsRegistry:
         )
 
     def names(self) -> list[str]:
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def reset(self) -> None:
         """Drop every instrument (tests / per-bench isolation)."""
-        self._instruments.clear()
+        with self._lock:
+            self._instruments.clear()
 
     def snapshot(self) -> dict:
         """Plain-dict view of every instrument, sorted by name."""
-        return {
-            name: self._instruments[name].to_dict()
-            for name in self.names()
-        }
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: instrument.to_dict()
+                for name, instrument in instruments}
 
     def save_json(self, path) -> None:
         """Write the snapshot as pretty-printed JSON."""

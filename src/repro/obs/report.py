@@ -86,8 +86,30 @@ class BreakdownRow:
         return len(self.path) - 1
 
 
-def stage_breakdown(roots: "list[Span]") -> "list[BreakdownRow]":
-    """Fold a span forest into aggregated rows, one per name chain."""
+#: Sort keys accepted by :func:`stage_breakdown` / ``obs-report --sort``.
+SORT_KEYS = ("wall", "self", "calls")
+
+_SORTERS = {
+    "wall": lambda r: -r.wall,
+    "self": lambda r: -r.self_wall,
+    "calls": lambda r: -r.calls,
+}
+
+
+def stage_breakdown(roots: "list[Span]",
+                    sort: str = "wall") -> "list[BreakdownRow]":
+    """Fold a span forest into aggregated rows, one per name chain.
+
+    ``sort`` orders siblings at every depth: ``wall`` (inclusive time,
+    the default), ``self`` (exclusive time — where the work actually
+    is), or ``calls`` (hot by invocation count).  The tree shape is
+    preserved regardless; only sibling order changes.
+    """
+    if sort not in _SORTERS:
+        raise ValueError(
+            f"unknown sort key {sort!r}; choose from {SORT_KEYS}"
+        )
+    sorter = _SORTERS[sort]
     top: dict[str, BreakdownRow] = {}
 
     def fold(span_obj: Span, siblings: "dict[str, BreakdownRow]",
@@ -112,22 +134,30 @@ def stage_breakdown(roots: "list[Span]") -> "list[BreakdownRow]":
 
     def flatten(row: BreakdownRow) -> None:
         rows.append(row)
-        for child in sorted(
-            row.children.values(), key=lambda r: -r.wall
-        ):
+        for child in sorted(row.children.values(), key=sorter):
             flatten(child)
 
-    for row in sorted(top.values(), key=lambda r: -r.wall):
+    for row in sorted(top.values(), key=sorter):
         flatten(row)
     return rows
 
 
-def format_breakdown(roots: "list[Span]") -> str:
-    """Render the per-stage runtime breakdown table."""
-    rows = stage_breakdown(roots)
+def format_breakdown(roots: "list[Span]", sort: str = "wall",
+                     top: "int | None" = None) -> str:
+    """Render the per-stage runtime breakdown table.
+
+    ``sort`` picks the sibling ordering (see :func:`stage_breakdown`);
+    ``top`` truncates the table to its first N rows (depth-first, so
+    the hottest subtrees survive the cut).
+    """
+    rows = stage_breakdown(roots, sort=sort)
     if not rows:
         return "(empty trace)"
     total_wall = sum(r.wall for r in rows if r.depth == 0) or 1.0
+    truncated = 0
+    if top is not None and top > 0 and len(rows) > top:
+        truncated = len(rows) - top
+        rows = rows[:top]
     name_width = max(
         len("stage"), *(2 * r.depth + len(r.name) for r in rows)
     )
@@ -145,6 +175,8 @@ def format_breakdown(roots: "list[Span]") -> str:
             f"{row.cpu:>9.3f}  {row.self_wall:>9.3f}  "
             f"{100.0 * row.wall / total_wall:>6.1f}"
         )
+    if truncated:
+        lines.append(f"... ({truncated} more row(s); raise --top)")
     return "\n".join(lines)
 
 
@@ -190,12 +222,17 @@ def format_metrics(snapshot: "dict") -> str:
             continue
         kind = record.get("type", "?")
         if kind == "histogram":
-            value = (
-                f"count={record.get('count')} mean={record.get('mean'):.4g} "
-                f"p50={record.get('p50'):.4g} p99={record.get('p99'):.4g}"
-                if record.get("count")
-                else "count=0"
-            )
+            if record.get("count"):
+                value = (
+                    f"count={record.get('count')} "
+                    f"mean={record.get('mean'):.4g} "
+                    f"p50={record.get('p50'):.4g}"
+                )
+                if record.get("p95") is not None:
+                    value += f" p95={record.get('p95'):.4g}"
+                value += f" p99={record.get('p99'):.4g}"
+            else:
+                value = "count=0"
         else:
             value = f"{record.get('value')}"
         lines.append(f"{name:<{name_width}}  {kind:<9}  {value}")

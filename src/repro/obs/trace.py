@@ -87,14 +87,33 @@ class Span:
 
 
 class _State(threading.local):
-    """Per-thread open-span stack + installed tracer."""
+    """Per-thread open-span stack, installed tracer, and baggage."""
 
     def __init__(self):
         self.stack: list[Span] = []
         self.tracer: "Tracer | None" = None
+        self.baggage: "list[dict[str, Any]]" = []
 
 
 _state = _State()
+
+#: Installed span profiler (see :mod:`repro.obs.profile`); a tiny
+#: seam so the hot span() path costs one ``is None`` check when
+#: profiling is off.
+_span_profiler: "Any | None" = None
+
+
+def set_span_profiler(profiler: "Any | None") -> "Any | None":
+    """Install (or clear, with None) the span-scoped profiler.
+
+    The profiler must expose ``start(name) -> bool`` and
+    ``stop(name)``; :func:`span` calls them around every region whose
+    name the profiler claims.  Returns the previously installed one.
+    """
+    global _span_profiler
+    previous = _span_profiler
+    _span_profiler = profiler
+    return previous
 
 
 class Tracer:
@@ -206,20 +225,55 @@ def tracing(tracer: Tracer | None = None):
 
 
 @contextmanager
+def baggage(**attrs: Any):
+    """Stamp ``attrs`` onto every span opened inside this scope.
+
+    Baggage is how cross-cutting identity — a service request ID, a
+    batch label — reaches spans opened many layers below without
+    threading a parameter through every signature.  Scopes nest; inner
+    baggage wins on key collision, and a span's own explicit attributes
+    always win over baggage.  Thread-local: a span opened on another
+    thread (or in a process-backend worker) does not inherit it.
+    """
+    _state.baggage.append(attrs)
+    try:
+        yield
+    finally:
+        _state.baggage.pop()
+
+
+def current_baggage() -> "dict[str, Any]":
+    """The merged baggage in effect on this thread (outermost first)."""
+    merged: "dict[str, Any]" = {}
+    for scope in _state.baggage:
+        merged.update(scope)
+    return merged
+
+
+@contextmanager
 def span(name: str, **attrs: Any):
     """Open a span named ``name``; nests under any enclosing span.
 
     Always times the region and yields the :class:`Span` (callers may
     keep it — the mGBA flow does, for its runtime breakdown).  The span
     is attached to the enclosing open span when there is one, and
-    handed to the installed tracer when it closes as a root.
+    handed to the installed tracer when it closes as a root.  Any
+    active :func:`baggage` attributes are stamped on (explicit
+    ``attrs`` win), and an installed span profiler gets a chance to
+    profile the region.
     """
+    if _state.baggage:
+        merged = current_baggage()
+        merged.update(attrs)
+        attrs = merged
     span_obj = Span(name=name, attrs=attrs)
     stack = _state.stack
     parent = stack[-1] if stack else None
     if parent is not None:
         parent.children.append(span_obj)
     stack.append(span_obj)
+    profiler = _span_profiler
+    profiling = profiler is not None and profiler.start(name)
     span_obj.start = time.perf_counter()
     span_obj.cpu_start = time.process_time()
     try:
@@ -230,6 +284,8 @@ def span(name: str, **attrs: Any):
     finally:
         span_obj.cpu_end = time.process_time()
         span_obj.end = time.perf_counter()
+        if profiling:
+            profiler.stop(name)
         stack.pop()
         if parent is None and _state.tracer is not None:
             _state.tracer.add_root(span_obj)

@@ -15,12 +15,19 @@ Three pieces compose here (see ``docs/service.md``):
   ``repro.parallel.fanout``, which remains as a deprecated alias).
 """
 
-from repro.service.batch import run_batch, serve, write_responses
+from repro.service.batch import (
+    CONTROL_OPS,
+    ServeStats,
+    run_batch,
+    serve,
+    write_responses,
+)
 from repro.service.engine import (
     Query,
     QueryResult,
     ServiceError,
     TimingService,
+    new_request_id,
 )
 from repro.service.keys import DesignKey, design_key, netlist_hash
 from repro.service.store import (
@@ -34,6 +41,7 @@ from repro.service.suite import DesignReport, evaluate_design, evaluate_suite
 
 __all__ = [
     "ARTIFACT_CLASSES",
+    "CONTROL_OPS",
     "ArtifactCache",
     "DesignKey",
     "DesignReport",
@@ -42,12 +50,14 @@ __all__ = [
     "Query",
     "QueryResult",
     "SCHEMA_VERSION",
+    "ServeStats",
     "ServiceError",
     "TimingService",
     "design_key",
     "evaluate_design",
     "evaluate_suite",
     "netlist_hash",
+    "new_request_id",
     "run_batch",
     "serve",
     "write_responses",

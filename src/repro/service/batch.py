@@ -10,7 +10,21 @@ serve`` (see ``docs/service.md``).  One request per line::
 and one response per request, same ``id``, in request order::
 
     {"id": 1, "op": "sta", "design": "D1", "ok": true,
-     "cached": false, "seconds": 0.41, "result": {...}}
+     "cached": false, "seconds": 0.41, "request_id": "r712-000001",
+     "result": {...}}
+
+Every request is minted a process-unique ``request_id`` the moment it
+is parsed; the ID is echoed in the response **and** stamped (via span
+baggage) on every tracing span the request opens down through the
+engine and solvers, so a trace is filterable per request.  Coalesced
+duplicates in one batch share the ID of the request that computed.
+
+Two *control verbs* are answered by the protocol layer itself, without
+consuming a timing query:
+
+* ``{"op": "stats"}`` — request/cache/latency statistics
+  (:meth:`~repro.service.engine.TimingService.stats`);
+* ``{"op": "health"}`` — a cheap liveness summary.
 
 A malformed line or failed query produces an error record
 (``"ok": false`` plus ``"error"``) instead of aborting the stream —
@@ -19,16 +33,26 @@ a batch file with one typo still computes the other N-1 queries.
 ``run_batch`` reads the whole input and submits it as **one** batch,
 so duplicates coalesce and distinct designs shard across workers;
 ``serve`` answers line-by-line (flushing after each response) for
-interactive front-ends that pipeline requests.
+interactive front-ends that pipeline requests, and reports how many
+error records it emitted so the CLI can exit non-zero.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from typing import Any, Iterable, TextIO
 
 from repro.obs.trace import span
-from repro.service.engine import Query, QueryResult, TimingService
+from repro.service.engine import (
+    Query,
+    QueryResult,
+    TimingService,
+    new_request_id,
+)
+
+#: Verbs answered by the protocol layer itself (no Query, no cache).
+CONTROL_OPS = ("stats", "health")
 
 
 def parse_request(line: str) -> "dict[str, Any]":
@@ -55,34 +79,65 @@ def _response(request_id: Any, outcome: QueryResult) -> "dict[str, Any]":
     return record
 
 
+def _control_response(service: TimingService,
+                      record: "dict[str, Any]") -> "dict[str, Any]":
+    """Answer a ``stats`` / ``health`` verb from the live service."""
+    op = record["op"]
+    payload = service.stats() if op == "stats" else service.health()
+    response: "dict[str, Any]" = {
+        "op": op, "ok": True,
+        "request_id": new_request_id(), "result": payload,
+    }
+    if record.get("id") is not None:
+        response = {"id": record["id"], **response}
+    return response
+
+
 def run_batch(service: TimingService,
               lines: "Iterable[str]") -> "list[dict[str, Any]]":
     """Parse a JSONL request stream, run it as one coalesced batch.
 
     Returns response records in request order; parse failures become
-    error records in place, without consuming a service query.
+    error records in place, without consuming a service query, and
+    control verbs (``stats`` / ``health``) are answered *after* the
+    batch computes — so a trailing ``stats`` line observes the cache
+    traffic of the requests above it.
     """
-    requests: "list[tuple[Any, Query | None, str | None]]" = []
+    #: (kind, payload) per request line, in order.  Kinds:
+    #: "query" -> (line id, Query, request_id); "control" -> record;
+    #: "error" -> (line id, message).
+    entries: "list[tuple[str, Any]]" = []
     for lineno, line in enumerate(lines, start=1):
         text = line.strip()
         if not text:
             continue
         try:
             record = parse_request(text)
-            requests.append((record.get("id"), Query.from_any(record), None))
+            if record.get("op") in CONTROL_OPS:
+                entries.append(("control", record))
+            else:
+                entries.append(("query", (
+                    record.get("id"), Query.from_any(record),
+                    new_request_id(),
+                )))
         except Exception as exc:
-            requests.append(
-                (None, None, f"line {lineno}: {type(exc).__name__}: {exc}")
-            )
-    queries = [q for _, q, _ in requests if q is not None]
-    with span("service.run_batch", requests=len(requests)):
-        outcomes = iter(service.submit(queries))
+            entries.append(("error", (
+                None, f"line {lineno}: {type(exc).__name__}: {exc}"
+            )))
+    queries = [p[1] for kind, p in entries if kind == "query"]
+    request_ids = [p[2] for kind, p in entries if kind == "query"]
+    with span("service.run_batch", requests=len(entries)):
+        outcomes = iter(service.submit(queries, request_ids=request_ids))
     responses: "list[dict[str, Any]]" = []
-    for request_id, query, error in requests:
-        if query is None:
-            responses.append(_error_record(request_id, error or "malformed"))
+    for kind, payload in entries:
+        if kind == "error":
+            line_id, message = payload
+            responses.append(_error_record(line_id, message))
+        elif kind == "control":
+            responses.append(_control_response(service, payload))
         else:
-            responses.append(_response(request_id, next(outcomes)))
+            line_id, _query, _rid = payload
+            responses.append(_response(line_id, next(outcomes)))
     return responses
 
 
@@ -96,29 +151,47 @@ def write_responses(responses: "Iterable[dict[str, Any]]",
     return count
 
 
+@dataclass(frozen=True)
+class ServeStats:
+    """What one :func:`serve` session did."""
+
+    served: int = 0   #: responses written (errors included)
+    errors: int = 0   #: error records among them
+
+
 def serve(service: TimingService, in_stream: TextIO,
-          out_stream: TextIO) -> int:
-    """Answer requests line-by-line until EOF; returns queries served.
+          out_stream: TextIO) -> ServeStats:
+    """Answer requests line-by-line until EOF.
 
     Each response is flushed immediately, so a front-end driving the
     service through pipes sees every answer as soon as it is computed.
     Unlike :func:`run_batch` there is no cross-request coalescing —
-    but the artifact cache still makes repeats cheap.
+    but the artifact cache still makes repeats cheap.  Returns a
+    :class:`ServeStats` so the CLI can exit non-zero when any request
+    failed (malformed line or query error) while still having served
+    the rest.
     """
     served = 0
+    errors = 0
     for line in in_stream:
         text = line.strip()
         if not text:
             continue
         try:
             record = parse_request(text)
-            query = Query.from_any(record)
+            if record.get("op") in CONTROL_OPS:
+                response = _control_response(service, record)
+            else:
+                query = Query.from_any(record)
+                outcome = service.submit(
+                    [query], request_ids=[new_request_id()]
+                )[0]
+                response = _response(record.get("id"), outcome)
         except Exception as exc:
             response = _error_record(None, f"{type(exc).__name__}: {exc}")
-        else:
-            outcome = service.submit([query])[0]
-            response = _response(record.get("id"), outcome)
+        if not response.get("ok"):
+            errors += 1
         out_stream.write(json.dumps(response, default=str) + "\n")
         out_stream.flush()
         served += 1
-    return served
+    return ServeStats(served=served, errors=errors)

@@ -31,6 +31,8 @@ can never be served because nothing maps the new key to old bytes
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
@@ -40,8 +42,8 @@ from repro import api
 from repro.context import RunContext
 from repro.designs.generator import Design
 from repro.errors import ReproError
-from repro.obs.metrics import counter
-from repro.obs.trace import span
+from repro.obs.metrics import counter, default_registry, gauge, histogram
+from repro.obs.trace import baggage, span
 from repro.service import keys as keymod
 from repro.service.store import ArtifactCache
 from repro.service.suite import DesignReport
@@ -59,6 +61,20 @@ _FIT_PARAMS = (
 
 class ServiceError(ReproError):
     """A malformed or unanswerable service query."""
+
+
+_request_counter = itertools.count(1)
+
+
+def new_request_id() -> str:
+    """A process-unique request ID (``r<pid>-<seq>``).
+
+    Monotonic per process and pid-qualified, so IDs minted inside
+    process-backend shard workers never collide with the parent's —
+    and a trace filtered on one ID isolates exactly one request's
+    span subtree.
+    """
+    return f"r{os.getpid()}-{next(_request_counter):06d}"
 
 
 def _hashable(value: Any) -> Any:
@@ -127,6 +143,7 @@ class QueryResult:
     seconds: float = 0.0
     result: Any = None
     error: "str | None" = None
+    request_id: "str | None" = None
 
     def to_dict(self) -> "dict[str, Any]":
         """JSONL response payload (see ``docs/service.md``)."""
@@ -137,6 +154,8 @@ class QueryResult:
             "cached": self.cached,
             "seconds": round(self.seconds, 6),
         }
+        if self.request_id is not None:
+            record["request_id"] = self.request_id
         if self.ok:
             if isinstance(self.result, (list, tuple)):
                 record["result"] = [
@@ -171,19 +190,24 @@ class _SolveCache:
         self.cache.put("solve", self._key(problem, config), solution)
 
 
-def _run_query_group(job: "tuple[RunContext, str, tuple[Query, ...]]") \
-        -> "list[QueryResult]":
+def _run_query_group(
+    job: "tuple[RunContext, str, tuple[Query, ...], tuple[str | None, ...]]",
+) -> "list[QueryResult]":
     """Worker body of the cache-miss shard (module-level: picklable).
 
     Builds a fresh service in the worker — sharing the *disk* cache
     tier with the parent through the context's ``cache_dir`` — and
     runs one design's queries serially.  A fresh service per group is
     what makes the thread backend safe: no two workers ever touch the
-    same engine.
+    same engine.  Request IDs ride along so worker-side spans and
+    responses keep the caller's identity.
     """
-    context, _design, queries = job
+    context, _design, queries, request_ids = job
     service = TimingService(context=context.replace(workers=1))
-    return [service._run(query) for query in queries]
+    return [
+        service._run(query, request_id)
+        for query, request_id in zip(queries, request_ids)
+    ]
 
 
 class TimingService:
@@ -205,6 +229,7 @@ class TimingService:
         self._keys: "dict[str, keymod.DesignKey]" = {}
         #: Names resolvable by rebuild in a worker process (suite/fig2).
         self._by_name: "set[str]" = set()
+        self._started = time.monotonic()
 
     # ------------------------------------------------------------------
     # Design registry
@@ -281,6 +306,58 @@ class TimingService:
             engine.apply_change(change)
         self._keys.pop(name, None)
         counter("service.invalidations").inc()
+
+    # ------------------------------------------------------------------
+    # Introspection (the `stats` / `health` JSONL verbs)
+    # ------------------------------------------------------------------
+    def health(self) -> "dict[str, Any]":
+        """Cheap liveness summary — never touches an engine or the cache."""
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "designs": len(set(self._bundles) | set(self._factories)),
+            "engines_live": len(self._engines),
+            "cache_enabled": self.cache is not None,
+        }
+
+    def stats(self) -> "dict[str, Any]":
+        """Request/cache/latency statistics of this process.
+
+        Counter values come from the process-wide metrics registry, so
+        a service sharing a process with other instrumented work sees
+        the combined totals; the latency percentiles are the
+        ``service.request.latency`` histogram rendered inline.
+        """
+        registry = default_registry()
+        latency = registry.histogram("service.request.latency")
+        cache_stats: "dict[str, Any]" = {
+            "hit": registry.counter("cache.hit").value,
+            "miss": registry.counter("cache.miss").value,
+            "evictions": registry.counter("cache.evictions").value,
+        }
+        if self.cache is not None and self.cache.memory is not None:
+            cache_stats["memory_entries"] = len(self.cache.memory)
+        if self.cache is not None and self.cache.disk is not None:
+            cache_stats["disk_bytes"] = self.cache.disk.total_bytes()
+        return {
+            **self.health(),
+            "queries": registry.counter("service.queries").value,
+            "coalesced": registry.counter("service.coalesced").value,
+            "errors": registry.counter("service.request.errors").value,
+            "invalidations": registry.counter("service.invalidations").value,
+            "inflight": registry.gauge("service.inflight").value or 0,
+            "design_names": sorted(
+                set(self._bundles) | set(self._factories)
+            ),
+            "cache": cache_stats,
+            "latency": {
+                "count": latency.count,
+                "mean": latency.mean,
+                "p50": latency.percentile(50),
+                "p95": latency.percentile(95),
+                "p99": latency.percentile(99),
+            },
+        }
 
     # ------------------------------------------------------------------
     # Individual queries (raise on failure)
@@ -397,32 +474,56 @@ class TimingService:
         "evaluate": _q_evaluate,
     }
 
-    def _run(self, query: Query) -> QueryResult:
-        """Execute one query, capturing failures into the result."""
+    def _run(self, query: Query,
+             request_id: "str | None" = None) -> QueryResult:
+        """Execute one query, capturing failures into the result.
+
+        Every query runs under a ``service.query`` span tagged with a
+        ``request_id`` (minted here when the batch layer did not pass
+        one), and the ID rides thread-local baggage so each span the
+        engine, PBA, and solvers open below is filterable per request.
+        The wall time lands in the ``service.request.latency``
+        histogram, and ``service.inflight`` tracks concurrency.
+        """
+        if request_id is None:
+            request_id = new_request_id()
         start = time.perf_counter()
         counter("service.queries").inc()
-        with span(
-            "service.query", op=query.op, design=query.design
-        ) as query_span:
-            try:
-                result, cached = self._HANDLERS[query.op](self, query)
-            except Exception as exc:
-                query_span.set(error_type=type(exc).__name__)
-                return QueryResult(
-                    query=query, ok=False,
-                    seconds=time.perf_counter() - start,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
-            query_span.set(cached=cached)
-        return QueryResult(
-            query=query, ok=True, cached=cached,
-            seconds=time.perf_counter() - start, result=result,
-        )
+        inflight = gauge("service.inflight")
+        inflight.add(1)
+        try:
+            with span(
+                "service.query", op=query.op, design=query.design,
+                request_id=request_id,
+            ) as query_span, baggage(request_id=request_id):
+                try:
+                    result, cached = self._HANDLERS[query.op](self, query)
+                except Exception as exc:
+                    query_span.set(error_type=type(exc).__name__)
+                    counter("service.request.errors").inc()
+                    return QueryResult(
+                        query=query, ok=False,
+                        seconds=time.perf_counter() - start,
+                        error=f"{type(exc).__name__}: {exc}",
+                        request_id=request_id,
+                    )
+                query_span.set(cached=cached)
+            return QueryResult(
+                query=query, ok=True, cached=cached,
+                seconds=time.perf_counter() - start, result=result,
+                request_id=request_id,
+            )
+        finally:
+            inflight.add(-1)
+            histogram("service.request.latency").observe(
+                time.perf_counter() - start
+            )
 
     # ------------------------------------------------------------------
     # Batched execution
     # ------------------------------------------------------------------
-    def submit(self, queries: "Sequence[Query | dict]") \
+    def submit(self, queries: "Sequence[Query | dict]",
+               request_ids: "Sequence[str] | None" = None) \
             -> "list[QueryResult]":
         """Run a batch: coalesce duplicates, shard misses, keep order.
 
@@ -431,11 +532,25 @@ class TimingService:
         through the context's executor (names a worker can rebuild —
         suite designs and ``fig2`` — only; bundle-registered designs
         run in process).  Results come back in input order.
+
+        ``request_ids`` (aligned with ``queries``) lets the JSONL
+        layer thread externally minted per-request IDs through to the
+        spans and responses; coalesced duplicates share the ID of the
+        request that computed.  Missing IDs are minted per unique
+        query.
         """
         normalized = [Query.from_any(q) for q in queries]
+        if request_ids is not None and len(request_ids) != len(normalized):
+            raise ServiceError(
+                f"request_ids length {len(request_ids)} != "
+                f"queries length {len(normalized)}"
+            )
         unique: "OrderedDict[Query, QueryResult | None]" = OrderedDict()
-        for query in normalized:
+        ids: "dict[Query, str]" = {}
+        for index, query in enumerate(normalized):
             unique.setdefault(query, None)
+            if request_ids is not None:
+                ids.setdefault(query, request_ids[index])
         coalesced = len(normalized) - len(unique)
         if coalesced:
             counter("service.coalesced").inc(coalesced)
@@ -443,11 +558,12 @@ class TimingService:
             "service.batch", queries=len(normalized),
             unique=len(unique), coalesced=coalesced,
         ):
-            self._execute(unique)
+            self._execute(unique, ids)
         return [unique[query] for query in normalized]  # type: ignore
 
-    def _execute(self, unique: "OrderedDict[Query, QueryResult | None]") \
-            -> None:
+    def _execute(self, unique: "OrderedDict[Query, QueryResult | None]",
+                 ids: "dict[Query, str] | None" = None) -> None:
+        ids = ids or {}
         executor = self.context.executor()
         pending = list(unique)
         shardable: "OrderedDict[str, list[Query]]" = OrderedDict()
@@ -464,7 +580,10 @@ class TimingService:
                 inline.append(query)
         if len(shardable) > 1:
             jobs = [
-                (self.context, design, tuple(queries))
+                (
+                    self.context, design, tuple(queries),
+                    tuple(ids.get(q) for q in queries),
+                )
                 for design, queries in shardable.items()
             ]
             groups = executor.map(
@@ -478,7 +597,7 @@ class TimingService:
             inline = pending
         for query in inline:
             if unique.get(query) is None:
-                unique[query] = self._run(query)
+                unique[query] = self._run(query, ids.get(query))
 
     def _rebuildable(self, name: str) -> bool:
         """Can a worker process reconstruct this design from its name?"""

@@ -28,7 +28,11 @@ other processes never observe a half-written artifact.
 
 Every lookup increments ``cache.hit`` / ``cache.miss`` (plus the
 per-class ``cache.hit.<cls>`` twins), which is what the cold-vs-warm
-CI gate and the acceptance tests assert on.
+CI gate and the acceptance tests assert on.  The service-telemetry
+namespace mirrors them — ``service.cache.hit`` / ``service.cache.miss``
+counters, ``service.cache.eviction``, and the ``service.cache.bytes``
+/ ``service.cache.memory_entries`` gauges — so one metrics snapshot
+answers both "did the cache work" and "how big is it right now".
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
-from repro.obs.metrics import counter
+from repro.obs.metrics import counter, gauge
 from repro.utils.log import get_logger
 
 logger = get_logger("service.store")
@@ -161,6 +165,7 @@ class DiskStore:
         finally:
             tmp.unlink(missing_ok=True)
         self.evict()
+        gauge("service.cache.bytes").set(self.total_bytes())
 
     def invalidate(self, cls: "str | None" = None,
                    key: "str | None" = None) -> int:
@@ -220,6 +225,7 @@ class DiskStore:
             evicted += 1
         if evicted:
             counter("cache.evictions").inc(evicted)
+            counter("service.cache.eviction").inc(evicted)
         return evicted
 
 
@@ -265,14 +271,17 @@ class ArtifactCache:
         if value is None:
             counter("cache.miss").inc()
             counter(f"cache.miss.{cls}").inc()
+            counter("service.cache.miss").inc()
         else:
             counter("cache.hit").inc()
             counter(f"cache.hit.{cls}").inc()
+            counter("service.cache.hit").inc()
         return value
 
     def put(self, cls: str, key: str, value: Any) -> None:
         if self.memory is not None:
             self.memory.put(self._memory_key(cls, key), value)
+            gauge("service.cache.memory_entries").set(len(self.memory))
         if self.disk is not None:
             self.disk.put(cls, key, value)
 

@@ -1,0 +1,161 @@
+"""Bench-history tests: record round-trips, compare verdicts, check()."""
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    HISTORY_SCHEMA,
+    BenchRecord,
+    append_record,
+    check,
+    compare,
+    format_compare,
+    format_list,
+    format_markdown,
+    git_sha,
+    load_history,
+    metrics_summary,
+    series,
+    utc_now,
+)
+
+
+def record(seconds, bench="bench_a", fingerprint="fp1", sha="abc123"):
+    return BenchRecord(sha=sha, bench=bench, fingerprint=fingerprint,
+                       seconds=seconds)
+
+
+class TestRecords:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        first = BenchRecord(
+            sha="abc123", bench="test_table2", fingerprint="fp",
+            seconds=1.25, when=utc_now(),
+            metrics={"solver.iterations": 42.0},
+        )
+        append_record(path, first)
+        append_record(path, record(1.5))
+        loaded = load_history(path)
+        assert len(loaded) == 2
+        assert loaded[0] == first
+        assert loaded[0].key == ("test_table2", "fp")
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_malformed_and_foreign_schema_lines_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        good = record(1.0)
+        with open(path, "w") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"schema": HISTORY_SCHEMA + 1,
+                                 "bench": "x", "seconds": 1}) + "\n")
+            fh.write(json.dumps(good.to_dict()) + "\n")
+            fh.write('{"truncated": ')  # simulated torn append
+        assert load_history(path) == [good]
+
+    def test_git_sha_is_short_and_nonempty(self):
+        sha = git_sha()
+        assert sha and len(sha) <= 12
+
+    def test_metrics_summary_scalars_only(self):
+        snapshot = {
+            "solver.iterations": {"type": "counter", "value": 42},
+            "service.inflight": {"type": "gauge", "value": 0.0},
+            "sta.update.seconds": {
+                "type": "histogram", "count": 3, "mean": 0.5,
+                "buckets": [1, 2], "counts": [2, 1],
+            },
+            "empty.hist": {"type": "histogram", "count": 0, "mean": 0.0},
+        }
+        summary = metrics_summary(snapshot)
+        assert summary["solver.iterations"] == 42.0
+        assert summary["sta.update.seconds.count"] == 3.0
+        assert summary["sta.update.seconds.mean"] == 0.5
+        assert "empty.hist.count" not in summary
+
+
+class TestCompare:
+    def test_single_run_is_new(self):
+        [verdict] = compare([record(1.0)])
+        assert verdict.status == "new"
+        assert verdict.baseline_seconds is None
+        assert verdict.delta_percent is None
+
+    def test_injected_regression_is_flagged(self):
+        # Acceptance fixture: stable history, then a >=20% slower run.
+        history = [record(1.00), record(1.02), record(0.98),
+                   record(1.35)]
+        [verdict] = compare(history, tolerance=0.2)
+        assert verdict.status == "regression"
+        assert verdict.baseline_seconds == pytest.approx(1.0)
+        assert verdict.delta_percent == pytest.approx(35.0)
+        assert verdict.points == 4
+
+    def test_within_band_is_ok(self):
+        [verdict] = compare([record(1.0), record(1.1)], tolerance=0.2)
+        assert verdict.status == "ok"
+
+    def test_speedup_is_improvement(self):
+        [verdict] = compare([record(1.0), record(1.0), record(0.5)])
+        assert verdict.status == "improvement"
+
+    def test_baseline_is_median_of_earlier_runs(self):
+        # One noisy outlier (5.0) must not poison the baseline.
+        history = [record(1.0), record(5.0), record(1.0), record(1.1)]
+        [verdict] = compare(history, tolerance=0.2)
+        assert verdict.baseline_seconds == pytest.approx(1.0)
+        assert verdict.status == "ok"
+
+    def test_series_split_by_fingerprint(self):
+        history = [
+            record(1.0, fingerprint="ci"), record(9.0, fingerprint="full"),
+            record(1.0, fingerprint="ci"),
+        ]
+        assert set(series(history)) == {("bench_a", "ci"),
+                                        ("bench_a", "full")}
+        by_fp = {v.fingerprint: v for v in compare(history)}
+        # The full-sweep run is "new", not a 9x regression of the CI run.
+        assert by_fp["full"].status == "new"
+        assert by_fp["ci"].status == "ok"
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare([record(1.0)], tolerance=-0.1)
+
+
+class TestCheck:
+    def test_young_series_warns_instead_of_failing(self):
+        failures, warnings = check([record(1.0), record(2.0)],
+                                   min_points=3)
+        assert failures == []
+        assert len(warnings) == 1
+
+    def test_mature_series_fails(self):
+        failures, warnings = check(
+            [record(1.0), record(1.0), record(2.0)], min_points=3)
+        assert len(failures) == 1 and warnings == []
+        assert failures[0].status == "regression"
+
+    def test_ok_history_is_clean(self):
+        failures, warnings = check([record(1.0), record(1.0), record(1.0)])
+        assert failures == [] and warnings == []
+
+
+class TestRendering:
+    def test_format_list(self):
+        text = format_list([record(1.0), record(1.2)])
+        assert "bench_a" in text and "runs" in text
+        assert format_list([]) == "(empty history)"
+
+    def test_format_compare_mentions_verdict(self):
+        text = format_compare(compare([record(1.0), record(2.0)]))
+        assert "regression" in text and "+100.0%" in text
+
+    def test_format_markdown_has_table_per_series(self):
+        text = format_markdown(
+            [record(1.0), record(1.0), record(1.4)], tolerance=0.2)
+        assert "# Benchmark history" in text
+        assert "| sha |" in text
+        assert "regression" in text

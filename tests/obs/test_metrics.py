@@ -113,3 +113,68 @@ class TestRegistry:
         counter("test.shared").inc()
         assert default_registry().counter("test.shared").value \
             == before + 1
+
+
+class TestThreadSafety:
+    """Metrics recorded from thread-backend fan-outs must not drop."""
+
+    def test_concurrent_hammer(self):
+        import threading
+
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 2_000
+        barrier = threading.Barrier(threads_n)
+
+        def hammer():
+            barrier.wait()
+            for i in range(per_thread):
+                registry.counter("hammer.count").inc()
+                registry.gauge("hammer.inflight").add(1)
+                registry.gauge("hammer.inflight").add(-1)
+                registry.histogram("hammer.values").observe(i % 7)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = threads_n * per_thread
+        assert registry.counter("hammer.count").value == total
+        assert registry.gauge("hammer.inflight").value == 0
+        hist = registry.histogram("hammer.values")
+        assert hist.count == total
+        assert sum(hist.counts) == total
+
+    def test_concurrent_creation_yields_one_instrument(self):
+        import threading
+
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(8)
+        seen = []
+
+        def create():
+            barrier.wait()
+            seen.append(id(registry.counter("race.counter")))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == 1
+
+    def test_gauge_add_from_unset(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("g").add(2.5) == 2.5
+        assert registry.gauge("g").add(-1.0) == 1.5
+
+    def test_histogram_reports_p95(self):
+        hist = Histogram("h", boundaries=[1, 2, 3, 4, 5])
+        for value in (1, 2, 3, 4, 5):
+            hist.observe(value)
+        record = hist.to_dict()
+        assert "p95" in record
+        assert record["p50"] <= record["p95"] <= record["p99"] or (
+            record["p95"] == pytest.approx(record["p99"], rel=1e-9)
+        )

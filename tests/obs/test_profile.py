@@ -1,0 +1,122 @@
+"""SpanProfiler tests: claiming, nesting, aggregation, rendering."""
+
+import json
+
+from repro.obs import span
+from repro.obs.profile import (
+    DEFAULT_PROFILED_SPANS,
+    SpanProfiler,
+    format_profile,
+    load_profile,
+    profiling,
+)
+
+
+def burn(n: int = 20_000) -> int:
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+class TestSpanProfiler:
+    def test_default_names_cover_the_flow_stages(self):
+        assert {"mgba.run", "sta.update_timing", "closure.run"} \
+            <= DEFAULT_PROFILED_SPANS
+
+    def test_profiles_claimed_span(self):
+        with profiling({"hot"}) as profiler:
+            with span("hot"):
+                burn()
+            with span("cold"):
+                burn()
+        assert profiler.spans_profiled == 1
+        assert profiler.skipped == 0
+        assert any("burn" in row.func for row in profiler.rows())
+
+    def test_nested_claimed_span_is_skipped_not_fatal(self):
+        with profiling({"outer", "inner"}) as profiler:
+            with span("outer"):
+                with span("inner"):
+                    burn()
+        assert profiler.spans_profiled == 1
+        assert profiler.skipped == 1
+
+    def test_aggregates_across_regions(self):
+        with profiling({"hot"}) as profiler:
+            for _ in range(3):
+                with span("hot"):
+                    burn()
+        assert profiler.spans_profiled == 3
+        rows = {row.func: row for row in profiler.rows()}
+        burn_rows = [r for f, r in rows.items() if "burn" in f]
+        assert burn_rows and burn_rows[0].calls == 3
+
+    def test_rows_sorted_by_self_time_desc(self):
+        with profiling({"hot"}) as profiler:
+            with span("hot"):
+                burn()
+        rows = profiler.rows()
+        self_times = [row.self_seconds for row in rows]
+        assert self_times == sorted(self_times, reverse=True)
+
+    def test_uninstalls_on_exit(self):
+        from repro.obs.trace import set_span_profiler
+
+        with profiling({"hot"}):
+            pass
+        assert set_span_profiler(None) is None
+
+
+class TestSerialization:
+    def test_save_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "profile.json"
+        with profiling({"hot"}) as profiler:
+            with span("hot"):
+                burn()
+        profiler.save_json(path)
+        data = load_profile(path)
+        assert data is not None
+        assert data["spans_profiled"] == 1
+        assert data["spans"] == ["hot"]
+        assert data["rows"] and "self" in data["rows"][0]
+
+    def test_load_tolerates_missing_and_garbage(self, tmp_path):
+        assert load_profile(tmp_path / "absent.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert load_profile(bad) is None
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"hello": 1}))
+        assert load_profile(wrong) is None
+
+
+class TestFormatting:
+    def test_table_contains_top_functions(self, tmp_path):
+        with profiling({"hot"}) as profiler:
+            with span("hot"):
+                burn()
+        text = format_profile(profiler.to_dict(), top=5)
+        assert "1 span(s) profiled (hot)" in text
+        assert "self(s)" in text
+
+    def test_top_truncation_is_announced(self):
+        data = {
+            "spans_profiled": 1, "spans": ["x"], "skipped": 0,
+            "rows": [
+                {"func": f"f{i}", "calls": 1, "self": 1.0 - i * 0.01,
+                 "cum": 1.0}
+                for i in range(10)
+            ],
+        }
+        text = format_profile(data, top=3)
+        assert "(7 more)" in text
+
+    def test_skipped_note(self):
+        data = {"spans_profiled": 2, "spans": ["a"], "skipped": 3,
+                "rows": [{"func": "f", "calls": 1, "self": 0.1, "cum": 0.1}]}
+        assert "3 nested/concurrent skipped" in format_profile(data)
+
+    def test_empty_profile(self):
+        data = {"spans_profiled": 0, "spans": [], "skipped": 0, "rows": []}
+        assert "(no profile samples)" in format_profile(data)

@@ -191,3 +191,88 @@ class TestBreakdown:
 
     def test_empty_trace(self):
         assert format_breakdown([]) == "(empty trace)"
+
+
+class TestBaggage:
+    def test_baggage_stamps_spans_opened_in_scope(self):
+        from repro.obs import baggage
+
+        with tracing() as tracer:
+            with baggage(request_id="r-1"):
+                with span("outer"):
+                    with span("inner"):
+                        pass
+            with span("outside"):
+                pass
+        by_name = {s.name: s for s in tracer.roots[0].walk()}
+        assert by_name["outer"].attrs["request_id"] == "r-1"
+        assert by_name["inner"].attrs["request_id"] == "r-1"
+        assert "request_id" not in tracer.roots[1].attrs
+
+    def test_explicit_attrs_win_over_baggage(self):
+        from repro.obs import baggage
+
+        with baggage(request_id="ambient", design="d"):
+            with span("s", request_id="explicit") as s:
+                pass
+        assert s.attrs["request_id"] == "explicit"
+        assert s.attrs["design"] == "d"
+
+    def test_nested_scopes_merge_inner_wins(self):
+        from repro.obs import baggage, current_baggage
+
+        with baggage(a=1, b=1):
+            with baggage(b=2):
+                assert current_baggage() == {"a": 1, "b": 2}
+            assert current_baggage() == {"a": 1, "b": 1}
+        assert current_baggage() == {}
+
+    def test_baggage_does_not_cross_threads(self):
+        import threading
+
+        from repro.obs import baggage, current_baggage
+
+        seen = {}
+
+        def probe():
+            seen["other"] = current_baggage()
+
+        with baggage(request_id="main-only"):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["other"] == {}
+
+
+class TestSpanProfilerHook:
+    def test_hook_called_for_matching_spans(self):
+        from repro.obs import set_span_profiler
+
+        calls = []
+
+        class Recorder:
+            def start(self, name):
+                calls.append(("start", name))
+                return name == "want"
+
+            def stop(self, name):
+                calls.append(("stop", name))
+
+        previous = set_span_profiler(Recorder())
+        try:
+            with span("want"):
+                with span("skip"):
+                    pass
+        finally:
+            set_span_profiler(previous)
+        assert ("start", "want") in calls
+        assert ("stop", "want") in calls
+        assert ("start", "skip") in calls
+        assert ("stop", "skip") not in calls
+
+    def test_set_span_profiler_returns_previous(self):
+        from repro.obs import set_span_profiler
+
+        first = object()
+        assert set_span_profiler(first) is None
+        assert set_span_profiler(None) is first

@@ -71,7 +71,8 @@ class TestServe:
             {"id": 2, "op": "sta", "design": "fig2"},
         )) + "\n")
         sink = io.StringIO()
-        assert serve(service, source, sink) == 2
+        stats = serve(service, source, sink)
+        assert stats.served == 2 and stats.errors == 0
         records = [json.loads(l) for l in sink.getvalue().splitlines()]
         assert [r["id"] for r in records] == [1, 2]
         assert records[0]["cached"] is False
@@ -83,7 +84,105 @@ class TestServe:
             + json.dumps({"id": 7, "op": "sta", "design": "fig2"}) + "\n"
         )
         sink = io.StringIO()
-        assert serve(service, source, sink) == 2
+        stats = serve(service, source, sink)
+        assert stats.served == 2 and stats.errors == 1
         records = [json.loads(l) for l in sink.getvalue().splitlines()]
         assert records[0]["ok"] is False
         assert records[1]["ok"] is True and records[1]["id"] == 7
+
+    def test_failed_query_counts_as_error(self, service):
+        source = io.StringIO(json.dumps(
+            {"id": 1, "op": "sta", "design": "no_such_design"}
+        ) + "\n")
+        sink = io.StringIO()
+        stats = serve(service, source, sink)
+        assert stats.served == 1 and stats.errors == 1
+        record = json.loads(sink.getvalue().splitlines()[0])
+        assert record["ok"] is False and "error" in record
+
+    def test_unknown_op_is_error_record(self, service):
+        source = io.StringIO(json.dumps({"op": "explode"}) + "\n")
+        sink = io.StringIO()
+        stats = serve(service, source, sink)
+        assert stats.served == 1 and stats.errors == 1
+
+
+class TestRequestIds:
+    def test_serve_mints_distinct_request_ids(self, service):
+        source = io.StringIO("\n".join(lines(
+            {"id": 1, "op": "sta", "design": "fig2"},
+            {"id": 2, "op": "pba_slacks", "design": "fig2", "k": 8},
+        )) + "\n")
+        sink = io.StringIO()
+        serve(service, source, sink)
+        records = [json.loads(l) for l in sink.getvalue().splitlines()]
+        ids = [r["request_id"] for r in records]
+        assert len(set(ids)) == 2
+        assert all(rid.startswith("r") for rid in ids)
+
+    def test_request_id_lands_on_descendant_spans(self, service):
+        from repro.obs import tracing
+
+        source = io.StringIO("\n".join(lines(
+            {"id": 1, "op": "sta", "design": "fig2"},
+            {"id": 2, "op": "pba_slacks", "design": "fig2", "k": 8},
+        )) + "\n")
+        with tracing() as tracer:
+            serve(service, source, io.StringIO())
+        tagged = {}
+        for root in tracer.roots:
+            for span_obj in root.walk():
+                rid = span_obj.attrs.get("request_id")
+                if rid is not None:
+                    tagged.setdefault(rid, []).append(span_obj.name)
+        # Two requests -> two distinct IDs, each tagging a subtree that
+        # reaches below the service layer (engine/PBA spans included).
+        assert len(tagged) == 2
+        deep = [names for names in tagged.values()
+                if any(not n.startswith("service.") for n in names)]
+        assert deep, f"no request-tagged engine spans: {tagged}"
+
+    def test_coalesced_duplicates_share_the_computing_id(self, service):
+        out = run_batch(service, lines(
+            {"id": "a", "op": "sta", "design": "fig2"},
+            {"id": "b", "op": "sta", "design": "fig2"},
+        ))
+        assert out[0]["request_id"] == out[1]["request_id"]
+
+
+class TestControlVerbs:
+    def test_stats_reports_cache_traffic(self, service):
+        source = io.StringIO("\n".join(lines(
+            {"id": 1, "op": "sta", "design": "fig2"},
+            {"id": 2, "op": "sta", "design": "fig2"},
+            {"id": 3, "op": "stats"},
+        )) + "\n")
+        sink = io.StringIO()
+        stats = serve(service, source, sink)
+        assert stats.served == 3 and stats.errors == 0
+        record = json.loads(sink.getvalue().splitlines()[2])
+        assert record["ok"] is True and record["op"] == "stats"
+        payload = record["result"]
+        assert payload["cache"]["hit"] >= 1     # the repeated sta query
+        assert payload["cache"]["miss"] >= 1
+        assert payload["latency"]["count"] >= 2
+        assert payload["queries"] >= 2
+        assert "fig2" in payload["design_names"]
+
+    def test_health_is_cheap_and_ok(self, service):
+        out = run_batch(service, lines({"id": 9, "op": "health"}))
+        assert out[0]["ok"] is True and out[0]["id"] == 9
+        payload = out[0]["result"]
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+        assert payload["cache_enabled"] is True
+
+    def test_stats_in_batch_sees_the_batch_traffic(self, service):
+        out = run_batch(service, lines(
+            {"op": "stats"},
+            {"id": 1, "op": "sta", "design": "fig2"},
+        ))
+        # Control verbs answer after the batch computes, so even a
+        # leading stats line observes the sta query's cache traffic.
+        assert out[0]["result"]["queries"] >= 1
+        assert out[1]["ok"] is True

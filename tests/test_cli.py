@@ -130,3 +130,146 @@ class TestObsReportMetrics:
     def test_no_arguments_is_usage_error(self, capsys):
         assert main(["obs-report"]) == 2
         capsys.readouterr()
+
+
+class TestServeCommand:
+    def _serve(self, monkeypatch, text):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+        return main(["serve", "--no-cache"])
+
+    def test_serve_round_trip(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        code = self._serve(monkeypatch, "\n".join([
+            json.dumps({"id": 1, "op": "sta", "design": "fig2"}),
+            json.dumps({"id": 2, "op": "stats"}),
+        ]) + "\n")
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "served 2 request(s) (0 error(s))" in captured.err
+        records = [json.loads(l) for l in captured.out.splitlines()]
+        assert records[0]["ok"] and records[0]["request_id"]
+        assert records[1]["op"] == "stats"
+        assert records[1]["result"]["queries"] >= 1
+
+    def test_serve_malformed_line_exits_2(self, capsys, monkeypatch):
+        import json
+
+        code = self._serve(
+            monkeypatch,
+            "garbage\n" + json.dumps({"op": "health"}) + "\n",
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "served 2 request(s) (1 error(s))" in captured.err
+        records = [json.loads(l) for l in captured.out.splitlines()]
+        assert records[0]["ok"] is False and "error" in records[0]
+        assert records[1]["result"]["status"] == "ok"
+
+
+class TestProfileFlag:
+    def test_profile_writes_json_and_report_renders_it(
+            self, tmp_path, capsys):
+        import json
+
+        profile_path = tmp_path / "profile.json"
+        assert main([
+            "--profile", str(profile_path),
+            "mgba", "fig2", "--k", "5", "--solver", "direct",
+        ]) == 0
+        capsys.readouterr()
+        data = json.loads(profile_path.read_text())
+        assert data["spans_profiled"] >= 1
+        assert data["rows"]
+        assert main([
+            "obs-report", "--profile", str(profile_path), "--top", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "span(s) profiled" in out and "self(s)" in out
+
+    def test_missing_profile_dir_is_usage_error(self, tmp_path, capsys):
+        code = main([
+            "--profile", str(tmp_path / "no_such_dir" / "p.json"),
+            "designs",
+        ])
+        assert code == 2
+        capsys.readouterr()
+
+
+class TestObsReportSortTop:
+    @pytest.fixture()
+    def trace_path(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main([
+            "--trace", str(path),
+            "sta", "fig2", "--paths", "1",
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_sort_and_top(self, trace_path, capsys):
+        assert main([
+            "obs-report", str(trace_path), "--sort", "self", "--top", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "root span(s)" in out
+
+    def test_bad_sort_rejected(self, trace_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["obs-report", str(trace_path), "--sort", "nope"])
+        capsys.readouterr()
+
+
+class TestBenchHistoryCommand:
+    @pytest.fixture()
+    def history(self, tmp_path):
+        from repro.obs.history import BenchRecord, append_record
+
+        path = tmp_path / "history.jsonl"
+        for seconds in (1.00, 1.02, 0.98, 1.35):  # injected +35% run
+            append_record(path, BenchRecord(
+                sha="abc123", bench="bench_smoke", fingerprint="fp",
+                seconds=seconds,
+            ))
+        return path
+
+    def test_list_default(self, history, capsys):
+        assert main(["bench-history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "bench_smoke" in out and "runs" in out
+
+    def test_compare_flags_regression(self, history, capsys):
+        assert main(["bench-history", str(history), "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "regression" in out and "+35.0%" in out
+
+    def test_check_fails_on_mature_regression(self, history, capsys):
+        assert main(["bench-history", str(history), "--check"]) == 1
+        assert "REGRESSION bench_smoke" in capsys.readouterr().err
+
+    def test_check_only_warns_below_min_points(self, history, capsys):
+        code = main([
+            "bench-history", str(history), "--check", "--min-points", "9",
+        ])
+        assert code == 0
+        assert "WARNING bench_smoke" in capsys.readouterr().err
+
+    def test_check_clean_history(self, history, capsys):
+        code = main([
+            "bench-history", str(history), "--check", "--tolerance", "0.5",
+        ])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_markdown(self, history, capsys):
+        assert main(["bench-history", str(history), "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "# Benchmark history" in out and "| sha |" in out
+
+    def test_missing_history_is_empty(self, tmp_path, capsys):
+        assert main([
+            "bench-history", str(tmp_path / "absent.jsonl"),
+        ]) == 0
+        assert "(empty history)" in capsys.readouterr().out
