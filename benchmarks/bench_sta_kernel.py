@@ -1,0 +1,172 @@
+"""Scalar-vs-vector STA kernel bench: equivalence asserted, speedup logged.
+
+Two workloads per design, mirroring how the system actually calls
+``update_timing``:
+
+* **cold** — first full update on a fresh engine (layout build + delay
+  calc + propagation);
+* **weighted loop** — the mGBA solver pattern: ``set_gate_weights``
+  followed by a full update, repeated.  Weights only move the derate
+  arrays, so the vector kernel's flow cache answers these with an
+  arrival-only sweep — this is the speedup the paper's Fig. 5 loop
+  feels.
+
+Equivalence is hard-asserted (bit-identical arrivals/slews and equal
+slack maps, here and in the CI ``bench-smoke`` gate); wall-clock
+speedups are logged and recorded to ``repro.obs.history``, never
+flaky-gated.
+
+Also runnable as a script for CI::
+
+    python -m benchmarks.bench_sta_kernel --check --iterations 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.designs.suite import build_design
+from repro.timing.sta import STAEngine
+
+from benchmarks.conftest import bench_design_names, print_table
+
+#: Weighted-update iterations per design (the mGBA loop depth).
+DEFAULT_ITERATIONS = 6
+
+
+def _engine(design, kernel: str) -> STAEngine:
+    return STAEngine(
+        design.netlist, design.constraints, design.placement,
+        replace(design.sta_config, kernel=kernel),
+    )
+
+
+def _weights(netlist, round_no: int) -> dict[str, float]:
+    gates = sorted(netlist.gates)
+    return {
+        g: 1.0 + 0.001 * ((round_no + j) % 11)
+        for j, g in enumerate(gates)
+    }
+
+
+def _run_kernel(design, kernel: str, iterations: int):
+    """(engine, cold seconds, weighted-loop seconds per iteration)."""
+    engine = _engine(design, kernel)
+    start = time.perf_counter()
+    engine.update_timing()
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    for i in range(iterations):
+        engine.set_gate_weights(_weights(engine.netlist, i))
+        engine.update_timing()
+    loop = (time.perf_counter() - start) / max(iterations, 1)
+    return engine, cold, loop
+
+
+def _states_identical(scalar: STAEngine, vector: STAEngine) -> bool:
+    ids = sorted(n.id for n in scalar.graph.live_nodes())
+    if ids != sorted(n.id for n in vector.graph.live_nodes()):
+        return False
+    for attr in ("arrival_late", "arrival_early", "slew"):
+        a = getattr(scalar.state, attr)[ids]
+        b = getattr(vector.state, attr)[ids]
+        if not np.array_equal(a, b):
+            return False
+    slacks_s = {s.name: s.slack for s in scalar.setup_slacks()}
+    slacks_v = {s.name: s.slack for s in vector.setup_slacks()}
+    return slacks_s == slacks_v
+
+
+def compare_kernels(names, iterations: int = DEFAULT_ITERATIONS):
+    """Per-design rows + divergence list for scalar vs vector kernels."""
+    rows = []
+    diverged = []
+    for name in names:
+        scalar, cold_s, loop_s = _run_kernel(
+            build_design(name), "scalar", iterations
+        )
+        vector, cold_v, loop_v = _run_kernel(
+            build_design(name), "vector", iterations
+        )
+        equal = _states_identical(scalar, vector)
+        if not equal:
+            diverged.append(name)
+        rows.append([
+            name,
+            f"{cold_s * 1e3:.1f}", f"{cold_v * 1e3:.1f}",
+            f"{cold_s / cold_v:.2f}x" if cold_v > 0 else "-",
+            f"{loop_s * 1e3:.1f}", f"{loop_v * 1e3:.1f}",
+            f"{loop_s / loop_v:.2f}x" if loop_v > 0 else "-",
+            "ok" if equal else "DIVERGED",
+        ])
+    return rows, diverged
+
+
+_HEADERS = [
+    "design", "cold scalar ms", "cold vector ms", "cold speedup",
+    "loop scalar ms", "loop vector ms", "loop speedup", "equal",
+]
+
+
+def test_sta_kernel_scalar_vs_vector(benchmark):
+    """Bit-equality asserted on every design; speedups logged."""
+    names = bench_design_names()
+    largest = names[-1]
+
+    def _weighted_loop():
+        _run_kernel(build_design(largest), "vector", DEFAULT_ITERATIONS)
+
+    benchmark.pedantic(_weighted_loop, rounds=1, iterations=1)
+
+    rows, diverged = compare_kernels(names)
+    print_table(
+        "STA kernel: scalar vs vector "
+        f"(weighted loop x{DEFAULT_ITERATIONS})",
+        _HEADERS, rows,
+        note=(
+            "cold = first full update; loop = set_gate_weights + "
+            "update_timing per iteration (the mGBA pattern, where the "
+            "vector kernel's flow cache applies).  Speedups are "
+            "logged, not asserted; bit-equality is asserted."
+        ),
+    )
+    assert not diverged
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="STA kernel bench: scalar vs vector equivalence + speed",
+    )
+    parser.add_argument("--iterations", type=int, default=DEFAULT_ITERATIONS)
+    parser.add_argument(
+        "--designs", default="",
+        help="comma-separated subset (default: REPRO_BENCH_DESIGNS or all)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the kernels' results diverge",
+    )
+    args = parser.parse_args(argv)
+    names = (
+        [n.strip() for n in args.designs.split(",") if n.strip()]
+        or bench_design_names()
+    )
+    rows, diverged = compare_kernels(names, args.iterations)
+    print_table(
+        f"STA kernel: scalar vs vector (weighted loop x{args.iterations})",
+        _HEADERS, rows,
+    )
+    if diverged:
+        print(f"FAIL: kernel divergence on {diverged}", file=sys.stderr)
+        return 1
+    print("scalar-vs-vector equivalence: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -143,3 +143,19 @@ def compute_gba_depths(netlist: Netlist) -> dict[str, int]:
     fwd = forward_min_depths(netlist)
     bwd = backward_min_depths(netlist)
     return {g: fwd[g] + bwd[g] - 1 for g in fwd}
+
+
+def derates_by_depth(table, depths, distance: float) -> dict[int, float]:
+    """Derate factor per distinct depth at one (GBA) distance.
+
+    GBA evaluates every gate at a single conservative distance, so the
+    table lookup depends only on the integer depth; the vector kernel
+    precomputes this table once and fills a whole edge array by
+    indexing it with the per-edge depth array.  Values are exactly
+    ``table.derate(depth, distance)`` — the same call the scalar fill
+    memoizes — so both kernels read identical factors.
+    """
+    return {
+        int(depth): table.derate(int(depth), distance)
+        for depth in set(depths)
+    }

@@ -110,22 +110,47 @@ class LookupTable2D:
             + u * ((1 - t) * row_i1[j] + t * row_i1[j + 1])
         )
 
+    def _grid_coords(self, slews, loads):
+        """Clamped query points and cell indices for a batched lookup.
+
+        ``np.minimum(np.maximum(...))`` and the bound ``searchsorted``
+        method compute exactly what ``np.clip``/``np.searchsorted``
+        would, without the wrapper dispatch that dominates small-batch
+        lookups (the vector kernel issues one batch per level x table).
+        """
+        rows = self.rows
+        cols = self.cols
+        r = np.minimum(
+            np.maximum(np.asarray(slews, dtype=float), rows[0]), rows[-1]
+        )
+        c = np.minimum(
+            np.maximum(np.asarray(loads, dtype=float), cols[0]), cols[-1]
+        )
+        i = np.minimum(
+            np.maximum(rows.searchsorted(r, side="right") - 1, 0),
+            max(rows.size - 2, 0),
+        )
+        j = np.minimum(
+            np.maximum(cols.searchsorted(c, side="right") - 1, 0),
+            max(cols.size - 2, 0),
+        )
+        return r, c, i, j
+
     def lookup_many(self, slews, loads) -> np.ndarray:
         """Vectorized :meth:`lookup` over equal-length arrays."""
-        r = np.clip(np.asarray(slews, dtype=float),
-                    self.rows[0], self.rows[-1])
-        c = np.clip(np.asarray(loads, dtype=float),
-                    self.cols[0], self.cols[-1])
         if self.rows.size == 1 and self.cols.size == 1:
+            r = np.asarray(slews, dtype=float)
             return np.full(r.shape, self.values[0, 0])
-        i = np.clip(
-            np.searchsorted(self.rows, r, side="right") - 1,
-            0, max(self.rows.size - 2, 0),
-        )
-        j = np.clip(
-            np.searchsorted(self.cols, c, side="right") - 1,
-            0, max(self.cols.size - 2, 0),
-        )
+        r, c, i, j = self._grid_coords(slews, loads)
+        return self._interpolate_at(r, c, i, j)
+
+    def _interpolate_at(self, r, c, i, j) -> np.ndarray:
+        """Bilinear interpolation at precomputed grid coordinates.
+
+        The expression tree is the same as :meth:`lookup_many`'s, so a
+        caller that shares (r, c, i, j) between two tables with equal
+        axes gets bit-identical values at half the coordinate cost.
+        """
         if self.rows.size == 1:
             t = (c - self.cols[j]) / (self.cols[j + 1] - self.cols[j])
             return (1 - t) * self.values[0, j] + t * self.values[0, j + 1]
@@ -166,3 +191,38 @@ class LookupTable2D:
 
     def __hash__(self):  # frozen dataclass with arrays: identity hash
         return id(self)
+
+
+def _same_axes(a: LookupTable2D, b: LookupTable2D) -> bool:
+    """True when two tables index their grids by identical breakpoints."""
+    rows_equal = a.rows is b.rows or (
+        a.rows.size == b.rows.size and bool((a.rows == b.rows).all())
+    )
+    if not rows_equal:
+        return False
+    return a.cols is b.cols or (
+        a.cols.size == b.cols.size and bool((a.cols == b.cols).all())
+    )
+
+
+def lookup_pair_many(
+    first: LookupTable2D, second: LookupTable2D, slews, loads,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Batched lookups of two tables at the same (slew, load) points.
+
+    An arc's delay and output-slew grids are characterized over the same
+    breakpoints, so the clamp / cell-index / interpolation-weight work
+    can be shared; the returned values are bit-identical to two
+    :meth:`LookupTable2D.lookup_many` calls because both paths evaluate
+    the same expression trees.  Tables with differing axes (or the 1x1
+    constant special case) fall back to independent lookups.
+    """
+    if (
+        not (first.rows.size == 1 and first.cols.size == 1)
+        and _same_axes(first, second)
+    ):
+        r, c, i, j = first._grid_coords(slews, loads)
+        return first._interpolate_at(r, c, i, j), second._interpolate_at(
+            r, c, i, j
+        )
+    return first.lookup_many(slews, loads), second.lookup_many(slews, loads)

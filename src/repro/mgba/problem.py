@@ -116,16 +116,55 @@ class MGBAProblem:
         Scaled by m/len(rows) so it is an unbiased estimate of the full
         gradient under uniform sampling (probability-weighted sampling
         applies its own importance correction upstream).
+
+        Implementation note: this runs every SCG iteration, and CSR
+        fancy-indexing (``self.matrix[rows]``) reallocates a submatrix
+        each time.  Instead the selected rows' entries are gathered via
+        indptr/indices slices and reduced directly with ``np.add.at``,
+        whose unbuffered element-order accumulation reproduces scipy's
+        sequential matvec loops exactly (``np.add.reduceat`` would not:
+        it sums pairwise), so the result is bit-identical to the
+        submatrix formulation (covered by the seeded solver tests and
+        an explicit old-vs-new equivalence test).
         """
-        sub = self.matrix[rows]
-        ax = sub @ x
-        grad = 2.0 * (sub.T @ (ax - self.rhs[rows]))
+        rows = np.asarray(rows)
+        n_rows = len(rows)
+        indptr = self.matrix.indptr
+        starts = indptr[rows].astype(np.int64)
+        counts = (indptr[rows + 1] - indptr[rows]).astype(np.int64)
+        total = int(counts.sum())
+        seg = np.zeros(n_rows, dtype=np.int64)
+        if n_rows:
+            np.cumsum(counts[:-1], out=seg[1:])
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(seg, counts)
+            + np.repeat(starts, counts)
+        )
+        cols = self.matrix.indices[flat]
+        vals = self.matrix.data[flat]
+        # ax = (sub @ x): per-row sequential sum in storage order (rows
+        # with no entries stay exactly 0.0).
+        products = vals * x[cols]
+        ax = np.zeros(n_rows)
+        np.add.at(ax, np.repeat(np.arange(n_rows), counts), products)
+        # grad = 2 (sub^T r): scatter in data order, like csc_matvec.
+        residual = ax - self.rhs[rows]
+        acc = np.zeros(self.num_gates)
+        np.add.at(acc, cols, vals * np.repeat(residual, counts))
+        grad = 2.0 * acc
         lower = self._lower[rows]
         vio_mask = ax < lower
         if np.any(vio_mask):
             vio = ax[vio_mask] - lower[vio_mask]
-            grad += 2.0 * self.penalty * (sub[vio_mask].T @ vio)
-        scale = self.num_paths / max(len(rows), 1)
+            keep = np.repeat(vio_mask, counts)
+            acc_vio = np.zeros(self.num_gates)
+            np.add.at(
+                acc_vio, cols[keep],
+                vals[keep] * np.repeat(vio, counts[vio_mask]),
+            )
+            grad += 2.0 * self.penalty * acc_vio
+        scale = self.num_paths / max(n_rows, 1)
         return np.asarray(grad).ravel() * scale
 
     def row_norms_squared(self) -> np.ndarray:

@@ -160,23 +160,40 @@ def count_paths_to_endpoint(graph: TimingGraph, endpoint: int,
     Used by tests and by the DESIGN.md-style design reports; the count
     grows exponentially with reconvergence, hence the cap.
     """
+    # Iterative post-order DFS: the recursive formulation recursed once
+    # per topological predecessor and blew the interpreter stack on deep
+    # chains (>~1k levels).  A node stays on the explicit stack until
+    # every non-clock predecessor is memoized, then folds their counts
+    # in fanin order with the same capped early break as before.
     memo: dict[int, int] = {}
-
-    def count(node_id: int) -> int:
+    stack: list[int] = [endpoint]
+    while stack:
+        node_id = stack[-1]
         if node_id in memo:
-            return memo[node_id]
+            stack.pop()
+            continue
         if _is_launch_boundary(graph, node_id):
             memo[node_id] = 1
-            return 1
+            stack.pop()
+            continue
+        pending: list[int] = []
+        for edge_id in graph.in_edges[node_id]:
+            edge = graph.edge(edge_id)
+            if graph.node(edge.src).is_clock_tree:
+                continue
+            if edge.src not in memo:
+                pending.append(edge.src)
+        if pending:
+            stack.extend(reversed(pending))
+            continue
         total = 0
         for edge_id in graph.in_edges[node_id]:
             edge = graph.edge(edge_id)
             if graph.node(edge.src).is_clock_tree:
                 continue
-            total += count(edge.src)
+            total += memo[edge.src]
             if total >= limit:
                 break
         memo[node_id] = min(total, limit)
-        return memo[node_id]
-
-    return count(endpoint)
+        stack.pop()
+    return memo[endpoint]

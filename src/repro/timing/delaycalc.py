@@ -120,3 +120,68 @@ class DelayCalculator:
             edge.delay, edge.out_slew = self.cell_edge(graph, edge, input_slew)
         else:
             edge.delay, edge.out_slew = self.net_edge(graph, edge, input_slew)
+
+    # ------------------------------------------------------------------
+    # Batched (vector-kernel) entry points
+    # ------------------------------------------------------------------
+    def compute_arcs_batch(self, delay_table, slew_table, input_slews,
+                           loads) -> "tuple":
+        """(delays, output slews) of many cell arcs sharing one table pair.
+
+        One vectorized bilinear lookup per table — the batch analogue of
+        :meth:`cell_edge`, bit-identical per element because
+        ``lookup_many`` evaluates the same interpolation expression as
+        ``lookup`` and the corner scale multiplies the looked-up value
+        exactly as the scalar path does.  When the two tables share axes
+        (the usual library shape) the grid coordinates are computed once
+        via :func:`repro.liberty.lut.lookup_pair_many`.
+        """
+        from repro.liberty.lut import lookup_pair_many
+
+        delays, out_slews = lookup_pair_many(
+            delay_table, slew_table, input_slews, loads
+        )
+        return delays * self.delay_scale, out_slews * self.delay_scale
+
+    def compute_edges_batch(self, graph: TimingGraph,
+                            edges: "list[TimingEdge]",
+                            input_slews) -> None:
+        """Delay-calc a mixed batch of edges at per-edge input slews.
+
+        Cell arcs are grouped by their (delay, slew) table pair and run
+        through :meth:`compute_arcs_batch`; net arcs fall through to the
+        scalar :meth:`net_edge` (their delay is slew-independent wire
+        arithmetic, not a table lookup).  Results land on the edge
+        objects, exactly like a :meth:`compute_edge` loop would.
+        """
+        import numpy as np
+
+        by_table: dict[tuple[int, int], list[int]] = {}
+        for i, edge in enumerate(edges):
+            if edge.kind is not EdgeKind.CELL:
+                edge.delay, edge.out_slew = self.net_edge(
+                    graph, edge, float(input_slews[i])
+                )
+                continue
+            assert edge.arc is not None
+            by_table.setdefault(
+                (id(edge.arc.delay), id(edge.arc.output_slew)), []
+            ).append(i)
+        for members in by_table.values():
+            first = edges[members[0]]
+            assert first.arc is not None
+            slews = np.asarray([float(input_slews[i]) for i in members])
+            loads = np.empty(len(members))
+            for j, i in enumerate(members):
+                dst_ref = graph.node(edges[i].dst).ref
+                assert dst_ref.gate is not None
+                net = self.netlist.gate(dst_ref.gate).connections.get(
+                    dst_ref.pin
+                )
+                loads[j] = self.output_load(net) if net is not None else 0.0
+            delays, out_slews = self.compute_arcs_batch(
+                first.arc.delay, first.arc.output_slew, slews, loads
+            )
+            for j, i in enumerate(members):
+                edges[i].delay = float(delays[j])
+                edges[i].out_slew = float(out_slews[j])

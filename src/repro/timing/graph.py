@@ -105,6 +105,15 @@ class TimingGraph:
         self._free_edges: list[int] = []
         self._topo_cache: list[int] | None = None
         self._rank_cache: dict[int, int] | None = None
+        #: Bumped on every topology mutation (node/edge add or drop).
+        #: The vector kernel keys its levelized layout on this, so a
+        #: weight-only re-derate reuses the flattened arrays while any
+        #: structural edit invalidates them.
+        self.structure_version: int = 0
+        #: Bumped when arc *tables* are re-bound without a topology
+        #: change (resize / vt swap); invalidates the kernel's
+        #: per-level LUT grouping but not the layout itself.
+        self.arc_epoch: int = 0
         self._build()
 
     # ------------------------------------------------------------------
@@ -142,6 +151,7 @@ class TimingGraph:
             self.in_edges.append([])
         self.node_of[ref] = node_id
         self._topo_cache = None
+        self.structure_version += 1
         return node
 
     def _new_edge(self, src: int, dst: int, kind: EdgeKind, **attrs) -> TimingEdge:
@@ -156,6 +166,7 @@ class TimingGraph:
         self.out_edges[src].append(edge_id)
         self.in_edges[dst].append(edge_id)
         self._topo_cache = None
+        self.structure_version += 1
         return edge
 
     def _drop_edge(self, edge_id: int) -> None:
@@ -166,6 +177,7 @@ class TimingGraph:
         self.edges[edge_id] = None
         self._free_edges.append(edge_id)
         self._topo_cache = None
+        self.structure_version += 1
 
     def add_gate_nodes(self, gate_name: str) -> list[int]:
         """Create nodes and cell edges for a (new) gate instance."""
@@ -220,6 +232,7 @@ class TimingGraph:
             self.nodes[node_id] = None
             self._free_nodes.append(node_id)
         self._topo_cache = None
+        self.structure_version += 1
 
     def rebuild_net(self, net_name: str) -> list[int]:
         """(Re)create the net edges of one net; returns new edge ids.

@@ -15,11 +15,16 @@ from __future__ import annotations
 
 import heapq
 
+import numpy as np
+
+from repro.errors import TimingError
 from repro.netlist.edit import ChangeRecord
+from repro.obs.metrics import counter
 from repro.timing.graph import TimingGraph
 from repro.timing.propagation import (
     BoundaryConditions,
     TimingState,
+    propagate_full,
     relax_node,
 )
 
@@ -123,6 +128,7 @@ def refresh_gate_arcs(graph: TimingGraph, gate_name: str) -> None:
     """
     from repro.liberty.cell import ArcKind
 
+    graph.arc_epoch += 1  # invalidate per-level LUT groupings
     cell = graph.netlist.cell_of(gate_name)
     for edge in graph.live_edges():
         if edge.gate != gate_name or edge.arc is None:
@@ -202,6 +208,73 @@ def propagate_incremental(
     return visited
 
 
+def _propagate(engine, seeds: set[int]) -> int:
+    """Run the engine's configured incremental kernel over ``seeds``.
+
+    The vector kernel sweeps the levelized layout with a dirty mask
+    (see :func:`repro.timing.kernel.propagate_incremental`); the scalar
+    kernel runs the rank-ordered worklist above.  Both relax the same
+    node set and produce bit-identical states.  An unexpected vector
+    failure falls back to a *full* scalar pass (a fixpoint regardless
+    of how far the vector sweep got) and counts ``kernel.fallbacks``.
+    """
+    if getattr(engine, "kernel", "scalar") == "vector":
+        from repro.timing import kernel as kernel_mod
+
+        try:
+            return kernel_mod.propagate_incremental(
+                engine._ensure_layout(), engine.graph, engine.calc,
+                engine.state, engine.boundary(), seeds,
+            )
+        except TimingError:
+            raise
+        except Exception:
+            counter("kernel.fallbacks").inc()
+            propagate_full(
+                engine.graph, engine.calc, engine.state, engine.boundary()
+            )
+            if engine._layout is not None:
+                kernel_mod.sync_edge_arrays(engine._layout, engine.graph)
+            return engine.graph.node_count()
+    return propagate_incremental(
+        engine.graph, engine.calc, engine.state, engine.boundary(), seeds
+    )
+
+
+def _seed_derate_moves(engine, seeds: set[int],
+                       old_derates: np.ndarray) -> None:
+    """Seed the dst of every edge whose late derate moved (or is new).
+
+    A structural edit changes GBA depths — and therefore derates — on
+    gates far from the edit site; those edges' destinations must be
+    re-relaxed too.  With a current levelized layout the diff is three
+    array ops; otherwise it falls back to the per-edge loop.
+    """
+    shared = min(old_derates.size, engine.state.derate_late.size)
+    layout = getattr(engine, "_layout", None)
+    if (
+        layout is not None
+        and layout.structure_version == engine.graph.structure_version
+    ):
+        live = layout.live_eids
+        old_part = live[live < shared]
+        moved = old_part[
+            np.abs(
+                engine.state.derate_late[old_part] - old_derates[old_part]
+            ) > _EPS
+        ]
+        seeds.update(layout.edge_dst[moved].tolist())
+        seeds.update(layout.edge_dst[live[live >= shared]].tolist())
+        return
+    for edge in engine.graph.live_edges():
+        if edge.id >= shared:
+            seeds.add(edge.dst)
+        elif abs(
+            engine.state.derate_late[edge.id] - old_derates[edge.id]
+        ) > _EPS:
+            seeds.add(edge.dst)
+
+
 def apply_change_incremental(engine, change: ChangeRecord) -> int:
     """Mirror a netlist edit into an engine and update its timing.
 
@@ -223,10 +296,7 @@ def apply_change_incremental(engine, change: ChangeRecord) -> int:
         for gate_name in change.gates:
             refresh_gate_arcs(engine.graph, gate_name)
         seeds = _collect_seed_nodes(engine.graph, change)
-        visited = propagate_incremental(
-            engine.graph, engine.calc, engine.state, engine.boundary(),
-            seeds,
-        )
+        visited = _propagate(engine, seeds)
         engine.crpr.invalidate()
         engine._timing_fresh = True
         return visited
@@ -235,15 +305,8 @@ def apply_change_incremental(engine, change: ChangeRecord) -> int:
     if structural:
         engine._refresh_structure()
     seeds = _collect_seed_nodes(engine.graph, change)
-    shared = min(old_derates.size, engine.state.derate_late.size)
-    for edge in engine.graph.live_edges():
-        if edge.id >= shared:
-            seeds.add(edge.dst)
-        elif abs(engine.state.derate_late[edge.id] - old_derates[edge.id]) > _EPS:
-            seeds.add(edge.dst)
-    visited = propagate_incremental(
-        engine.graph, engine.calc, engine.state, engine.boundary(), seeds
-    )
+    _seed_derate_moves(engine, seeds, old_derates)
+    visited = _propagate(engine, seeds)
     engine.crpr.invalidate()
     engine._timing_fresh = True
     return visited

@@ -1,0 +1,863 @@
+"""Levelized array-batched STA kernel.
+
+The scalar engine in :mod:`repro.timing.propagation` walks the timing
+graph one node at a time: ``relax_node`` loops a Python ``for`` over the
+fanin, ``compute_out_edges`` runs one NLDM lookup per arc, and the
+backward required-time pass in :mod:`repro.timing.slack` mirrors the
+same shape.  Profiling (``--profile`` on ``sta.update_timing``) shows
+those ~|V|+|E| Python iterations are where the whole mGBA loop spends
+its time.
+
+This module compiles the live :class:`~repro.timing.graph.TimingGraph`
+into a **levelized CSR layout** once per structural change and then
+executes propagation one *level* at a time with numpy segment
+reductions:
+
+* level ``l`` holds every node whose longest fanin chain has ``l``
+  edges, so all of level ``l``'s inputs are final before the level runs;
+* late arrivals are ``np.maximum.reduceat`` over the level's flattened
+  fanin slice, early arrivals ``np.minimum.reduceat``, worst-slew the
+  max of the fanin arcs' out-slews — a handful of array ops per level
+  instead of per-node Python loops;
+* delay calculation batches each level's fanout arcs through
+  :meth:`~repro.timing.delaycalc.DelayCalculator.compute_arcs_batch`
+  (one vectorized bilinear LUT interpolation per distinct table pair);
+* the AOCV/mGBA derate fill becomes a vectorized scatter: depth →
+  derate via a per-depth table indexed by an integer depth array,
+  multiplied by a per-gate weight vector.
+
+**Bit-identity contract** (enforced by ``tests/timing/test_kernel.py``):
+every arithmetic expression evaluates the same IEEE-754 operations in
+the same association order as the scalar oracle, and ``max``/``min``
+reductions are order-independent, so arrivals, slews, slacks, and
+required times are *bit-identical* between kernels — full updates,
+weighted (mGBA) updates, and post-edit incremental states alike.
+
+Incremental updates reuse the layout: a boolean dirty mask seeded from
+the edit's cone sweeps the levels in order, re-relaxing only the dirty
+slice of each level and marking fanout dirty exactly when the scalar
+worklist would (value or out-edge movement beyond the shared epsilon),
+so ``closure.run``'s thousands of ECO updates ride the same arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.aocv.depth import derates_by_depth
+from repro.obs.metrics import counter, gauge, histogram
+from repro.obs.trace import span
+from repro.timing.graph import EdgeKind, TimingGraph
+from repro.timing.propagation import (
+    NEG_INF,
+    POS_INF,
+    BoundaryConditions,
+    DerateSettings,
+    EdgeDomain,
+    TimingState,
+    classify_edge,
+)
+
+if TYPE_CHECKING:
+    from repro.sdc.constraints import Constraints
+    from repro.timing.delaycalc import DelayCalculator
+
+#: Movement threshold shared with the scalar incremental worklist
+#: (:data:`repro.timing.incremental._EPS`); both kernels must agree on
+#: it or their post-edit states diverge.
+_EPS = 1e-9
+
+#: ``edge_domain`` codes (compact mirror of :class:`EdgeDomain`).
+DOMAIN_CLOCK = 0
+DOMAIN_DATA = 1
+DOMAIN_PLAIN = 2
+
+
+@dataclass
+class LevelizedLayout:
+    """The live timing graph flattened into level-ordered CSR arrays.
+
+    Node arrays are indexed two ways: *positions* (0..n_live-1, level
+    order, ties by node id) index the CSR structures; *node ids* index
+    the :class:`TimingState` arrays, exactly like the scalar engine.
+    ``order[pos]`` maps position → id and ``pos_of[id]`` maps back
+    (-1 for dead slots).
+    """
+
+    structure_version: int
+    n_node_slots: int
+    n_edge_slots: int
+    # -- levelization ---------------------------------------------------
+    order: np.ndarray             # node ids, level-major
+    pos_of: np.ndarray            # id -> position (-1 dead)
+    level_ptr: np.ndarray         # len L+1; level l = order[ptr[l]:ptr[l+1]]
+    # -- fanin CSR (position-major) ------------------------------------
+    in_ptr: np.ndarray
+    in_edge: np.ndarray           # edge ids
+    in_src: np.ndarray            # src node ids
+    # -- fanout CSR (position-major) -----------------------------------
+    out_ptr: np.ndarray
+    out_edge: np.ndarray
+    out_dst: np.ndarray
+    # -- per-edge-slot arrays (edge-id indexed) ------------------------
+    edge_live: np.ndarray         # bool
+    edge_dst: np.ndarray          # int
+    live_eids: np.ndarray         # ids of live edges, ascending
+    #: Working copies of ``TimingEdge.delay`` / ``.out_slew`` — the
+    #: kernel's store of record during a sweep, written back to the
+    #: edge objects afterwards so PBA/CRPR/reporting see fresh values.
+    edge_delay: np.ndarray
+    edge_out_slew: np.ndarray
+    # -- derate classification -----------------------------------------
+    clock_eids: np.ndarray
+    plain_eids: np.ndarray
+    data_eids: np.ndarray
+    data_depths: np.ndarray       # int depth per data edge (aligned)
+    data_gate_cols: np.ndarray    # column per data edge (aligned)
+    #: Column order of the mGBA weight vector: ``gates[j]`` is the gate
+    #: scattered into column j — the same gate → column contract
+    #: :class:`repro.mgba.problem.MGBAProblem` uses for its matrix.
+    gates: list[str]
+    gate_index: dict[str, int]
+    # -- node-level metadata -------------------------------------------
+    node_is_clock_tree: np.ndarray   # bool, id-indexed
+    node_gate_col: np.ndarray        # id-indexed col into node_gates, -1 none
+    node_gates: list[str]            # first-seen (node-id order) gate names
+    # -- boundary (level-0) values, id-indexed -------------------------
+    source_ids: np.ndarray
+    boundary_arrival: np.ndarray     # id-indexed (only source slots valid)
+    boundary_slew: np.ndarray
+    # -- delay-calc statics --------------------------------------------
+    cell_nets: list[str]             # unique nets loading a cell arc
+    cell_edge_net: np.ndarray        # id-indexed index into cell_nets (-1)
+    net_eids_by_level: list[np.ndarray]
+    net_srcs_by_level: list[np.ndarray]
+    cell_eids_by_level: list[np.ndarray]
+    # -- lazily (arc-epoch keyed) rebuilt LUT grouping ------------------
+    _group_epoch: int = field(default=-1, repr=False)
+    _cell_groups: "list[list[tuple[Any, Any, np.ndarray, np.ndarray]]]" = field(
+        default_factory=list, repr=False
+    )
+    #: Fingerprint of the last completed full vector pass.  Slews, base
+    #: delays, and loads are independent of the mGBA weights (weights
+    #: only scale the *arrival* accumulation), so while the fingerprint
+    #: — ``(arc_epoch, id(calc), delay_scale, id(state), boundary)`` —
+    #: is unchanged those quantities are already at their fixpoint and a
+    #: full update reduces to the arrival-only sweep.  Any netlist edit
+    #: bumps ``arc_epoch`` or ``structure_version`` (fresh layout), so
+    #: the cache never sees stale delay-calc inputs.
+    _flow_key: "tuple | None" = field(default=None, repr=False)
+
+    @property
+    def levels(self) -> int:
+        """Number of levels in the layout."""
+        return len(self.level_ptr) - 1
+
+    # ------------------------------------------------------------------
+    def cell_groups(self, graph: TimingGraph):
+        """Per-level cell arcs grouped by (delay table, slew table).
+
+        Rebuilt whenever ``graph.arc_epoch`` moves (a resize/vt-swap
+        re-binds arc tables without touching topology).
+        """
+        if self._group_epoch == graph.arc_epoch:
+            return self._cell_groups
+        groups: list[list[tuple[Any, Any, np.ndarray, np.ndarray]]] = []
+        for eids in self.cell_eids_by_level:
+            by_table: dict[tuple[int, int], list[int]] = {}
+            tables: dict[tuple[int, int], tuple[Any, Any]] = {}
+            for eid in eids.tolist():
+                edge = graph.edges[eid]
+                assert edge is not None and edge.arc is not None
+                key = (id(edge.arc.delay), id(edge.arc.output_slew))
+                tables[key] = (edge.arc.delay, edge.arc.output_slew)
+                by_table.setdefault(key, []).append(eid)
+            level_groups = []
+            for key, members in by_table.items():
+                arr = np.asarray(members, dtype=np.int64)
+                dtab, stab = tables[key]
+                level_groups.append(
+                    (dtab, stab, arr, self.edge_src_of(graph, arr))
+                )
+            groups.append(level_groups)
+        self._cell_groups = groups
+        self._group_epoch = graph.arc_epoch
+        return groups
+
+    def edge_src_of(self, graph: TimingGraph, eids: np.ndarray) -> np.ndarray:
+        """Source node ids of the given edges."""
+        return np.asarray(
+            [graph.edges[eid].src for eid in eids.tolist()], dtype=np.int64
+        )
+
+
+def build_layout(
+    graph: TimingGraph,
+    boundary: BoundaryConditions,
+    depths: "dict[str, int]",
+) -> LevelizedLayout:
+    """Flatten the live graph into a :class:`LevelizedLayout`.
+
+    ``depths`` is the GBA worst-depth map (baked into the per-edge depth
+    array — it only changes when topology does, which rebuilds the
+    layout anyway).  Clock-tree marking must be current: edge domains
+    are classified here.
+    """
+    with span("kernel.build", nodes=graph.node_count(),
+              edges=graph.edge_count()):
+        return _build_layout(graph, boundary, depths)
+
+
+def _build_layout(
+    graph: TimingGraph,
+    boundary: BoundaryConditions,
+    depths: "dict[str, int]",
+) -> LevelizedLayout:
+    n_node_slots = len(graph.nodes)
+    n_edge_slots = len(graph.edges)
+    topo = graph.topological_order()
+    # Longest-fanin-chain level per node: level-l inputs are final once
+    # levels < l have run, which is what makes level sweeps legal.
+    level: dict[int, int] = {}
+    for node_id in topo:
+        best = 0
+        for edge_id in graph.in_edges[node_id]:
+            edge = graph.edges[edge_id]
+            assert edge is not None
+            lv = level[edge.src] + 1
+            if lv > best:
+                best = lv
+        level[node_id] = best
+    n_levels = (max(level.values()) + 1) if level else 0
+    buckets: list[list[int]] = [[] for _ in range(n_levels)]
+    for node_id, lv in level.items():
+        buckets[lv].append(node_id)
+    order_list: list[int] = []
+    level_ptr = np.zeros(n_levels + 1, dtype=np.int64)
+    for lv, members in enumerate(buckets):
+        members.sort()
+        order_list.extend(members)
+        level_ptr[lv + 1] = len(order_list)
+    order = np.asarray(order_list, dtype=np.int64)
+    pos_of = np.full(n_node_slots, -1, dtype=np.int64)
+    pos_of[order] = np.arange(order.size, dtype=np.int64)
+
+    # Fanin / fanout CSR in position order.
+    in_ptr = np.zeros(order.size + 1, dtype=np.int64)
+    out_ptr = np.zeros(order.size + 1, dtype=np.int64)
+    in_edge_list: list[int] = []
+    in_src_list: list[int] = []
+    out_edge_list: list[int] = []
+    out_dst_list: list[int] = []
+    for pos, node_id in enumerate(order_list):
+        for edge_id in graph.in_edges[node_id]:
+            edge = graph.edges[edge_id]
+            assert edge is not None
+            in_edge_list.append(edge_id)
+            in_src_list.append(edge.src)
+        in_ptr[pos + 1] = len(in_edge_list)
+        for edge_id in graph.out_edges[node_id]:
+            edge = graph.edges[edge_id]
+            assert edge is not None
+            out_edge_list.append(edge_id)
+            out_dst_list.append(edge.dst)
+        out_ptr[pos + 1] = len(out_edge_list)
+
+    # Per-edge-slot arrays + derate classification.
+    edge_live = np.zeros(n_edge_slots, dtype=bool)
+    edge_dst = np.zeros(n_edge_slots, dtype=np.int64)
+    edge_delay = np.zeros(n_edge_slots)
+    edge_out_slew = np.zeros(n_edge_slots)
+    clock_list: list[int] = []
+    plain_list: list[int] = []
+    data_list: list[int] = []
+    data_depth_list: list[int] = []
+    data_col_list: list[int] = []
+    gates: list[str] = []
+    gate_index: dict[str, int] = {}
+    netlist = graph.netlist
+    cell_nets: list[str] = []
+    cell_net_index: dict[str, int] = {}
+    cell_edge_net = np.full(n_edge_slots, -1, dtype=np.int64)
+    for edge in graph.edges:
+        if edge is None:
+            continue
+        edge_live[edge.id] = True
+        edge_dst[edge.id] = edge.dst
+        edge_delay[edge.id] = edge.delay
+        edge_out_slew[edge.id] = edge.out_slew
+        domain = classify_edge(graph, edge)
+        if domain is EdgeDomain.CLOCK:
+            clock_list.append(edge.id)
+        elif domain is EdgeDomain.DATA_CELL:
+            assert edge.gate is not None
+            col = gate_index.get(edge.gate)
+            if col is None:
+                col = len(gates)
+                gate_index[edge.gate] = col
+                gates.append(edge.gate)
+            data_list.append(edge.id)
+            data_depth_list.append(depths.get(edge.gate, 1))
+            data_col_list.append(col)
+        else:
+            plain_list.append(edge.id)
+        if edge.kind is EdgeKind.CELL:
+            dst_ref = graph.node(edge.dst).ref
+            assert dst_ref.gate is not None
+            net = netlist.gate(dst_ref.gate).connections.get(dst_ref.pin)
+            if net is not None:
+                idx = cell_net_index.get(net)
+                if idx is None:
+                    idx = len(cell_nets)
+                    cell_net_index[net] = idx
+                    cell_nets.append(net)
+                cell_edge_net[edge.id] = idx
+
+    # Node metadata.
+    node_is_clock_tree = np.zeros(n_node_slots, dtype=bool)
+    node_gate_col = np.full(n_node_slots, -1, dtype=np.int64)
+    node_gates: list[str] = []
+    node_gate_index: dict[str, int] = {}
+    for node in graph.nodes:
+        if node is None:
+            continue
+        node_is_clock_tree[node.id] = node.is_clock_tree
+        gate = node.ref.gate
+        if gate is not None:
+            col = node_gate_index.get(gate)
+            if col is None:
+                col = len(node_gates)
+                node_gate_index[gate] = col
+                node_gates.append(gate)
+            node_gate_col[node.id] = col
+
+    # Boundary values for the (level-0) source nodes, mirroring
+    # propagation.apply_boundary exactly.
+    boundary_arrival = np.zeros(n_node_slots)
+    boundary_slew = np.zeros(n_node_slots)
+    source_ids = order[level_ptr[0]:level_ptr[1]] if n_levels else \
+        np.empty(0, dtype=np.int64)
+    for node_id in source_ids.tolist():
+        node = graph.node(node_id)
+        if node.ref.is_port and node.ref.pin in boundary.clock_ports:
+            boundary_arrival[node_id] = 0.0
+            boundary_slew[node_id] = boundary.clock_slew
+        elif node.ref.is_port:
+            boundary_arrival[node_id] = boundary.input_delays.get(
+                node.ref.pin, 0.0
+            )
+            boundary_slew[node_id] = boundary.input_slew
+        else:
+            boundary_arrival[node_id] = 0.0
+            boundary_slew[node_id] = boundary.input_slew
+
+    # Per-level fanout split: net arcs (pass-through) vs cell arcs (LUT).
+    net_eids_by_level: list[np.ndarray] = []
+    net_srcs_by_level: list[np.ndarray] = []
+    cell_eids_by_level: list[np.ndarray] = []
+    for lv in range(n_levels):
+        s, e = out_ptr[level_ptr[lv]], out_ptr[level_ptr[lv + 1]]
+        net_e: list[int] = []
+        net_s: list[int] = []
+        cell_e: list[int] = []
+        for k in range(int(s), int(e)):
+            edge_id = out_edge_list[k]
+            edge = graph.edges[edge_id]
+            assert edge is not None
+            if edge.kind is EdgeKind.NET:
+                net_e.append(edge_id)
+                net_s.append(edge.src)
+            else:
+                cell_e.append(edge_id)
+        net_eids_by_level.append(np.asarray(net_e, dtype=np.int64))
+        net_srcs_by_level.append(np.asarray(net_s, dtype=np.int64))
+        cell_eids_by_level.append(np.asarray(cell_e, dtype=np.int64))
+
+    return LevelizedLayout(
+        structure_version=graph.structure_version,
+        n_node_slots=n_node_slots,
+        n_edge_slots=n_edge_slots,
+        order=order,
+        pos_of=pos_of,
+        level_ptr=level_ptr,
+        in_ptr=in_ptr,
+        in_edge=np.asarray(in_edge_list, dtype=np.int64),
+        in_src=np.asarray(in_src_list, dtype=np.int64),
+        out_ptr=out_ptr,
+        out_edge=np.asarray(out_edge_list, dtype=np.int64),
+        out_dst=np.asarray(out_dst_list, dtype=np.int64),
+        edge_live=edge_live,
+        edge_dst=edge_dst,
+        live_eids=np.flatnonzero(edge_live).astype(np.int64),
+        edge_delay=edge_delay,
+        edge_out_slew=edge_out_slew,
+        clock_eids=np.asarray(clock_list, dtype=np.int64),
+        plain_eids=np.asarray(plain_list, dtype=np.int64),
+        data_eids=np.asarray(data_list, dtype=np.int64),
+        data_depths=np.asarray(data_depth_list, dtype=np.int64),
+        data_gate_cols=np.asarray(data_col_list, dtype=np.int64),
+        gates=gates,
+        gate_index=gate_index,
+        node_is_clock_tree=node_is_clock_tree,
+        node_gate_col=node_gate_col,
+        node_gates=node_gates,
+        source_ids=source_ids,
+        boundary_arrival=boundary_arrival,
+        boundary_slew=boundary_slew,
+        cell_nets=cell_nets,
+        cell_edge_net=cell_edge_net,
+        net_eids_by_level=net_eids_by_level,
+        net_srcs_by_level=net_srcs_by_level,
+        cell_eids_by_level=cell_eids_by_level,
+    )
+
+
+# ----------------------------------------------------------------------
+# Derate fill (vectorized compute_edge_derates)
+# ----------------------------------------------------------------------
+def compute_edge_derates(
+    layout: LevelizedLayout,
+    graph: TimingGraph,
+    state: TimingState,
+    settings: DerateSettings,
+    weights: "dict[str, float]",
+) -> None:
+    """Vectorized fill of the per-edge late/early derate arrays.
+
+    Depth → derate goes through a per-depth table indexed by the baked
+    integer depth array; the mGBA correction is a per-gate weight
+    vector scattered through the layout's gate → column map.  Only live
+    edge slots are written (the scalar oracle never touches dead
+    slots either).
+    """
+    state.ensure_capacity(len(graph.nodes), len(graph.edges))
+    if layout.clock_eids.size:
+        state.derate_late[layout.clock_eids] = settings.clock_late
+        state.derate_early[layout.clock_eids] = settings.clock_early
+    if layout.plain_eids.size:
+        state.derate_late[layout.plain_eids] = 1.0
+        state.derate_early[layout.plain_eids] = 1.0
+    if not layout.data_eids.size:
+        return
+    depths = layout.data_depths
+    if settings.table is not None:
+        table = derates_by_depth(
+            settings.table, depths.tolist(), settings.gba_distance
+        )
+        uniq, inverse = np.unique(depths, return_inverse=True)
+        base_late = np.asarray(
+            [table[int(d)] for d in uniq]
+        )[inverse]
+    else:
+        base_late = np.full(depths.size, settings.flat_late)
+    weight_vec = np.ones(len(layout.gates))
+    for gate, weight in weights.items():
+        col = layout.gate_index.get(gate)
+        if col is not None:
+            weight_vec[col] = weight
+    state.derate_late[layout.data_eids] = (
+        base_late * weight_vec[layout.data_gate_cols]
+    )
+    if settings.early_table is not None:
+        table = derates_by_depth(
+            settings.early_table, depths.tolist(), settings.gba_distance
+        )
+        uniq, inverse = np.unique(depths, return_inverse=True)
+        base_early = np.asarray(
+            [table[int(d)] for d in uniq]
+        )[inverse]
+    else:
+        base_early = np.full(depths.size, settings.data_early)
+    state.derate_early[layout.data_eids] = base_early
+
+
+# ----------------------------------------------------------------------
+# Forward propagation
+# ----------------------------------------------------------------------
+def _refresh_static_delays(
+    layout: LevelizedLayout,
+    graph: TimingGraph,
+    calc: "DelayCalculator",
+) -> np.ndarray:
+    """Per-update delay-calc statics: net loads and net-arc delays.
+
+    Returns the per-edge load array for cell arcs.  Loads and wire
+    delays depend on pin caps / placement / parasitics — cheap to
+    recompute per full update (one pass per *net* instead of the scalar
+    engine's one pass per *edge*) and always fresh after a resize.
+    """
+    net_loads = np.asarray(
+        [calc.output_load(net) for net in layout.cell_nets]
+    ) if layout.cell_nets else np.empty(0)
+    load_of_edge = np.zeros(layout.n_edge_slots)
+    covered = layout.cell_edge_net >= 0
+    if covered.any():
+        load_of_edge[covered] = net_loads[layout.cell_edge_net[covered]]
+    for eids in layout.net_eids_by_level:
+        for eid in eids.tolist():
+            edge = graph.edges[eid]
+            assert edge is not None
+            layout.edge_delay[eid] = calc.net_edge(graph, edge, 0.0)[0]
+    return load_of_edge
+
+
+def propagate_full(
+    layout: LevelizedLayout,
+    graph: TimingGraph,
+    calc: "DelayCalculator",
+    state: TimingState,
+    boundary: BoundaryConditions,
+) -> None:
+    """One complete level-synchronous forward pass (vector kernel).
+
+    Bit-identical to :func:`repro.timing.propagation.propagate_full`
+    (assumes the derate arrays are current, exactly like the scalar
+    path).
+    """
+    with span(
+        "kernel.propagate", levels=layout.levels,
+        nodes=int(layout.order.size), edges=int(layout.live_eids.size),
+    ):
+        _propagate_full(layout, graph, calc, state, boundary)
+    counter("kernel.vector_full_updates").inc()
+    gauge("kernel.levels").set(layout.levels)
+
+
+def _flow_fingerprint(graph, calc, state, boundary) -> tuple:
+    """Inputs the slew/delay-calc fixpoint depends on (see ``_flow_key``)."""
+    return (
+        graph.arc_epoch, id(calc), calc.delay_scale, id(state), boundary,
+    )
+
+
+def _propagate_arrivals_only(layout, state) -> None:
+    """Arrival sweep over a known slew/delay fixpoint.
+
+    Runs when ``_flow_key`` certifies that slews, base delays, and
+    out-slews are unchanged since the last full pass — the steady state
+    of the mGBA loop, where ``set_gate_weights`` only moves the derate
+    arrays.  The arrival expressions are the full sweep's, evaluated
+    over the identical (cached) delay arrays, so the resulting state is
+    bit-identical to a from-scratch update.
+    """
+    arrival_late = state.arrival_late
+    arrival_early = state.arrival_early
+    derate_late = state.derate_late
+    derate_early = state.derate_early
+    edge_delay = layout.edge_delay
+    src_ids = layout.source_ids
+    arrival_late[src_ids] = layout.boundary_arrival[src_ids]
+    arrival_early[src_ids] = layout.boundary_arrival[src_ids]
+    for lv in range(1, layout.levels):
+        p0, p1 = int(layout.level_ptr[lv]), int(layout.level_ptr[lv + 1])
+        ids = layout.order[p0:p1]
+        s, e = int(layout.in_ptr[p0]), int(layout.in_ptr[p1])
+        seg = layout.in_ptr[p0:p1] - s
+        eids = layout.in_edge[s:e]
+        srcs = layout.in_src[s:e]
+        delays = edge_delay[eids]
+        late_vals = arrival_late[srcs] + delays * derate_late[eids]
+        early_vals = arrival_early[srcs] + delays * derate_early[eids]
+        arrival_late[ids] = np.maximum.reduceat(late_vals, seg)
+        arrival_early[ids] = np.minimum.reduceat(early_vals, seg)
+
+
+def _propagate_full(layout, graph, calc, state, boundary) -> None:
+    state.ensure_capacity(len(graph.nodes), len(graph.edges))
+    if not layout.order.size:
+        return
+    flow_key = _flow_fingerprint(graph, calc, state, boundary)
+    if layout._flow_key == flow_key:
+        counter("kernel.arrival_only_updates").inc()
+        _propagate_arrivals_only(layout, state)
+        return
+    layout._flow_key = None
+    load_of_edge = _refresh_static_delays(layout, graph, calc)
+    groups = layout.cell_groups(graph)
+    arrival_late = state.arrival_late
+    arrival_early = state.arrival_early
+    slew = state.slew
+    derate_late = state.derate_late
+    derate_early = state.derate_early
+    edge_delay = layout.edge_delay
+    edge_out_slew = layout.edge_out_slew
+    # Boundary fill (level 0 = exactly the no-fanin nodes).
+    src_ids = layout.source_ids
+    arrival_late[src_ids] = layout.boundary_arrival[src_ids]
+    arrival_early[src_ids] = layout.boundary_arrival[src_ids]
+    slew[src_ids] = layout.boundary_slew[src_ids]
+    batch_hist = histogram("kernel.level_batch")
+    for lv in range(layout.levels):
+        p0, p1 = int(layout.level_ptr[lv]), int(layout.level_ptr[lv + 1])
+        ids = layout.order[p0:p1]
+        batch_hist.observe(ids.size)
+        if lv > 0:
+            s, e = int(layout.in_ptr[p0]), int(layout.in_ptr[p1])
+            seg = layout.in_ptr[p0:p1] - s
+            eids = layout.in_edge[s:e]
+            srcs = layout.in_src[s:e]
+            delays = edge_delay[eids]
+            late_vals = arrival_late[srcs] + delays * derate_late[eids]
+            early_vals = arrival_early[srcs] + delays * derate_early[eids]
+            arrival_late[ids] = np.maximum.reduceat(late_vals, seg)
+            arrival_early[ids] = np.minimum.reduceat(early_vals, seg)
+            slew[ids] = np.maximum(
+                np.maximum.reduceat(edge_out_slew[eids], seg), 0.0
+            )
+        # Fanout delay calc at the level's (now final) slews.
+        net_eids = layout.net_eids_by_level[lv]
+        if net_eids.size:
+            edge_out_slew[net_eids] = slew[layout.net_srcs_by_level[lv]]
+        for dtab, stab, eids, srcs in groups[lv]:
+            delays, out_slews = calc.compute_arcs_batch(
+                dtab, stab, slew[srcs], load_of_edge[eids]
+            )
+            edge_delay[eids] = delays
+            edge_out_slew[eids] = out_slews
+    _writeback_edges(layout, graph)
+    layout._flow_key = flow_key
+
+
+def _writeback_edges(layout: LevelizedLayout, graph: TimingGraph) -> None:
+    """Copy the kernel's edge arrays onto the TimingEdge objects."""
+    delays = layout.edge_delay.tolist()
+    out_slews = layout.edge_out_slew.tolist()
+    for edge in graph.edges:
+        if edge is not None:
+            edge.delay = delays[edge.id]
+            edge.out_slew = out_slews[edge.id]
+
+
+def sync_edge_arrays(layout: LevelizedLayout, graph: TimingGraph) -> None:
+    """Refresh the layout's edge arrays from the TimingEdge objects.
+
+    Needed after a scalar pass ran on a vector engine (the fallback
+    path) so later vector reads — the backward pass, gate slacks —
+    see the values the scalar pass wrote.
+    """
+    layout._flow_key = None
+    for edge in graph.edges:
+        if edge is not None:
+            layout.edge_delay[edge.id] = edge.delay
+            layout.edge_out_slew[edge.id] = edge.out_slew
+
+
+# ----------------------------------------------------------------------
+# Incremental propagation (masked level sweep)
+# ----------------------------------------------------------------------
+def propagate_incremental(
+    layout: LevelizedLayout,
+    graph: TimingGraph,
+    calc: "DelayCalculator",
+    state: TimingState,
+    boundary: BoundaryConditions,
+    seeds: "set[int]",
+) -> int:
+    """Re-relax only the affected cone, level by level, under a mask.
+
+    Semantics mirror the scalar rank-ordered worklist exactly: a node
+    is re-relaxed iff it is a seed or an already-relaxed fanin source
+    moved (value or out-edge delay) beyond the shared epsilon — both
+    schemes process nodes in a topological order, so the relaxed sets
+    (and therefore the resulting states) are identical.  Returns the
+    number of nodes visited, like the scalar pass.
+    """
+    if not seeds:
+        return 0
+    # An incremental sweep rewrites slews/delays in the cone under the
+    # same state object; the next full update must re-derive them.
+    layout._flow_key = None
+    dirty = np.zeros(layout.n_node_slots, dtype=bool)
+    seed_ids = [s for s in seeds if 0 <= s < layout.n_node_slots]
+    dirty[seed_ids] = True
+    visited = 0
+    arrival_late = state.arrival_late
+    arrival_early = state.arrival_early
+    slew = state.slew
+    derate_late = state.derate_late
+    derate_early = state.derate_early
+    edge_delay = layout.edge_delay
+    edge_out_slew = layout.edge_out_slew
+    for lv in range(layout.levels):
+        p0, p1 = int(layout.level_ptr[lv]), int(layout.level_ptr[lv + 1])
+        ids = layout.order[p0:p1]
+        sel_mask = dirty[ids]
+        if not sel_mask.any():
+            continue
+        sel = ids[sel_mask]
+        visited += int(sel.size)
+        old_late = arrival_late[sel].copy()
+        old_early = arrival_early[sel].copy()
+        old_slew = slew[sel].copy()
+        if lv == 0:
+            arrival_late[sel] = layout.boundary_arrival[sel]
+            arrival_early[sel] = layout.boundary_arrival[sel]
+            slew[sel] = layout.boundary_slew[sel]
+        else:
+            positions = layout.pos_of[sel]
+            starts = layout.in_ptr[positions]
+            counts = layout.in_ptr[positions + 1] - starts
+            total = int(counts.sum())
+            seg = np.zeros(sel.size, dtype=np.int64)
+            np.cumsum(counts[:-1], out=seg[1:])
+            flat = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(seg, counts)
+                + np.repeat(starts, counts)
+            )
+            eids = layout.in_edge[flat]
+            srcs = layout.in_src[flat]
+            delays = edge_delay[eids]
+            late_vals = arrival_late[srcs] + delays * derate_late[eids]
+            early_vals = arrival_early[srcs] + delays * derate_early[eids]
+            arrival_late[sel] = np.maximum.reduceat(late_vals, seg)
+            arrival_early[sel] = np.minimum.reduceat(early_vals, seg)
+            slew[sel] = np.maximum(
+                np.maximum.reduceat(edge_out_slew[eids], seg), 0.0
+            )
+        node_moved = (
+            (np.abs(arrival_late[sel] - old_late) > _EPS)
+            | (np.abs(arrival_early[sel] - old_early) > _EPS)
+            | (np.abs(slew[sel] - old_slew) > _EPS)
+        ).tolist()
+        # Out-edge delay calc stays scalar here: cones are small and the
+        # per-edge diff must match the worklist's exactly.
+        for moved, node_id in zip(node_moved, sel.tolist()):
+            edges_changed = False
+            node_slew = float(slew[node_id])
+            for edge_id in graph.out_edges[node_id]:
+                edge = graph.edges[edge_id]
+                assert edge is not None
+                old_delay, old_out = edge.delay, edge.out_slew
+                calc.compute_edge(graph, edge, node_slew)
+                edge_delay[edge_id] = edge.delay
+                edge_out_slew[edge_id] = edge.out_slew
+                if (
+                    abs(edge.delay - old_delay) > _EPS
+                    or abs(edge.out_slew - old_out) > _EPS
+                ):
+                    edges_changed = True
+            if moved or edges_changed:
+                for edge_id in graph.out_edges[node_id]:
+                    edge = graph.edges[edge_id]
+                    assert edge is not None
+                    dirty[edge.dst] = True
+    counter("kernel.incremental_sweeps").inc()
+    return visited
+
+
+# ----------------------------------------------------------------------
+# Backward required-time pass
+# ----------------------------------------------------------------------
+def compute_required_times(
+    layout: LevelizedLayout,
+    graph: TimingGraph,
+    state: TimingState,
+    constraints: "Constraints",
+) -> np.ndarray:
+    """Vectorized mirror of :func:`repro.timing.slack.compute_required_times`.
+
+    Endpoint initialization (per-endpoint setup checks) stays scalar —
+    it is one LUT lookup per endpoint — while the backward min-plus
+    sweep runs one segment reduction per level.
+    """
+    from repro.timing.slack import endpoint_clock_map, setup_required
+
+    clock_map = endpoint_clock_map(graph, constraints)
+    required = np.full(len(graph.nodes), POS_INF)
+    for node_id in sorted(graph.endpoints):
+        info = graph.endpoints[node_id]
+        value, _ = setup_required(
+            graph, state, info, clock_map[node_id], constraints
+        )
+        required[node_id] = value
+    clock_node = layout.node_is_clock_tree
+    edge_delay = layout.edge_delay
+    for lv in range(layout.levels - 1, -1, -1):
+        p0, p1 = int(layout.level_ptr[lv]), int(layout.level_ptr[lv + 1])
+        ids = layout.order[p0:p1]
+        data_mask = ~clock_node[ids]
+        if not data_mask.any():
+            continue
+        s, e = int(layout.out_ptr[p0]), int(layout.out_ptr[p1])
+        if s == e:
+            continue  # no fanout in this level: inits stand
+        seg = layout.out_ptr[p0:p1] - s
+        counts = np.diff(np.append(seg, e - s))
+        eids = layout.out_edge[s:e]
+        dsts = layout.out_dst[s:e]
+        cand = required[dsts] - edge_delay[eids] * state.derate_late[eids]
+        cand[clock_node[dsts]] = POS_INF  # never tighten through the clock
+        # reduceat cannot express empty segments: dropping their start
+        # indices merges nothing (zero elements), so reduce over the
+        # non-empty segment starts only and leave the rest at +inf.
+        nonempty = counts > 0
+        reduced = np.full(ids.size, POS_INF)
+        if nonempty.any():
+            reduced[nonempty] = np.minimum.reduceat(cand, seg[nonempty])
+        upd = ids[data_mask]
+        required[upd] = np.minimum(required[upd], reduced[data_mask])
+    return required
+
+
+def gate_worst_slacks(
+    layout: LevelizedLayout,
+    graph: TimingGraph,
+    state: TimingState,
+    required: np.ndarray,
+) -> "dict[str, float]":
+    """Vectorized mirror of :func:`repro.timing.slack.gate_worst_slacks`.
+
+    Same values, same dict insertion order (first qualifying node in
+    node-id order) — the closure optimizer's tie-breaking depends on it.
+    """
+    ids = np.sort(layout.order)  # live nodes in id order (scalar iteration)
+    cols = layout.node_gate_col[ids]
+    req = required[ids]
+    mask = (cols >= 0) & (req != POS_INF)
+    if not mask.any():
+        return {}
+    cols = cols[mask]
+    slacks = req[mask] - state.arrival_late[ids[mask]]
+    best = np.full(len(layout.node_gates), POS_INF)
+    np.minimum.at(best, cols, slacks)
+    _, first = np.unique(cols, return_index=True)
+    ordered = cols[np.sort(first)]
+    return {
+        layout.node_gates[col]: float(best[col]) for col in ordered.tolist()
+    }
+
+
+# ----------------------------------------------------------------------
+# Sanity checking on the flattened arrays
+# ----------------------------------------------------------------------
+def flatten_fanin(graph: TimingGraph):
+    """(node_ids, seg_starts, edge_ids, src_ids) over live fanin nodes.
+
+    Lightweight one-off flattening (no levelization) for vectorized
+    whole-graph identities like ``check_propagation_sanity``; the node
+    order matches ``graph.live_nodes()``.
+    """
+    node_ids: list[int] = []
+    seg: list[int] = []
+    edge_ids: list[int] = []
+    src_ids: list[int] = []
+    for node in graph.nodes:
+        if node is None or not graph.in_edges[node.id]:
+            continue
+        node_ids.append(node.id)
+        seg.append(len(edge_ids))
+        for edge_id in graph.in_edges[node.id]:
+            edge = graph.edges[edge_id]
+            assert edge is not None
+            edge_ids.append(edge_id)
+            src_ids.append(edge.src)
+    return (
+        np.asarray(node_ids, dtype=np.int64),
+        np.asarray(seg, dtype=np.int64),
+        np.asarray(edge_ids, dtype=np.int64),
+        np.asarray(src_ids, dtype=np.int64),
+    )

@@ -19,7 +19,6 @@ a data cell arc is ``lambda_gba(gate) * weight(gate)``, with
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -260,20 +259,32 @@ def check_propagation_sanity(graph: TimingGraph, state: TimingState) -> list[str
 
     Returns human-readable violations (empty list = consistent); used by
     tests and by the incremental engine's self-check mode.
+
+    Runs as one segment-max over the flattened fanin arrays (see
+    :func:`repro.timing.kernel.flatten_fanin`); the tolerance hand-codes
+    ``math.isclose(rel_tol=1e-9, abs_tol=1e-9)`` element-wise (with an
+    exact-equality guard so ``inf == inf`` passes, as it does there).
     """
+    from repro.timing.kernel import flatten_fanin
+
+    node_ids, seg, edge_ids, src_ids = flatten_fanin(graph)
+    if not node_ids.size:
+        return []
+    delays = np.asarray([graph.edges[e].delay for e in edge_ids.tolist()])
+    values = (
+        state.arrival_late[src_ids]
+        + delays * state.derate_late[edge_ids]
+    )
+    expect = np.maximum.reduceat(values, seg)
+    got = state.arrival_late[node_ids]
+    diff = np.abs(expect - got)
+    tol = np.maximum(1e-9 * np.maximum(np.abs(expect), np.abs(got)), 1e-9)
+    bad = ~((expect == got) | (diff <= tol))
     problems: list[str] = []
-    for node in graph.live_nodes():
-        in_list = graph.in_edges[node.id]
-        if not in_list:
-            continue
-        expect = max(
-            state.arrival_late[graph.edge(e).src]
-            + effective_late(state, graph.edge(e))
-            for e in in_list
+    for idx in np.flatnonzero(bad).tolist():
+        node = graph.node(int(node_ids[idx]))
+        problems.append(
+            f"node {node.ref}: arrival_late {got[idx]} "
+            f"!= max-fanin {expect[idx]}"
         )
-        got = state.arrival_late[node.id]
-        if not math.isclose(expect, got, rel_tol=1e-9, abs_tol=1e-9):
-            problems.append(
-                f"node {node.ref}: arrival_late {got} != max-fanin {expect}"
-            )
     return problems

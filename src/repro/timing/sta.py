@@ -16,6 +16,7 @@ operations the rest of the system needs:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 
 from repro.aocv.depth import compute_gba_depths
@@ -27,6 +28,7 @@ from repro.netlist.placement import Placement
 from repro.obs.metrics import counter, histogram
 from repro.obs.trace import span
 from repro.sdc.constraints import Constraints
+from repro.timing import kernel as kernel_mod
 from repro.timing.crpr import CRPRCalculator
 from repro.timing.delaycalc import DelayCalculator
 from repro.timing.graph import TimingGraph
@@ -87,6 +89,25 @@ class STAConfig:
     #: by :mod:`repro.timing.corners` to derive corner engines from one
     #: characterized library.
     delay_scale: float = 1.0
+    #: Propagation kernel: ``"vector"`` (levelized numpy kernel, see
+    #: :mod:`repro.timing.kernel`) or ``"scalar"`` (the per-node oracle).
+    #: ``None`` defers to ``REPRO_STA_KERNEL`` (default ``vector``).
+    #: Deliberately excluded from the service-layer config hash — both
+    #: kernels produce bit-identical results.
+    kernel: str | None = None
+
+
+_KERNELS = ("vector", "scalar")
+
+
+def resolve_kernel(configured: str | None) -> str:
+    """Resolve the propagation kernel: config beats env beats default."""
+    value = configured or os.environ.get("REPRO_STA_KERNEL") or "vector"
+    if value not in _KERNELS:
+        raise TimingError(
+            f"unknown STA kernel {value!r}; expected one of {_KERNELS}"
+        )
+    return value
 
 
 class STAEngine:
@@ -113,6 +134,8 @@ class STAEngine:
         self.crpr = CRPRCalculator(self.graph, self.state)
         self.weights: dict[str, float] = {}
         self.gba_depths: dict[str, int] = {}
+        self.kernel = resolve_kernel(self.config.kernel)
+        self._layout: kernel_mod.LevelizedLayout | None = None
         self._boundary: BoundaryConditions | None = None
         self._structure_dirty = True
         self._timing_fresh = False
@@ -166,26 +189,70 @@ class STAEngine:
     # ------------------------------------------------------------------
     # Timing updates
     # ------------------------------------------------------------------
+    def _ensure_layout(self) -> kernel_mod.LevelizedLayout:
+        """The levelized layout of the current topology (vector kernel).
+
+        Rebuilt only when the graph's ``structure_version`` moved, so a
+        weight-only re-derate (every mGBA ``set_gate_weights``) reuses
+        the flattened arrays.
+        """
+        layout = self._layout
+        if (
+            layout is None
+            or layout.structure_version != self.graph.structure_version
+        ):
+            layout = kernel_mod.build_layout(
+                self.graph, self.boundary(), self.gba_depths
+            )
+            self._layout = layout
+        return layout
+
     def _refresh_structure(self) -> None:
         """Recompute everything that depends on graph topology."""
         self.graph.mark_clock_tree(self.clock_ports)
         self.gba_depths = compute_gba_depths(self.netlist)
-        compute_edge_derates(
-            self.graph, self.state, self.derate_settings(),
-            self.gba_depths, self.weights,
-        )
+        # Clock marking is deterministic per topology, so a layout built
+        # for this structure_version stays valid across weight-only
+        # refreshes — the reuse that makes mGBA weight installs cheap.
+        if self.kernel == "vector":
+            kernel_mod.compute_edge_derates(
+                self._ensure_layout(), self.graph, self.state,
+                self.derate_settings(), self.weights,
+            )
+        else:
+            compute_edge_derates(
+                self.graph, self.state, self.derate_settings(),
+                self.gba_depths, self.weights,
+            )
         self._structure_dirty = False
 
     def update_timing(self) -> None:
         """Full delay calculation + propagation over the whole design."""
         with span(
-            "sta.update_timing", structure_dirty=self._structure_dirty
+            "sta.update_timing", structure_dirty=self._structure_dirty,
+            kernel=self.kernel,
         ) as update_span:
             if self._structure_dirty:
                 self._refresh_structure()
-            propagate_full(
-                self.graph, self.calc, self.state, self.boundary()
-            )
+            if self.kernel == "vector":
+                try:
+                    kernel_mod.propagate_full(
+                        self._ensure_layout(), self.graph, self.calc,
+                        self.state, self.boundary(),
+                    )
+                except TimingError:
+                    raise  # cycles etc. — the scalar path raises too
+                except Exception:
+                    counter("kernel.fallbacks").inc()
+                    propagate_full(
+                        self.graph, self.calc, self.state, self.boundary()
+                    )
+                    if self._layout is not None:
+                        kernel_mod.sync_edge_arrays(self._layout, self.graph)
+            else:
+                propagate_full(
+                    self.graph, self.calc, self.state, self.boundary()
+                )
             self.crpr.invalidate()
             self._setup_slack_cache = None
             self._timing_fresh = True
@@ -305,6 +372,11 @@ class STAEngine:
     def required_times(self):
         """Late required time per node (see :func:`compute_required_times`)."""
         self.ensure_timing()
+        if self.kernel == "vector":
+            return kernel_mod.compute_required_times(
+                self._ensure_layout(), self.graph, self.state,
+                self.constraints,
+            )
         return slack_mod.compute_required_times(
             self.graph, self.state, self.constraints
         )
@@ -312,6 +384,10 @@ class STAEngine:
     def gate_slacks(self) -> dict[str, float]:
         """Worst slack per gate (optimizer candidate ranking)."""
         required = self.required_times()
+        if self.kernel == "vector":
+            return kernel_mod.gate_worst_slacks(
+                self._ensure_layout(), self.graph, self.state, required
+            )
         return slack_mod.gate_worst_slacks(self.graph, self.state, required)
 
     # ------------------------------------------------------------------

@@ -30,3 +30,42 @@ def test_single_row_and_column_tables(slew, load):
     for table in (one_row, one_col, constant):
         batch = table.lookup_many(np.array([slew]), np.array([load]))
         assert np.isclose(batch[0], table.lookup(slew, load))
+
+
+class TestPairLookup:
+    """Shared-axis pair lookups must equal two independent lookups."""
+
+    def test_shared_axes_bit_identical(self):
+        from repro.liberty.lut import lookup_pair_many
+
+        delay, slew_tab = ARC.delay, ARC.output_slew
+        rng = np.random.default_rng(5)
+        slews = rng.uniform(-10, 400, size=64)
+        loads = rng.uniform(-5, 300, size=64)
+        a, b = lookup_pair_many(delay, slew_tab, slews, loads)
+        assert np.array_equal(a, delay.lookup_many(slews, loads))
+        assert np.array_equal(b, slew_tab.lookup_many(slews, loads))
+
+    def test_mismatched_axes_fall_back(self):
+        from repro.liberty.lut import lookup_pair_many
+
+        first = LookupTable2D(
+            [1.0, 3.0], [1.0, 4.0], [[1.0, 2.0], [3.0, 4.0]]
+        )
+        second = LookupTable2D(
+            [2.0, 5.0], [1.0, 4.0], [[5.0, 6.0], [7.0, 8.0]]
+        )
+        slews = np.array([0.5, 2.0, 9.0])
+        loads = np.array([2.0, 2.0, 2.0])
+        a, b = lookup_pair_many(first, second, slews, loads)
+        assert np.array_equal(a, first.lookup_many(slews, loads))
+        assert np.array_equal(b, second.lookup_many(slews, loads))
+
+    def test_constant_tables_fall_back(self):
+        from repro.liberty.lut import lookup_pair_many
+
+        constant = LookupTable2D.constant(7.0)
+        a, b = lookup_pair_many(
+            constant, constant, np.array([1.0]), np.array([2.0])
+        )
+        assert a[0] == 7.0 and b[0] == 7.0

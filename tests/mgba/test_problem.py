@@ -134,3 +134,72 @@ class TestDerived:
                 s_pba=np.zeros(3),
                 gates=["A", "B"],
             )
+
+
+class TestRowGradientEquivalence:
+    """The indptr-gather rewrite must match the old CSR-submatrix math.
+
+    Bit-identical, not approximately: ``np.add.at`` accumulates in the
+    same element order as scipy's sequential matvec loops, so stochastic
+    solver trajectories are unchanged by the rewrite.
+    """
+
+    @staticmethod
+    def _submatrix_row_gradient(p, x, rows):
+        """The pre-rewrite implementation, kept as the oracle."""
+        rows = np.asarray(rows)
+        sub = p.matrix[rows]
+        ax = sub @ x
+        grad = 2.0 * (sub.T @ (ax - p.rhs[rows]))
+        lower = p.lower_bound[rows]
+        vio_mask = ax < lower
+        if np.any(vio_mask):
+            vio = ax[vio_mask] - lower[vio_mask]
+            grad += 2.0 * p.penalty * (sub[vio_mask].T @ vio)
+        scale = p.num_paths / max(len(rows), 1)
+        return np.asarray(grad).ravel() * scale
+
+    def _random_problem(self, rng, m=40, n=12, density=0.3):
+        matrix = sparse.random(
+            m, n, density=density, random_state=np.random.RandomState(
+                rng.integers(0, 2**31)
+            ), format="csr",
+        )
+        s_pba = rng.normal(0, 50, size=m)
+        s_gba = s_pba - np.abs(rng.normal(0, 20, size=m))
+        return MGBAProblem(
+            matrix=matrix, rhs=s_gba - s_pba, s_gba=s_gba, s_pba=s_pba,
+            gates=[f"g{j}" for j in range(n)],
+        )
+
+    def test_bit_identical_on_random_problems(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            p = self._random_problem(rng)
+            x = rng.normal(0, 0.3, size=p.num_gates)
+            k = int(rng.integers(1, p.num_paths))
+            # Unsorted, possibly repeated rows — the sampling solvers
+            # draw with replacement.
+            rows = rng.integers(0, p.num_paths, size=k)
+            got = p.row_gradient(x, rows)
+            want = self._submatrix_row_gradient(p, x, rows)
+            assert np.array_equal(got, want)
+
+    def test_bit_identical_with_violations_active(self):
+        rng = np.random.default_rng(11)
+        p = self._random_problem(rng)
+        # Push x so far negative every epsilon constraint is violated.
+        x = np.full(p.num_gates, -10.0)
+        rows = np.arange(p.num_paths)
+        got = p.row_gradient(x, rows)
+        want = self._submatrix_row_gradient(p, x, rows)
+        assert np.any(p.violation(x) > 0)
+        assert np.array_equal(got, want)
+
+    def test_single_row(self):
+        rng = np.random.default_rng(13)
+        p = self._random_problem(rng)
+        x = rng.normal(0, 0.3, size=p.num_gates)
+        got = p.row_gradient(x, np.array([3]))
+        want = self._submatrix_row_gradient(p, x, np.array([3]))
+        assert np.array_equal(got, want)

@@ -1,0 +1,99 @@
+"""Deep-chain regressions: iterative path counting and 1k+-level STA.
+
+``count_paths_to_endpoint`` used to recurse once per topological
+predecessor and hit Python's recursion limit on chains deeper than
+~1000 levels; the iterative rewrite must walk arbitrarily deep.  The
+same netlist doubles as a worst-case levelization check for the vector
+kernel (one node per level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.liberty.builder import make_default_library
+from repro.netlist.core import Netlist, PortDirection
+from repro.pba.enumerate import count_paths_to_endpoint
+from repro.sdc.constraints import Clock, Constraints
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import STAConfig, STAEngine
+
+CHAIN_LENGTH = 1500  # > default recursion limit / 2 arcs per stage
+
+
+def _chain_netlist(length: int = CHAIN_LENGTH) -> Netlist:
+    netlist = Netlist("deep-chain", make_default_library())
+    netlist.add_port("clk", PortDirection.INPUT)
+    netlist.add_port("a", PortDirection.INPUT)
+    wire = "a"
+    for i in range(length):
+        nxt = f"w{i}"
+        netlist.add_gate(f"inv{i}", "INV_X1", {"A": wire, "Z": nxt})
+        wire = nxt
+    netlist.add_gate("ff", "DFF_X1", {"D": wire, "CK": "clk", "Q": "q"})
+    return netlist
+
+
+def _constraints() -> Constraints:
+    constraints = Constraints()
+    constraints.add_clock(Clock("clk", 100000.0, "clk"))
+    return constraints
+
+
+def _endpoint(graph: TimingGraph) -> int:
+    endpoints = graph.endpoint_nodes()
+    assert len(endpoints) == 1
+    return endpoints[0]
+
+
+class TestDeepChainPathCount:
+    def test_no_recursion_error_beyond_1k_levels(self):
+        graph = TimingGraph(_chain_netlist())
+        assert count_paths_to_endpoint(graph, _endpoint(graph)) == 1
+
+    def test_reconvergent_count_still_exact(self):
+        """A ladder of diamonds counts 2^k paths (and respects the cap)."""
+        netlist = Netlist("ladder", make_default_library())
+        netlist.add_port("clk", PortDirection.INPUT)
+        netlist.add_port("a", PortDirection.INPUT)
+        wire = "a"
+        k = 10
+        for i in range(k):
+            top, bot, out = f"t{i}", f"b{i}", f"m{i}"
+            netlist.add_gate(f"up{i}", "INV_X1", {"A": wire, "Z": top})
+            netlist.add_gate(f"dn{i}", "INV_X1", {"A": wire, "Z": bot})
+            netlist.add_gate(
+                f"join{i}", "NAND2_X1", {"A": top, "B": bot, "Z": out}
+            )
+            wire = out
+        netlist.add_gate("ff", "DFF_X1", {"D": wire, "CK": "clk", "Q": "q"})
+        graph = TimingGraph(netlist)
+        endpoint = _endpoint(graph)
+        assert count_paths_to_endpoint(graph, endpoint) == 2**k
+        assert count_paths_to_endpoint(graph, endpoint, limit=100) == 100
+
+
+class TestDeepChainKernel:
+    def test_kernels_agree_on_1500_level_chain(self):
+        scalar = STAEngine(
+            _chain_netlist(), _constraints(), config=STAConfig(kernel="scalar")
+        )
+        vector = STAEngine(
+            _chain_netlist(), _constraints(), config=STAConfig(kernel="vector")
+        )
+        scalar.update_timing()
+        vector.update_timing()
+        assert vector._layout is not None
+        assert vector._layout.levels > 1000
+        ids = sorted(n.id for n in scalar.graph.live_nodes())
+        assert np.array_equal(
+            scalar.state.arrival_late[ids], vector.state.arrival_late[ids]
+        )
+        assert np.array_equal(
+            scalar.state.slew[ids], vector.state.slew[ids]
+        )
+        a = {s.name: s.slack for s in scalar.setup_slacks()}
+        b = {s.name: s.slack for s in vector.setup_slacks()}
+        assert a == b

@@ -1,0 +1,50 @@
+"""Hypothesis strategies for randomized timing-kernel tests.
+
+The project's own :func:`repro.designs.generator.generate_design` is the
+DAG source: it deterministically derives — per seed — a multi-cone
+netlist with reconvergent fanin (``cross_source_prob`` wires cones into
+a shared signal pool) and a buffered clock tree per domain, which is
+exactly the graph shape the levelized kernel has to agree with the
+scalar oracle on.  The strategy therefore draws *specs*, not raw
+graphs: every drawn example shrinks to a smaller seed/size and rebuilds
+bit-for-bit on replay.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.designs.generator import DesignSpec, generate_design
+
+
+@st.composite
+def design_specs(draw, max_flops: int = 14) -> DesignSpec:
+    """A random-but-deterministic synthetic design specification.
+
+    Reconvergence is guaranteed by a non-zero ``cross_source_prob``
+    floor; every design has at least one clock domain, so clock-tree
+    edges (and their flat late/early derate split) are always present.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    n_flops = draw(st.integers(min_value=3, max_value=max_flops))
+    n_inputs = draw(st.integers(min_value=1, max_value=5))
+    depth_lo = draw(st.integers(min_value=2, max_value=4))
+    depth_hi = draw(st.integers(min_value=depth_lo, max_value=depth_lo + 6))
+    cross = draw(st.floats(min_value=0.2, max_value=0.8))
+    domains = draw(st.integers(min_value=1, max_value=2))
+    return DesignSpec(
+        name=f"hyp-{seed}",
+        seed=seed,
+        n_flops=n_flops,
+        n_inputs=n_inputs,
+        n_outputs=draw(st.integers(min_value=1, max_value=3)),
+        depth_range=(depth_lo, depth_hi),
+        cross_source_prob=cross,
+        n_clock_domains=domains,
+    )
+
+
+@st.composite
+def designs(draw, max_flops: int = 14):
+    """A fully built random design bundle (netlist + SDC + placement)."""
+    return generate_design(draw(design_specs(max_flops=max_flops)))

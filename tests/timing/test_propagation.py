@@ -153,3 +153,31 @@ class TestWeights:
         engine.update_timing()
         restored = engine.state.arrival_late[engine.node_id("FF4", "D")]
         assert restored == pytest.approx(baseline)
+
+
+class TestSanityCheckVectorized:
+    """The segment-max rewrite must keep the scalar check's semantics."""
+
+    def test_detects_corruption_and_names_the_node(self, fresh_small_design):
+        engine = STAEngine(
+            fresh_small_design.netlist, fresh_small_design.constraints,
+            fresh_small_design.placement, fresh_small_design.sta_config,
+        )
+        engine.update_timing()
+        assert check_propagation_sanity(engine.graph, engine.state) == []
+        victim = next(
+            n for n in engine.graph.live_nodes()
+            if engine.graph.in_edges[n.id]
+        )
+        engine.state.arrival_late[victim.id] += 5.0
+        problems = check_propagation_sanity(engine.graph, engine.state)
+        assert len(problems) == 1
+        assert str(victim.ref) in problems[0]
+        assert "arrival_late" in problems[0]
+
+    def test_tolerates_isclose_noise(self, small_engine):
+        # Values within the 1e-9 relative tolerance are not violations.
+        problems = check_propagation_sanity(
+            small_engine.graph, small_engine.state
+        )
+        assert problems == []
