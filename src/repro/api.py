@@ -35,6 +35,7 @@ from typing import Any
 
 from repro.context import RunContext
 from repro.designs.generator import Design, DesignSpec, generate_design
+from repro.timing.explain import DesignExplanation
 from repro.timing.sta import STAEngine
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "GoldenSlacksResult",
     "FitResult",
     "ClosureResult",
+    "ExplainResult",
     "load_design",
     "make_engine",
     "run_sta",
@@ -50,6 +52,7 @@ __all__ = [
     "fit",
     "evaluate",
     "close_timing",
+    "explain_slack",
 ]
 
 
@@ -153,6 +156,27 @@ class ClosureResult:
     leakage_after: float
     buffers_after: int
     eco_commands: "tuple[str, ...]" = ()
+    seconds: float = field(default=0.0, compare=False)
+
+    def to_dict(self) -> "dict[str, Any]":
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ExplainResult:
+    """Slack provenance for one endpoint or the whole design.
+
+    ``explanation`` is the full nested
+    :class:`~repro.timing.explain.DesignExplanation` record (frozen all
+    the way down, so ``==`` is exact bit-identity across kernels and
+    cache round-trips).  ``endpoint`` is the resolved endpoint name
+    when the record was narrowed, None for a design-wide explanation.
+    """
+
+    design: str
+    endpoint: "str | None"
+    top_k: int
+    explanation: DesignExplanation
     seconds: float = field(default=0.0, compare=False)
 
     def to_dict(self) -> "dict[str, Any]":
@@ -281,6 +305,29 @@ def fit_result_from_flow(design_name: str, result,
     )
 
 
+def explain_result_from_engine(
+    engine: STAEngine,
+    endpoint: "int | str | None" = None,
+    top_k: int = 10,
+    seconds: float = 0.0,
+) -> ExplainResult:
+    """Fold an engine's slack provenance into an :class:`ExplainResult`."""
+    from repro.timing.explain import explain_design
+
+    explanation = explain_design(engine, top_k=top_k, endpoint=endpoint)
+    resolved = (
+        explanation.paths[0].endpoint
+        if endpoint is not None and explanation.paths else None
+    )
+    return ExplainResult(
+        design=engine.netlist.name,
+        endpoint=resolved,
+        top_k=top_k,
+        explanation=explanation,
+        seconds=seconds,
+    )
+
+
 # ----------------------------------------------------------------------
 # The verbs
 # ----------------------------------------------------------------------
@@ -302,6 +349,26 @@ def golden_slacks(design: "Design | STAEngine | str",
     engine, _ = _as_engine(design, context)
     return golden_slacks_from_engine(
         engine, context, k, seconds=time.perf_counter() - start
+    )
+
+
+def explain_slack(design: "Design | STAEngine | str",
+                  endpoint: "int | str | None" = None,
+                  top_k: int = 10,
+                  context: "RunContext | None" = None) -> ExplainResult:
+    """Slack provenance and pessimism attribution of one design.
+
+    ``endpoint`` (node id or endpoint pin name) narrows the record to
+    one endpoint's worst path; None explains the whole design with
+    per-arc detail for the ``top_k`` worst endpoints.  Per-arc rows sum
+    bit-identically to the engine's reported slack under either
+    propagation kernel.
+    """
+    start = time.perf_counter()
+    engine, _ = _as_engine(design, context)
+    return explain_result_from_engine(
+        engine, endpoint=endpoint, top_k=top_k,
+        seconds=time.perf_counter() - start,
     )
 
 

@@ -3,6 +3,7 @@
 Subcommands
 -----------
 ``sta``        report GBA timing of a suite design (or Verilog files).
+``explain``    slack provenance & pessimism attribution (JSON/markdown).
 ``mgba``       run the mGBA flow and report correlation before/after.
 ``closure``    run the closure optimizer (GBA- or mGBA-driven).
 ``generate``   emit a suite design as Verilog + SDC + AOCV files.
@@ -50,6 +51,7 @@ from pathlib import Path
 from repro import api
 from repro.aocv.table import write_aocv
 from repro.designs import build_design, design_names
+from repro.errors import TimingError
 from repro.netlist.verilog import save_verilog
 from repro.sdc.writer import save_sdc
 from repro.timing.report import report_summary, report_timing
@@ -93,6 +95,32 @@ def _cmd_sta(args) -> int:
         )
         print(f"applied mGBA weights from {args.weights}\n")
     print(report_timing(engine, max_endpoints=args.paths))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    from repro.timing.explain import explain_design, format_design_explanation
+
+    engine = _engine_for(args.design)
+    if args.weights:
+        from repro.mgba.persistence import load_weights
+
+        engine.set_gate_weights(
+            load_weights(args.weights, engine.netlist)
+        )
+    try:
+        explanation = explain_design(
+            engine, top_k=args.top_k, endpoint=args.endpoint
+        )
+    except TimingError as exc:
+        print(f"repro-sta: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(explanation.to_dict(), indent=2))
+    else:
+        print(format_design_explanation(explanation))
     return 0
 
 
@@ -450,6 +478,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--weights", help="apply a saved mGBA weight file before reporting"
     )
 
+    p_exp = sub.add_parser(
+        "explain",
+        help="slack provenance & pessimism attribution for a design",
+    )
+    p_exp.add_argument("design")
+    p_exp.add_argument(
+        "--endpoint", metavar="PIN", default=None,
+        help="narrow the record to one endpoint's worst path "
+             "(endpoint pin name, e.g. FF4/D)",
+    )
+    p_exp.add_argument(
+        "--top-k", type=int, default=10, metavar="K",
+        help="per-arc detail for the K worst endpoints (default: 10)",
+    )
+    p_exp.add_argument(
+        "--format", choices=["markdown", "json"], default="markdown",
+        help="markdown tables (default) or the docs/formats.md JSON "
+             "schema",
+    )
+    p_exp.add_argument(
+        "--weights", help="apply a saved mGBA weight file first, so the "
+                          "record attributes removed pessimism",
+    )
+
     p_mgba = sub.add_parser("mgba", help="run the mGBA flow")
     p_mgba.add_argument("design")
     p_mgba.add_argument("--k", type=int, default=20)
@@ -593,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "designs": _cmd_designs,
     "sta": _cmd_sta,
+    "explain": _cmd_explain,
     "mgba": _cmd_mgba,
     "closure": _cmd_closure,
     "generate": _cmd_generate,

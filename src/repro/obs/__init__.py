@@ -66,6 +66,7 @@ from repro.obs.trace import (
     current_span,
     current_tracer,
     install_tracer,
+    sample_peak_rss_mb,
     set_span_profiler,
     span,
     tracing,
@@ -78,6 +79,7 @@ __all__ = [
     "install_tracer", "uninstall_tracer",
     "current_tracer", "current_span",
     "baggage", "current_baggage", "set_span_profiler",
+    "sample_peak_rss_mb",
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "default_registry", "counter", "gauge", "histogram",

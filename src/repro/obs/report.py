@@ -231,9 +231,13 @@ def format_metrics(snapshot: "dict") -> str:
                 if record.get("p95") is not None:
                     value += f" p95={record.get('p95'):.4g}"
                 value += f" p99={record.get('p99'):.4g}"
+                if record.get("max") is not None:
+                    value += f" max={record.get('max'):.4g}"
             else:
                 value = "count=0"
         else:
-            value = f"{record.get('value')}"
+            raw = record.get("value")
+            # Gauges like obs.rss_peak_mb carry long floats; compact them.
+            value = f"{raw:.6g}" if isinstance(raw, float) else f"{raw}"
         lines.append(f"{name:<{name_width}}  {kind:<9}  {value}")
     return "\n".join(lines)

@@ -28,11 +28,17 @@ Typical use::
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None  # type: ignore[assignment]
 
 
 @dataclass
@@ -188,6 +194,35 @@ class Tracer:
             json.dump({"traceEvents": events}, fh, default=str)
 
 
+def sample_peak_rss_mb() -> "float | None":
+    """Process peak RSS in MiB (None where ``resource`` is unavailable).
+
+    ``ru_maxrss`` is KiB on Linux but bytes on macOS — normalized here
+    so the gauge means the same thing everywhere.
+    """
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def _record_peak_rss() -> None:
+    """Write the ``obs.rss_peak_mb`` gauge (called at root-span close).
+
+    Root closes are rare (one per top-level operation), so one
+    ``getrusage`` syscall here gives every trace and metrics snapshot a
+    memory high-water mark without touching the hot span path.
+    """
+    peak = sample_peak_rss_mb()
+    if peak is None:
+        return
+    from repro.obs.metrics import gauge
+
+    gauge("obs.rss_peak_mb").set(peak)
+
+
 def install_tracer(tracer: Tracer | None = None) -> Tracer:
     """Install (and return) the collector for this thread's root spans."""
     if tracer is None:
@@ -287,5 +322,7 @@ def span(name: str, **attrs: Any):
         if profiling:
             profiler.stop(name)
         stack.pop()
-        if parent is None and _state.tracer is not None:
-            _state.tracer.add_root(span_obj)
+        if parent is None:
+            _record_peak_rss()
+            if _state.tracer is not None:
+                _state.tracer.add_root(span_obj)

@@ -50,7 +50,7 @@ from repro.service.suite import DesignReport
 from repro.timing.sta import STAEngine
 
 #: Query operations the service understands, in pipeline order.
-QUERY_OPS = ("sta", "pba_slacks", "mgba_fit", "evaluate")
+QUERY_OPS = ("sta", "pba_slacks", "mgba_fit", "evaluate", "explain")
 
 #: mgba_fit parameters that override the service context per query.
 _FIT_PARAMS = (
@@ -356,6 +356,7 @@ class TimingService:
                 "p50": latency.percentile(50),
                 "p95": latency.percentile(95),
                 "p99": latency.percentile(99),
+                "max": latency.maximum if latency.count else 0.0,
             },
         }
 
@@ -381,6 +382,20 @@ class TimingService:
         params = tuple(sorted(overrides.items()))
         result, _ = self._q_fit(
             Query(op="mgba_fit", design=name, params=params)
+        )
+        return result
+
+    def explain(self, name: str,
+                endpoint: "int | str | None" = None,
+                top_k: "int | None" = None) -> api.ExplainResult:
+        """Slack provenance record (cached by content + explain scope)."""
+        params: "tuple[tuple[str, Any], ...]" = ()
+        if endpoint is not None:
+            params += (("endpoint", endpoint),)
+        if top_k is not None:
+            params += (("top_k", top_k),)
+        result, _ = self._q_explain(
+            Query(op="explain", design=name, params=tuple(sorted(params)))
         )
         return result
 
@@ -457,6 +472,23 @@ class TimingService:
         self._cache_put("fit", key, result)
         return result, False
 
+    def _q_explain(self, query: Query) -> "tuple[api.ExplainResult, bool]":
+        endpoint = query.param("endpoint")
+        top_k = query.param("top_k")
+        top_k = int(top_k) if top_k is not None else 10
+        key = keymod.explain_key(
+            self.design_key(query.design), endpoint, top_k
+        )
+        hit = self._cache_get("explain", key)
+        if hit is not None:
+            return replace(hit, design=query.design), True
+        result = api.explain_result_from_engine(
+            self.engine(query.design), endpoint=endpoint, top_k=top_k
+        )
+        result = replace(result, design=query.design)
+        self._cache_put("explain", key, result)
+        return result, False
+
     def _q_evaluate(self, query: Query) \
             -> "tuple[tuple[DesignReport, ...], bool]":
         names = query.param("designs")
@@ -472,6 +504,7 @@ class TimingService:
         "pba_slacks": _q_pba,
         "mgba_fit": _q_fit,
         "evaluate": _q_evaluate,
+        "explain": _q_explain,
     }
 
     def _run(self, query: Query,

@@ -157,6 +157,11 @@ def pba_slacks_key(design: DesignKey, k: int, recalc_slew: bool,
     return digest([design.token, k, recalc_slew, variation])
 
 
+def explain_key(design: DesignKey, endpoint: "Any", top_k: int) -> str:
+    """Key of a slack-provenance artifact (design + explain scope)."""
+    return digest([design.token, endpoint, top_k])
+
+
 def problem_fingerprint(problem) -> str:
     """Digest of one mGBA problem instance (the A matrix and friends).
 

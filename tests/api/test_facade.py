@@ -20,6 +20,7 @@ EXPECTED_SURFACE = [
     "GoldenSlacksResult",
     "FitResult",
     "ClosureResult",
+    "ExplainResult",
     "load_design",
     "make_engine",
     "run_sta",
@@ -27,6 +28,7 @@ EXPECTED_SURFACE = [
     "fit",
     "evaluate",
     "close_timing",
+    "explain_slack",
 ]
 
 
@@ -40,7 +42,8 @@ class TestSurface:
 
     def test_result_types_frozen(self):
         for cls in (api.STAResult, api.GoldenSlacksResult,
-                    api.FitResult, api.ClosureResult, RunContext):
+                    api.FitResult, api.ClosureResult,
+                    api.ExplainResult, RunContext):
             assert dataclasses.is_dataclass(cls)
             assert cls.__dataclass_params__.frozen, cls.__name__
 
@@ -132,3 +135,16 @@ class TestVerbs:
     def test_evaluate_subset(self, ctx):
         reports = api.evaluate(["D1"], context=ctx)
         assert [r.name for r in reports] == ["D1"]
+
+    def test_explain_slack_deterministic(self, ctx):
+        a = api.explain_slack("fig2", context=ctx)
+        b = api.explain_slack("fig2", context=ctx)
+        assert a == b
+        assert a.design == "paper_fig2"
+        assert a.explanation.summary.endpoints == 4
+        assert a.to_dict()["explanation"]["design"] == "paper_fig2"
+
+    def test_explain_slack_endpoint_scope(self, ctx):
+        narrowed = api.explain_slack("fig2", endpoint="FF4/D", context=ctx)
+        assert narrowed.endpoint == "FF4/D"
+        assert narrowed.explanation.summary.endpoints == 1

@@ -1,0 +1,148 @@
+"""Golden-format tests for obs-report rendering.
+
+Hand-built span trees with exact timestamps pin the breakdown table
+character-for-character, so accidental format drift (column widths,
+sort order, truncation notes) fails loudly instead of silently
+reflowing CI logs and docs examples.
+"""
+
+import sys
+
+import pytest
+
+from repro.obs import sample_peak_rss_mb, span, tracing
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.report import format_breakdown, format_metrics, stage_breakdown
+from repro.obs.trace import Span
+
+
+def _kernel_forest():
+    """closure.run -> 2x sta.update_timing -> nested kernel.* spans."""
+    root = Span("closure.run",
+                start=0.0, end=10.0, cpu_start=0.0, cpu_end=9.5)
+    first = Span("sta.update_timing",
+                 start=1.0, end=5.0, cpu_start=1.0, cpu_end=4.5)
+    first.children = [
+        Span("kernel.forward",
+             start=1.5, end=3.5, cpu_start=1.5, cpu_end=3.25),
+        Span("kernel.reduce",
+             start=3.5, end=4.5, cpu_start=3.5, cpu_end=4.25),
+    ]
+    second = Span("sta.update_timing",
+                  start=5.0, end=8.0, cpu_start=4.5, cpu_end=7.0)
+    second.children = [
+        Span("kernel.forward",
+             start=5.5, end=6.5, cpu_start=5.0, cpu_end=5.75),
+    ]
+    root.children = [first, second]
+    return [root]
+
+
+GOLDEN_BREAKDOWN = """\
+stage                 calls    wall(s)     cpu(s)    self(s)       %
+--------------------------------------------------------------------
+closure.run               1     10.000      9.500      3.000   100.0
+  sta.update_timing       2      7.000      6.000      3.000    70.0
+    kernel.forward        2      3.000      2.500      3.000    30.0
+    kernel.reduce         1      1.000      0.750      1.000    10.0"""
+
+GOLDEN_BREAKDOWN_TOP3 = """\
+stage                 calls    wall(s)     cpu(s)    self(s)       %
+--------------------------------------------------------------------
+closure.run               1     10.000      9.500      3.000   100.0
+  sta.update_timing       2      7.000      6.000      3.000    70.0
+    kernel.forward        2      3.000      2.500      3.000    30.0
+... (1 more row(s); raise --top)"""
+
+GOLDEN_METRICS = """\
+metric                   type       value
+-----------------------------------------
+explain.endpoints        counter    4
+obs.rss_peak_mb          gauge      123.438
+service.request.latency  histogram  count=4 mean=1.387 p50=0.55 \
+p95=4.2 p99=4.84 max=5"""
+
+
+class TestStageBreakdown:
+    def test_repeated_stages_fold_by_name_chain(self):
+        rows = stage_breakdown(_kernel_forest())
+        by_path = {r.path: r for r in rows}
+        nested = by_path[
+            ("closure.run", "sta.update_timing", "kernel.forward")
+        ]
+        assert nested.calls == 2           # both invocations, one row
+        assert nested.wall == pytest.approx(3.0)
+        assert nested.cpu == pytest.approx(2.5)
+        assert nested.self_wall == pytest.approx(3.0)  # leaf: self==wall
+        parent = by_path[("closure.run", "sta.update_timing")]
+        assert parent.calls == 2
+        assert parent.self_wall == pytest.approx(
+            parent.wall - nested.wall
+            - by_path[("closure.run", "sta.update_timing",
+                       "kernel.reduce")].wall
+        )
+
+    def test_unknown_sort_key_rejected(self):
+        with pytest.raises(ValueError):
+            stage_breakdown(_kernel_forest(), sort="nope")
+
+    def test_golden_table(self):
+        assert format_breakdown(_kernel_forest()) == GOLDEN_BREAKDOWN
+
+    def test_golden_table_truncated(self):
+        rendered = format_breakdown(_kernel_forest(), sort="self", top=3)
+        assert rendered == GOLDEN_BREAKDOWN_TOP3
+
+    def test_empty_trace(self):
+        assert format_breakdown([]) == "(empty trace)"
+
+
+class TestFormatMetrics:
+    def test_golden_snapshot_table(self):
+        registry = MetricsRegistry()
+        registry.counter("explain.endpoints").inc(4)
+        registry.gauge("obs.rss_peak_mb").set(123.4375)
+        latency = registry.histogram(
+            "service.request.latency", boundaries=[0.1, 1.0, 10.0]
+        )
+        for value in (0.05, 0.2, 0.3, 5.0):
+            latency.observe(value)
+        assert format_metrics(registry.snapshot()) == GOLDEN_METRICS
+
+    def test_empty_histogram_renders_count_zero(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle.latency")
+        assert "count=0" in format_metrics(registry.snapshot())
+
+    def test_empty_snapshot(self):
+        assert format_metrics({}) == "(no metrics recorded)"
+
+
+class TestPeakRss:
+    def test_sample_is_positive_on_posix(self):
+        peak = sample_peak_rss_mb()
+        if sys.platform == "win32":  # pragma: no cover
+            assert peak is None
+            return
+        assert peak is not None
+        assert peak > 1.0  # a live CPython process is bigger than 1 MiB
+
+    def test_root_span_close_records_the_gauge(self):
+        registry = default_registry()
+        registry.gauge("obs.rss_peak_mb").set(0.0)
+        with tracing():
+            with span("toplevel"):
+                with span("toplevel.child"):
+                    pass
+        recorded = registry.gauge("obs.rss_peak_mb").value
+        assert recorded and recorded > 1.0
+
+    def test_nested_span_close_does_not_sample(self):
+        registry = default_registry()
+        with tracing():
+            with span("root_marker"):
+                registry.gauge("obs.rss_peak_mb").set(-1.0)
+                with span("root_marker.inner"):
+                    pass
+                # Inner (non-root) close must leave the gauge alone.
+                assert registry.gauge("obs.rss_peak_mb").value == -1.0

@@ -1,0 +1,118 @@
+"""Service-layer explain verb: caching, batch round-trip, stats keys."""
+
+import io
+import json
+
+import pytest
+
+from repro.context import RunContext
+from repro.service import Query, TimingService, run_batch, serve
+
+
+@pytest.fixture()
+def service(tmp_path):
+    return TimingService(context=RunContext.from_env(
+        workers=1, backend="serial", cache_dir=str(tmp_path / "cache"),
+        solver="direct", k_per_endpoint=6, pba_k=8,
+    ))
+
+
+def _submit_explain(service, **params):
+    query = Query(op="explain", design="fig2",
+                  params=tuple(sorted(params.items())))
+    return service.submit([query])[0]
+
+
+class TestExplainVerb:
+    def test_cold_then_warm(self, service):
+        cold = _submit_explain(service)
+        warm = _submit_explain(service)
+        assert cold.ok and warm.ok
+        assert cold.cached is False
+        assert warm.cached is True
+        assert cold.result == warm.result
+
+    def test_scope_changes_the_cache_key(self, service):
+        _submit_explain(service)
+        narrowed = _submit_explain(service, endpoint="FF4/D")
+        assert narrowed.cached is False  # different key, not a hit
+        deeper = _submit_explain(service, top_k=3)
+        assert deeper.cached is False
+        again = _submit_explain(service, top_k=3)
+        assert again.cached is True
+
+    def test_endpoint_narrowing(self, service):
+        result = service.explain("fig2", endpoint="FF4/D")
+        explanation = result.explanation
+        assert explanation.summary.endpoints == 1
+        assert explanation.paths[0].endpoint == "FF4/D"
+        assert result.endpoint == "FF4/D"
+
+    def test_disk_cache_survives_a_new_service(self, service, tmp_path):
+        service.explain("fig2")
+        fresh = TimingService(context=RunContext.from_env(
+            workers=1, backend="serial",
+            cache_dir=str(tmp_path / "cache"),
+            solver="direct", k_per_endpoint=6, pba_k=8,
+        ))
+        assert _submit_explain(fresh).cached is True
+
+
+class TestExplainBatch:
+    def test_jsonl_round_trip_with_request_id(self, service):
+        source = io.StringIO("\n".join([
+            json.dumps({"id": 1, "op": "explain", "design": "fig2"}),
+            json.dumps({"id": 2, "op": "explain", "design": "fig2",
+                        "endpoint": "FF4/D", "top_k": 1}),
+        ]) + "\n")
+        sink = io.StringIO()
+        stats = serve(service, source, sink)
+        assert stats.served == 2 and stats.errors == 0
+        records = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert [r["id"] for r in records] == [1, 2]
+        assert all(r["ok"] for r in records)
+        assert all(r["request_id"].startswith("r") for r in records)
+        full, narrowed = (r["result"] for r in records)
+        assert full["design"] == "fig2"
+        assert full["explanation"]["summary"]["endpoints"] == 4
+        assert narrowed["explanation"]["summary"]["endpoints"] == 1
+        row = narrowed["explanation"]["paths"][0]["rows"][0]
+        assert {"edge", "src", "dst", "delay", "provenance"} <= set(row)
+
+    def test_run_batch_coalesces_duplicates(self, service):
+        out = run_batch(service, [
+            json.dumps({"id": "a", "op": "explain", "design": "fig2"}),
+            json.dumps({"id": "b", "op": "explain", "design": "fig2"}),
+        ])
+        assert all(r["ok"] for r in out)
+        assert out[0]["request_id"] == out[1]["request_id"]
+        assert out[0]["result"] == out[1]["result"]
+
+    def test_unknown_endpoint_is_an_error_record(self, service):
+        out = run_batch(service, [json.dumps(
+            {"id": 1, "op": "explain", "design": "fig2",
+             "endpoint": "NO/SUCH"}
+        )])
+        assert out[0]["ok"] is False and "error" in out[0]
+
+
+class TestStatsLatency:
+    def test_latency_reports_p99_and_max(self, service):
+        service.explain("fig2")
+        service.explain("fig2")
+        latency = service.stats()["latency"]
+        assert {"count", "mean", "p50", "p95", "p99", "max"} <= set(latency)
+        assert latency["count"] >= 2
+        assert latency["max"] >= latency["p99"] >= 0.0
+
+    def test_latency_empty_service_is_zeroed(self, tmp_path):
+        from repro.obs.metrics import default_registry
+
+        default_registry().reset()  # latency histogram is global
+        idle = TimingService(context=RunContext.from_env(
+            workers=1, backend="serial",
+            cache_dir=str(tmp_path / "idle"), solver="direct",
+        ))
+        latency = idle.stats()["latency"]
+        assert latency["count"] == 0
+        assert latency["max"] == 0.0 and latency["p99"] == 0.0

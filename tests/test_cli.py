@@ -64,6 +64,48 @@ class TestCommands:
         assert table.validate_monotonic() == []
 
 
+class TestExplainCommand:
+    def test_json_matches_documented_schema(self, capsys):
+        import json
+
+        assert main([
+            "explain", "fig2", "--format", "json", "--top-k", "2"
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "paper_fig2"
+        assert set(payload) == {"design", "summary", "paths"}
+        summary = payload["summary"]
+        assert {"endpoints", "arcs", "pessimism", "removed",
+                "residual", "crpr", "top_endpoints",
+                "top_arcs"} <= set(summary)
+        assert summary["endpoints"] == 4
+        assert len(payload["paths"]) == 2
+        row = payload["paths"][0]["rows"][0]
+        assert {"edge", "src", "dst", "domain", "base_delay",
+                "derate", "delay", "arrival", "provenance",
+                "pessimism", "removed", "residual"} <= set(row)
+
+    def test_markdown_renders_accounting(self, capsys):
+        assert main(["explain", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pessimism accounting" in out
+        assert "FF4/D" in out
+
+    def test_endpoint_narrowing(self, capsys):
+        import json
+
+        assert main([
+            "explain", "fig2", "--endpoint", "FF4/D",
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["endpoints"] == 1
+        assert payload["paths"][0]["endpoint"] == "FF4/D"
+
+    def test_unknown_endpoint_fails(self, capsys):
+        assert main(["explain", "fig2", "--endpoint", "NO/SUCH"]) != 0
+
+
 class TestServiceCommands:
     def test_batch_round_trip(self, tmp_path, capsys):
         import json

@@ -1,0 +1,255 @@
+"""Attribution exactness gate for the explain layer.
+
+The contract under test is *exact*, not approximate:
+
+* per-arc rows sum bit-identically to the engine's reported arrival
+  and slack (``==`` on floats, no tolerance);
+* the whole explanation is ``==``-identical under the scalar oracle
+  and the vector kernel, on the fixture design, a suite design, and
+  hypothesis-random reconvergent netlists;
+* on a clean engine the ``removed`` column is exactly zero, and per-arc
+  ``pessimism == removed + residual`` holds bitwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import api
+from repro.context import RunContext
+from repro.designs.generator import generate_design
+from repro.designs.suite import build_design
+from repro.errors import TimingError
+from repro.timing.explain import (
+    explain_design,
+    explain_endpoint,
+    format_design_explanation,
+    format_path_explanation,
+)
+from repro.timing.sta import STAEngine
+from tests.conftest import SMALL_SPEC
+from tests.timing.strategies import design_specs
+
+
+def _engine(design, kernel: str = "vector") -> STAEngine:
+    return STAEngine(
+        design.netlist, design.constraints,
+        getattr(design, "placement", None),
+        replace(design.sta_config, kernel=kernel),
+    )
+
+
+def _assert_rows_exact(engine: STAEngine) -> None:
+    """Every endpoint: explain rows reproduce arrival/slack bitwise."""
+    for endpoint_slack in engine.setup_slacks():
+        explanation = explain_endpoint(engine, endpoint_slack.node)
+        assert explanation.rows, endpoint_slack.name
+        # Sequential per-arc accumulation IS the reported arrival.
+        arrival = explanation.rows[0].arrival - explanation.rows[0].delay
+        for row in explanation.rows:
+            arrival = arrival + row.delay
+            assert arrival == row.arrival
+        assert explanation.arrival == endpoint_slack.arrival
+        assert explanation.slack == endpoint_slack.slack
+        assert explanation.required == endpoint_slack.required
+
+
+class TestExactness:
+    def test_fig2_rows_sum_to_reported_slack(self, fig2):
+        engine = _engine(fig2)
+        _assert_rows_exact(engine)
+
+    def test_suite_design_rows_sum_to_reported_slack(self):
+        engine = _engine(build_design("D1"))
+        _assert_rows_exact(engine)
+
+    def test_small_design_rows_sum_to_reported_slack(self, small_design):
+        engine = _engine(small_design)
+        _assert_rows_exact(engine)
+
+    def test_exact_with_weights_installed(self, fig2):
+        engine = _engine(fig2)
+        engine.set_gate_weights(
+            {g: 0.9 + 0.01 * i for i, g in
+             enumerate(sorted(engine.netlist.gates))}
+        )
+        _assert_rows_exact(engine)
+
+    @settings(
+        max_examples=12, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(spec=design_specs(max_flops=10))
+    def test_random_designs_rows_sum_to_reported_slack(self, spec):
+        engine = _engine(generate_design(spec))
+        _assert_rows_exact(engine)
+
+
+class TestKernelIdentity:
+    def _identical(self, factory) -> None:
+        scalar = explain_design(_engine(factory(), "scalar"), top_k=5)
+        vector = explain_design(_engine(factory(), "vector"), top_k=5)
+        assert scalar == vector  # frozen dataclasses: bitwise equality
+
+    def test_fig2(self):
+        self._identical(lambda: api.load_design("fig2"))
+
+    def test_suite_design(self):
+        self._identical(lambda: build_design("D1"))
+
+    def test_small_design(self):
+        self._identical(lambda: generate_design(SMALL_SPEC))
+
+    @settings(
+        max_examples=8, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(spec=design_specs(max_flops=10))
+    def test_random_designs(self, spec):
+        self._identical(lambda: generate_design(spec))
+
+    def test_identity_with_weights(self, fig2):
+        weights = {g: 0.95 for g in sorted(fig2.netlist.gates)}
+        scalar = _engine(fig2, "scalar")
+        vector = _engine(fig2, "vector")
+        scalar.set_gate_weights(weights)
+        vector.set_gate_weights(weights)
+        assert (
+            explain_design(scalar, top_k=5)
+            == explain_design(vector, top_k=5)
+        )
+
+
+class TestAccounting:
+    def test_clean_engine_removes_nothing(self, fig2):
+        explanation = explain_design(_engine(fig2))
+        assert explanation.summary.removed == 0.0
+        for path in explanation.paths:
+            assert path.removed == 0.0
+            for row in path.rows:
+                assert row.removed == 0.0
+                # With nothing removed the split is exact bitwise.
+                assert row.pessimism == row.residual
+
+    def test_fig2_matches_paper_pessimism(self, fig2):
+        # Fig. 2's worked example: the FF4/D path carries 50 ps of
+        # depth-based AOCV pessimism (10+10+15+5+10).
+        explanation = explain_design(_engine(fig2), top_k=1)
+        worst = explanation.paths[0]
+        assert worst.endpoint == "FF4/D"
+        assert worst.pessimism == pytest.approx(50.0)
+
+    def test_fitted_weights_show_as_removed(self, fig2):
+        engine = _engine(fig2)
+        context = RunContext.from_env(
+            workers=1, backend="serial", cache=False, solver="direct",
+        )
+        api.fit(engine, context)
+        assert engine.weights
+        explanation = explain_design(engine)
+        assert explanation.summary.removed > 0.0
+        assert explanation.summary.residual < (
+            explanation.summary.pessimism
+        )
+        for path in explanation.paths:
+            for row in path.rows:
+                assert row.pessimism == pytest.approx(
+                    row.removed + row.residual
+                )
+
+    def test_summary_totals_are_path_sums(self, small_design):
+        explanation = explain_design(_engine(small_design))
+        summary = explanation.summary
+        slacks = explanation.paths  # top_k=10 may truncate; recompute
+        engine = _engine(small_design)
+        everything = [
+            explain_endpoint(engine, s.node)
+            for s in engine.setup_slacks()
+        ]
+        assert summary.endpoints == len(everything)
+        assert summary.arcs == sum(len(e.rows) for e in everything)
+        assert summary.pessimism == pytest.approx(
+            sum(e.pessimism for e in everything)
+        )
+        assert summary.residual == pytest.approx(
+            sum(e.residual for e in everything)
+        )
+        assert len(slacks) <= 10
+
+    def test_top_lists_rank_residual(self, small_design):
+        explanation = explain_design(_engine(small_design), top_k=4)
+        values = [v for _, v in explanation.summary.top_endpoints]
+        assert values == sorted(values, reverse=True)
+        assert len(explanation.summary.top_endpoints) <= 4
+        arc_values = [v for _, v in explanation.summary.top_arcs]
+        assert arc_values == sorted(arc_values, reverse=True)
+
+
+class TestProvenance:
+    def test_aocv_rows_carry_table_tag_and_depth(self, fig2):
+        explanation = explain_design(_engine(fig2), top_k=1)
+        data_rows = [
+            r for r in explanation.paths[0].rows
+            if r.domain == "data_cell"
+        ]
+        assert data_rows
+        for row in data_rows:
+            assert row.provenance.startswith("aocv:")
+            assert "/depth=" in row.provenance
+
+    def test_clock_and_plain_rows_are_default(self, fig2):
+        explanation = explain_design(_engine(fig2), top_k=1)
+        for row in explanation.paths[0].rows:
+            if row.domain in ("clock", "plain"):
+                assert row.provenance == "default"
+
+    def test_weighted_rows_carry_fitted_weight(self, fig2):
+        engine = _engine(fig2)
+        engine.set_gate_weights({"G3": 0.875})
+        explanation = explain_endpoint(engine, "FF4/D")
+        tagged = [
+            r for r in explanation.rows
+            if r.provenance.startswith("mgba:fitted")
+        ]
+        assert len(tagged) == 1
+        assert "w=0.875" in tagged[0].provenance
+        # Unweighted data cells keep their AOCV provenance.
+        assert any(
+            r.provenance.startswith("aocv:") for r in explanation.rows
+        )
+
+
+class TestLookupAndRendering:
+    def test_endpoint_by_name_and_node_agree(self, fig2):
+        engine = _engine(fig2)
+        target = engine.setup_slacks()[0]
+        assert (
+            explain_endpoint(engine, target.name)
+            == explain_endpoint(engine, target.node)
+        )
+
+    def test_unknown_endpoint_raises(self, fig2):
+        engine = _engine(fig2)
+        with pytest.raises(TimingError):
+            explain_endpoint(engine, "NO/SUCH")
+        with pytest.raises(TimingError):
+            explain_endpoint(engine, 10 ** 9)
+
+    def test_markdown_renderers(self, fig2):
+        explanation = explain_design(_engine(fig2), top_k=2)
+        text = format_design_explanation(explanation)
+        assert "Pessimism accounting" in text
+        assert "| pin | domain |" in text
+        single = format_path_explanation(explanation.paths[0])
+        assert explanation.paths[0].endpoint in single
+
+    def test_to_dict_is_json_ready(self, fig2):
+        import json
+
+        payload = explain_design(_engine(fig2)).to_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["design"] == "paper_fig2"
+        assert round_tripped["summary"]["endpoints"] == 4
