@@ -1,0 +1,188 @@
+"""Scenario-stacked sweep bench: equivalence asserted, speedup logged.
+
+One multi-corner sweep, two ways:
+
+* **stacked** — the whole scenario matrix as one
+  :class:`~repro.timing.scenarios.ScenarioStack` pass (an extra numpy
+  axis over the shared levelized layout);
+* **fan-out** — the pre-stack baseline: one full ``update_timing`` per
+  corner, sharded over :class:`~repro.parallel.ProcessExecutor`
+  workers.
+
+Equivalence is hard-asserted per corner (bit-identical state arrays
+and equal slack maps — the same contract tier-1 gates in
+``tests/timing/test_scenarios.py``); wall-clock speedups are logged
+and recorded to ``repro.obs.history``, never flaky-gated.
+
+Also runnable as a script for the CI ``scenario-equivalence`` gate::
+
+    python -m benchmarks.bench_scenarios --check --designs D1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.designs.suite import build_design
+from repro.parallel import ProcessExecutor, SerialExecutor
+from repro.timing.corners import Corner, MultiCornerAnalysis
+
+from benchmarks.conftest import bench_design_names, print_table
+
+#: Scenario count of the default sweep (the ISSUE's >= 4 bar, with
+#: headroom: six corners spanning fast to slow).
+DEFAULT_SCENARIOS = 6
+
+
+def _corners(n: int) -> "tuple[Corner, ...]":
+    return tuple(
+        Corner(f"c{i}", 0.85 + 0.06 * i) for i in range(n)
+    )
+
+
+def _analysis(design, corners) -> MultiCornerAnalysis:
+    return MultiCornerAnalysis(
+        design.netlist, design.constraints,
+        design.placement, design.sta_config, corners,
+    )
+
+
+def _engines_identical(a, b) -> bool:
+    n = len(a.graph.nodes)
+    for attr in ("arrival_late", "arrival_early", "slew"):
+        if not np.array_equal(
+            getattr(a.state, attr)[:n], getattr(b.state, attr)[:n]
+        ):
+            return False
+    slacks_a = {s.name: s.slack for s in a.setup_slacks()}
+    slacks_b = {s.name: s.slack for s in b.setup_slacks()}
+    return slacks_a == slacks_b
+
+
+def compare_sweeps(names, n_scenarios: int = DEFAULT_SCENARIOS,
+                   workers: "int | None" = None):
+    """Per-design rows + divergence list for stacked vs fan-out sweeps.
+
+    The fan-out baseline runs on a :class:`ProcessExecutor` (one corner
+    per worker — the strongest pre-stack configuration); ``workers=0``
+    degrades it to serial for constrained CI boxes.
+    """
+    corners = _corners(n_scenarios)
+    if workers == 0:
+        executor = SerialExecutor(workers=1)
+    else:
+        executor = ProcessExecutor(workers=workers or n_scenarios)
+    rows = []
+    diverged = []
+    for name in names:
+        design = build_design(name)
+
+        stacked = _analysis(design, corners)
+        start = time.perf_counter()
+        stacked.update_all()
+        stacked_s = time.perf_counter() - start
+        mode = stacked.last_update_mode
+
+        fanout = _analysis(design, corners)
+        start = time.perf_counter()
+        fanout.update_all(executor, stacked=False)
+        fanout_s = time.perf_counter() - start
+
+        equal = mode == "stacked" and all(
+            _engines_identical(stacked.engines[c.name],
+                               fanout.engines[c.name])
+            for c in corners
+        ) and stacked.report() == fanout.report()
+        if not equal:
+            diverged.append(name)
+        rows.append([
+            name, str(n_scenarios),
+            f"{stacked_s * 1e3:.1f}", f"{fanout_s * 1e3:.1f}",
+            f"{fanout_s / stacked_s:.2f}x" if stacked_s > 0 else "-",
+            "ok" if equal else "DIVERGED",
+        ])
+    return rows, diverged
+
+
+_HEADERS = [
+    "design", "scenarios", "stacked ms", "fan-out ms", "speedup", "equal",
+]
+
+
+def test_scenario_stack_vs_fanout(benchmark):
+    """Bit-equality asserted on every design; speedups logged."""
+    names = bench_design_names()
+    largest = names[-1]
+    corners = _corners(DEFAULT_SCENARIOS)
+
+    def _stacked_sweep():
+        analysis = _analysis(build_design(largest), corners)
+        analysis.update_all()
+
+    benchmark.pedantic(_stacked_sweep, rounds=1, iterations=1)
+
+    rows, diverged = compare_sweeps(names)
+    print_table(
+        f"Scenario sweep: stacked vs process fan-out "
+        f"(x{DEFAULT_SCENARIOS} corners)",
+        _HEADERS, rows,
+        note=(
+            "stacked = one ScenarioStack pass over the shared layout; "
+            "fan-out = one update_timing per corner on a process pool. "
+            "Speedups are logged, not asserted; per-corner bit-equality "
+            "is asserted."
+        ),
+    )
+    assert not diverged
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scenario sweep bench: stacked vs fan-out "
+                    "equivalence + speed",
+    )
+    parser.add_argument(
+        "--scenarios", type=int, default=DEFAULT_SCENARIOS,
+        help=f"corner count per sweep (default: {DEFAULT_SCENARIOS})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="fan-out worker count (default: one per scenario; "
+             "0 = serial baseline)",
+    )
+    parser.add_argument(
+        "--designs", default="",
+        help="comma-separated subset (default: REPRO_BENCH_DESIGNS or all)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the stacked sweep diverges from the fan-out "
+             "(or was not taken at all)",
+    )
+    args = parser.parse_args(argv)
+    if args.scenarios < 1:
+        parser.error("--scenarios must be >= 1")
+    names = (
+        [n.strip() for n in args.designs.split(",") if n.strip()]
+        or bench_design_names()
+    )
+    rows, diverged = compare_sweeps(names, args.scenarios, args.workers)
+    print_table(
+        f"Scenario sweep: stacked vs process fan-out "
+        f"(x{args.scenarios} corners)",
+        _HEADERS, rows,
+    )
+    if diverged:
+        print(f"FAIL: scenario-sweep divergence on {diverged}",
+              file=sys.stderr)
+        return 1
+    print("stacked-vs-fanout equivalence: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ __all__ = [
     "FitResult",
     "ClosureResult",
     "ExplainResult",
+    "ScenarioSweepResult",
     "load_design",
     "make_engine",
     "run_sta",
@@ -53,6 +54,7 @@ __all__ = [
     "evaluate",
     "close_timing",
     "explain_slack",
+    "run_scenarios",
 ]
 
 
@@ -177,6 +179,33 @@ class ExplainResult:
     endpoint: "str | None"
     top_k: int
     explanation: DesignExplanation
+    seconds: float = field(default=0.0, compare=False)
+
+    def to_dict(self) -> "dict[str, Any]":
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ScenarioSweepResult:
+    """Multi-scenario (corner/mode) signoff matrix of one design.
+
+    ``corners`` lists (name, delay scale) in declaration order;
+    ``setup``/``hold`` carry per-corner (name, WNS, TNS, violations)
+    rows; ``merged`` is the per-endpoint worst setup slack across the
+    matrix as (endpoint, slack, corner), worst-first — exactly how a
+    multi-corner signoff report is read.  ``stacked`` records whether
+    the sweep ran as one scenario-stacked kernel pass or fell back to
+    the per-corner fan-out; both produce bit-identical content, so
+    ``stacked`` (like ``seconds``) is excluded from equality.
+    """
+
+    design: str
+    corners: "tuple[tuple[str, float], ...]"
+    setup: "tuple[tuple[str, float, float, int], ...]"
+    hold: "tuple[tuple[str, float, float, int], ...]"
+    merged: "tuple[tuple[str, float, str], ...]"
+    dominant: str
+    stacked: bool = field(default=True, compare=False)
     seconds: float = field(default=0.0, compare=False)
 
     def to_dict(self) -> "dict[str, Any]":
@@ -328,6 +357,46 @@ def explain_result_from_engine(
     )
 
 
+def scenario_result_from_analysis(analysis, seconds: float = 0.0) \
+        -> ScenarioSweepResult:
+    """Freeze a :class:`~repro.timing.corners.MultiCornerAnalysis`."""
+    from repro.timing.slack import CheckKind
+
+    summary = analysis.summary()
+    setup_rows = []
+    hold_rows = []
+    for corner in analysis.corners:
+        per = summary[corner.name]
+        setup_rows.append((
+            corner.name, float(per["setup"].wns), float(per["setup"].tns),
+            int(per["setup"].violations),
+        ))
+        hold_rows.append((
+            corner.name, float(per["hold"].wns), float(per["hold"].tns),
+            int(per["hold"].violations),
+        ))
+    merged = tuple(
+        (m.name, float(m.slack), m.corner)
+        for m in analysis.merged_setup()
+    )
+    dominant = (
+        analysis.dominant_corner(CheckKind.SETUP) if merged else ""
+    )
+    base = analysis.engines[analysis.corners[0].name]
+    return ScenarioSweepResult(
+        design=base.netlist.name,
+        corners=tuple(
+            (c.name, float(c.delay_scale)) for c in analysis.corners
+        ),
+        setup=tuple(setup_rows),
+        hold=tuple(hold_rows),
+        merged=merged,
+        dominant=dominant,
+        stacked=analysis.last_update_mode == "stacked",
+        seconds=seconds,
+    )
+
+
 # ----------------------------------------------------------------------
 # The verbs
 # ----------------------------------------------------------------------
@@ -415,6 +484,45 @@ def evaluate(names: "list[str] | None" = None, *,
         solver=ctx.solver,
         seed=ctx.seed if ctx.seed is not None else 0,
         context=ctx,
+    )
+
+
+def run_scenarios(design: "Design | str",
+                  corners=None,
+                  context: "RunContext | None" = None, *,
+                  stacked: bool = True) -> ScenarioSweepResult:
+    """Multi-scenario STA: the whole corner matrix in one stacked sweep.
+
+    ``corners`` is a sequence of
+    :class:`~repro.timing.corners.Corner` values or (name, delay scale)
+    pairs; None sweeps the classic ss/tt/ff set.  All scenarios
+    propagate in *one* scenario-stacked kernel pass when the stack
+    accepts them (vector kernel, shared structure); ``stacked=False``
+    — or a structurally incompatible scenario set — takes the
+    per-corner :mod:`repro.parallel` fan-out instead.  Both paths are
+    bit-identical per corner, so the result content never depends on
+    the path taken.
+    """
+    from repro.timing.corners import (
+        DEFAULT_CORNERS,
+        Corner,
+        MultiCornerAnalysis,
+    )
+
+    start = time.perf_counter()
+    ctx = context or RunContext.from_env()
+    bundle = load_design(design) if isinstance(design, str) else design
+    chosen = tuple(
+        c if isinstance(c, Corner) else Corner(str(c[0]), float(c[1]))
+        for c in (corners if corners is not None else DEFAULT_CORNERS)
+    )
+    analysis = MultiCornerAnalysis(
+        bundle.netlist, bundle.constraints,
+        getattr(bundle, "placement", None), bundle.sta_config, chosen,
+    )
+    analysis.update_all(ctx.executor(), stacked=stacked)
+    return scenario_result_from_analysis(
+        analysis, seconds=time.perf_counter() - start
     )
 
 

@@ -8,6 +8,7 @@ Subcommands
 ``closure``    run the closure optimizer (GBA- or mGBA-driven).
 ``generate``   emit a suite design as Verilog + SDC + AOCV files.
 ``designs``    list the D1-D10 suite.
+``scenarios``  sweep a corner matrix in one scenario-stacked kernel pass.
 ``batch``      run a JSONL query file as one coalesced service batch.
 ``serve``      answer JSONL queries line-by-line on stdin/stdout.
 ``obs-report`` pretty-print a captured trace as a runtime breakdown.
@@ -378,6 +379,60 @@ def _cmd_corners(args) -> int:
     return 0
 
 
+def _parse_corner_spec(spec: str) -> "list[tuple[str, float]]":
+    """Parse ``name:scale,name:scale,...`` into (name, scale) pairs."""
+    pairs = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, sep, scale = item.partition(":")
+        if not sep or not name.strip():
+            raise ValueError(
+                f"bad corner {item!r}; expected name:scale "
+                "(e.g. ss:1.15,tt:1.0,ff:0.87)"
+            )
+        pairs.append((name.strip(), float(scale)))
+    if not pairs:
+        raise ValueError("empty corner list")
+    return pairs
+
+
+def _cmd_scenarios(args) -> int:
+    corners = None
+    if args.corners:
+        try:
+            corners = _parse_corner_spec(args.corners)
+        except ValueError as exc:
+            print(f"scenarios: {exc}", file=sys.stderr)
+            return 2
+    result = api.run_scenarios(
+        args.design, corners=corners, stacked=not args.fanout
+    )
+    mode = "stacked sweep" if result.stacked else "per-corner fan-out"
+    print(f"{args.design} scenario sweep "
+          f"({len(result.corners)} scenario(s), {mode}, "
+          f"{result.seconds:.2f}s):\n")
+    header = (
+        f"{'corner':<8} {'scale':>6} {'setup WNS':>10} {'setup TNS':>12} "
+        f"{'viol':>5} {'hold WNS':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    scales = dict(result.corners)
+    hold_wns = {name: wns for name, wns, _tns, _v in result.hold}
+    for name, wns, tns, violations in result.setup:
+        print(
+            f"{name:<8} {scales[name]:>6.2f} {wns:>10.1f} {tns:>12.1f} "
+            f"{violations:>5} {hold_wns[name]:>10.1f}"
+        )
+    if result.dominant:
+        print(f"\ndominant setup corner: {result.dominant}")
+    for endpoint, slack, corner in result.merged[:args.paths]:
+        print(f"  {endpoint:<24} {slack:>10.1f}  @ {corner}")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from repro.netlist.validate import Severity, validate_netlist
 
@@ -554,6 +609,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_corners.add_argument("design")
 
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="sweep a corner matrix in one scenario-stacked kernel pass",
+    )
+    p_scen.add_argument("design")
+    p_scen.add_argument(
+        "--corners", metavar="SPEC", default=None,
+        help="comma-separated name:scale list "
+             "(default: ss:1.15,tt:1.0,ff:0.87)",
+    )
+    p_scen.add_argument(
+        "--fanout", action="store_true",
+        help="force the per-corner process/thread fan-out instead of "
+             "the stacked kernel (results are bit-identical)",
+    )
+    p_scen.add_argument(
+        "--paths", type=int, default=5, metavar="N",
+        help="merged worst endpoints to list (default: 5)",
+    )
+
     p_batch = sub.add_parser(
         "batch",
         help="run a JSONL query file as one coalesced service batch",
@@ -653,6 +728,7 @@ _COMMANDS = {
     "pessimism": _cmd_pessimism,
     "validate": _cmd_validate,
     "corners": _cmd_corners,
+    "scenarios": _cmd_scenarios,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
     "obs-report": _cmd_obs_report,

@@ -6,6 +6,8 @@ the "timing graph + STA state" artifact class), and an
 :class:`~repro.service.store.ArtifactCache` for everything expensive:
 
 * ``sta`` — GBA slack vectors keyed by the design's content address;
+* ``scenarios`` — multi-corner sweep matrices keyed by the design's
+  content address plus the (name, delay scale) corner sequence;
 * ``pba`` — golden PBA endpoint slacks keyed additionally by (k',
   slew-recalc, variation);
 * ``solve`` — fitted ``x*`` vectors keyed by (A-matrix fingerprint,
@@ -50,7 +52,10 @@ from repro.service.suite import DesignReport
 from repro.timing.sta import STAEngine
 
 #: Query operations the service understands, in pipeline order.
-QUERY_OPS = ("sta", "pba_slacks", "mgba_fit", "evaluate", "explain")
+QUERY_OPS = (
+    "sta", "pba_slacks", "mgba_fit", "evaluate", "explain",
+    "scenario_sweep",
+)
 
 #: mgba_fit parameters that override the service context per query.
 _FIT_PARAMS = (
@@ -399,6 +404,20 @@ class TimingService:
         )
         return result
 
+    def scenario_sweep(self, name: str,
+                       corners: "Sequence[tuple[str, float]] | None" = None) \
+            -> api.ScenarioSweepResult:
+        """Multi-corner sweep matrix (cached by content + corner set)."""
+        params: "tuple[tuple[str, Any], ...]" = ()
+        if corners is not None:
+            params = (("corners", tuple(
+                (str(n), float(s)) for n, s in corners
+            )),)
+        result, _ = self._q_scenarios(
+            Query(op="scenario_sweep", design=name, params=params)
+        )
+        return result
+
     def evaluate(self, names: "list[str] | None" = None,
                  mgba: bool = False) -> "list[DesignReport]":
         """Suite evaluation (uncached; internally fanned out)."""
@@ -489,6 +508,26 @@ class TimingService:
         self._cache_put("explain", key, result)
         return result, False
 
+    def _q_scenarios(self, query: Query) \
+            -> "tuple[api.ScenarioSweepResult, bool]":
+        raw = query.param("corners")
+        if raw is not None:
+            pairs = [(str(n), float(s)) for n, s in raw]
+        else:
+            from repro.timing.corners import DEFAULT_CORNERS
+
+            pairs = [(c.name, float(c.delay_scale)) for c in DEFAULT_CORNERS]
+        key = keymod.scenario_key(self.design_key(query.design), pairs)
+        hit = self._cache_get("scenarios", key)
+        if hit is not None:
+            return replace(hit, design=query.design), True
+        result = api.run_scenarios(
+            self.design(query.design), corners=pairs, context=self.context
+        )
+        result = replace(result, design=query.design)
+        self._cache_put("scenarios", key, result)
+        return result, False
+
     def _q_evaluate(self, query: Query) \
             -> "tuple[tuple[DesignReport, ...], bool]":
         names = query.param("designs")
@@ -505,6 +544,7 @@ class TimingService:
         "mgba_fit": _q_fit,
         "evaluate": _q_evaluate,
         "explain": _q_explain,
+        "scenario_sweep": _q_scenarios,
     }
 
     def _run(self, query: Query,

@@ -162,6 +162,21 @@ def explain_key(design: DesignKey, endpoint: "Any", top_k: int) -> str:
     return digest([design.token, endpoint, top_k])
 
 
+def scenario_key(design: DesignKey,
+                 corners: "Iterable[tuple[str, float]]") -> str:
+    """Key of a multi-scenario sweep artifact (design + corner matrix).
+
+    ``corners`` is the (name, delay scale) sequence in declaration
+    order — order matters: it fixes merge tie-breaks, so a reordered
+    matrix is a different artifact.  ``repr`` of the scale keeps full
+    float precision in the key material.
+    """
+    parts: "list[Any]" = [design.token]
+    for name, scale in corners:
+        parts.append(f"{name}={scale!r}")
+    return digest(parts)
+
+
 def problem_fingerprint(problem) -> str:
     """Digest of one mGBA problem instance (the A matrix and friends).
 

@@ -18,6 +18,7 @@ transition polarity.
 
 from repro.timing.graph import EdgeKind, NodeKind, TimingEdge, TimingGraph, TimingNode
 from repro.timing.corners import Corner, DEFAULT_CORNERS, MultiCornerAnalysis
+from repro.timing.scenarios import ScenarioError, ScenarioStack
 from repro.timing.sta import STAConfig, STAEngine
 from repro.timing.slack import EndpointSlack, SlackSummary, endpoint_clock_map
 
@@ -35,4 +36,6 @@ __all__ = [
     "Corner",
     "DEFAULT_CORNERS",
     "MultiCornerAnalysis",
+    "ScenarioError",
+    "ScenarioStack",
 ]

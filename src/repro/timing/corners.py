@@ -11,11 +11,15 @@ derating can flip paths); hold at every corner too (fast corners
 dominate).  The merged view is per-endpoint worst — exactly how a
 multi-corner signoff report is read.
 
-Corners are mutually independent (each owns its engine), so
-``update_all`` fans one corner per worker through
-:mod:`repro.parallel`; the merge iterates corners in declaration
-order, so results are bit-identical to a serial update on every
-backend.
+Corners share one netlist and differ only in values (delay scale,
+derate table), so ``update_all`` first tries to propagate them all in
+*one* stacked array sweep (:class:`repro.timing.scenarios.ScenarioStack`
+— the corner set rides an extra numpy axis over the shared levelized
+layout).  Scenarios the stack cannot take — scalar-kernel engines,
+structurally diverged graphs — fall back to fanning one corner per
+worker through :mod:`repro.parallel`.  Both paths are bit-identical to
+a serial per-corner update, and the merge iterates corners in
+declaration order either way.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.aocv.table import DeratingTable
 from repro.errors import TimingError
 from repro.netlist.core import Netlist
 from repro.netlist.placement import Placement
+from repro.obs.metrics import counter
 from repro.obs.trace import span
 from repro.parallel.executor import Executor, default_executor
 from repro.sdc.constraints import Constraints
@@ -92,6 +97,9 @@ class MultiCornerAnalysis:
         if len(set(names)) != len(names):
             raise TimingError(f"duplicate corner names: {names}")
         self.corners = corners
+        #: How the last ``update_all`` ran: ``"stacked"`` (one scenario
+        #: sweep), ``"fanout"`` (per-corner workers), or ``"none"``.
+        self.last_update_mode = "none"
         self.engines: dict[str, STAEngine] = {}
         for corner in corners:
             config = replace(
@@ -112,15 +120,29 @@ class MultiCornerAnalysis:
         except KeyError:
             raise TimingError(f"unknown corner {corner_name!r}") from None
 
-    def update_all(self, executor: "Executor | None" = None) -> None:
-        """Run timing at every corner — one corner per worker.
+    def update_all(
+        self,
+        executor: "Executor | None" = None,
+        *,
+        stacked: bool = True,
+    ) -> None:
+        """Run timing at every corner, preferring one stacked sweep.
 
-        With the default (serial) executor this is the plain in-order
-        loop; with ``REPRO_WORKERS`` / ``--workers`` > 1 the corners
-        run concurrently and the engines are re-installed in corner
-        declaration order, so every downstream merge is bit-identical
-        to the serial result.  The process backend replaces each engine
-        with its round-tripped, fully propagated copy.
+        When every corner engine runs the vector kernel over the same
+        structure, the whole corner set propagates as one
+        :class:`~repro.timing.scenarios.ScenarioStack` pass — an extra
+        numpy axis instead of one process per corner.  Engines the
+        stack rejects (:class:`~repro.timing.scenarios.ScenarioError`:
+        scalar kernel, diverged structure) fall back to the per-corner
+        fan-out; ``stacked=False`` forces that fallback (the bench's
+        baseline).
+
+        The fan-out path re-installs engines in corner declaration
+        order, and the stacked path is bit-identical per corner to an
+        isolated update, so every downstream merge is bit-identical to
+        a serial per-corner loop either way.  The process backend
+        replaces each engine with its round-tripped, fully propagated
+        copy.
         """
         if executor is None:
             executor = default_executor()
@@ -131,6 +153,9 @@ class MultiCornerAnalysis:
             backend=executor.backend,
             workers=executor.workers,
         ):
+            if stacked and self._update_stacked(names):
+                self.last_update_mode = "stacked"
+                return
             updated = executor.map(
                 _updated_engine,
                 [self.engines[name] for name in names],
@@ -139,6 +164,36 @@ class MultiCornerAnalysis:
             )
         for name, engine in zip(names, updated):
             self.engines[name] = engine
+        self.last_update_mode = "fanout"
+
+    def _update_stacked(self, names: "list[str]") -> bool:
+        """Try the scenario-stacked sweep; True on success.
+
+        A :class:`~repro.timing.scenarios.ScenarioError` (or any
+        unexpected stacking failure) is the signal to fall back — the
+        fan-out's full per-engine updates overwrite any partial state,
+        so falling back mid-way is always safe.  Real timing errors
+        (cycles, missing constraints) propagate: the fan-out would hit
+        them too.
+        """
+        from repro.timing.scenarios import ScenarioError, ScenarioStack
+
+        try:
+            stack = ScenarioStack.from_engines(
+                [self.engines[name] for name in names], names
+            )
+        except ScenarioError:
+            counter("corners.stacked_fallbacks").inc()
+            return False
+        try:
+            stack.update_all()
+        except TimingError:
+            raise
+        except Exception:
+            counter("corners.stacked_fallbacks").inc()
+            return False
+        counter("corners.stacked_updates").inc()
+        return True
 
     # ------------------------------------------------------------------
     # Merged views

@@ -143,6 +143,38 @@ class DelayCalculator:
         )
         return delays * self.delay_scale, out_slews * self.delay_scale
 
+    def compute_arcs_stack(self, delay_table, slew_table, input_slews,
+                           loads, scales) -> "tuple":
+        """(delays, output slews) of one table pair across a scenario stack.
+
+        ``input_slews`` is ``(S, k)`` — per-scenario slews of ``k`` arcs
+        — while ``loads`` (length ``k``) is scenario-invariant and
+        ``scales`` (length ``S``) carries each scenario's absolute
+        corner multiplier (``self.delay_scale`` is deliberately ignored:
+        the stack owns the per-scenario scaling).  The stack flattens
+        row-major through *one* :func:`~repro.liberty.lut.lookup_pair_many`
+        call; row ``s`` of the reshaped result is bit-identical to
+        :meth:`compute_arcs_batch` at ``delay_scale = scales[s]``
+        because the flattened lookup evaluates the same per-element
+        interpolation and the column-broadcast multiply is the same
+        scalar multiply per element.
+        """
+        import numpy as np
+
+        from repro.liberty.lut import lookup_pair_many
+
+        slews = np.asarray(input_slews, dtype=float)
+        n_scen = slews.shape[0]
+        flat_loads = np.tile(np.asarray(loads, dtype=float), n_scen)
+        delays, out_slews = lookup_pair_many(
+            delay_table, slew_table, slews.ravel(), flat_loads
+        )
+        scale_col = np.asarray(scales, dtype=float)[:, None]
+        return (
+            delays.reshape(slews.shape) * scale_col,
+            out_slews.reshape(slews.shape) * scale_col,
+        )
+
     def compute_edges_batch(self, graph: TimingGraph,
                             edges: "list[TimingEdge]",
                             input_slews) -> None:

@@ -115,6 +115,13 @@ class TimingGraph:
         #: per-level LUT grouping but not the layout itself.
         self.arc_epoch: int = 0
         self._build()
+        #: ``structure_version`` as of the end of construction.  A graph
+        #: still at this version is *pristine*: its node/edge slot
+        #: assignment is a pure function of the netlist content, which
+        #: is what lets the kernel's layout cache key builds by content
+        #: (edits reorder slot reuse and drop a graph out of the cache
+        #: for good).
+        self.pristine_version: int = self.structure_version
 
     # ------------------------------------------------------------------
     # Construction

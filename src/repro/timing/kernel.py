@@ -42,7 +42,8 @@ so ``closure.run``'s thousands of ECO updates ride the same arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -189,9 +190,83 @@ class LevelizedLayout:
 
     def edge_src_of(self, graph: TimingGraph, eids: np.ndarray) -> np.ndarray:
         """Source node ids of the given edges."""
-        return np.asarray(
-            [graph.edges[eid].src for eid in eids.tolist()], dtype=np.int64
-        )
+        srcs = []
+        for eid in eids.tolist():
+            edge = graph.edges[eid]
+            assert edge is not None
+            srcs.append(edge.src)
+        return np.asarray(srcs, dtype=np.int64)
+
+
+#: In-process LRU of built layouts, content-keyed.  Engines built from
+#: the *same design content* (the multi-corner fan-out, repeated cold
+#: bench runs in one process) share one flattening pass: the clone
+#: aliases every structural array — levelization, CSR, derate
+#: classification, boundary — and only the mutable edge-value arrays
+#: are allocated fresh per engine.  Bounded small: a layout references
+#: a few |V|+|E| arrays, and anything beyond the working corner set of
+#: one process is dead weight.
+_LAYOUT_CACHE_MAX = 8
+_layout_cache: "OrderedDict[tuple, LevelizedLayout]" = OrderedDict()
+
+
+def clear_layout_cache() -> None:
+    """Drop all cached layouts (test isolation hook)."""
+    _layout_cache.clear()
+
+
+def _layout_cache_key(
+    graph: TimingGraph,
+    boundary: BoundaryConditions,
+    depths: "dict[str, int]",
+) -> "tuple | None":
+    """Content key of a layout build, or None when uncacheable.
+
+    Only pristine graphs (no edits since construction) are keyed: node
+    and edge ids are reproducible from content exactly when no edit
+    history has reordered the slot assignment.  Edited graphs rebuild
+    the honest way — and their post-edit netlist content would miss
+    this key anyway.
+    """
+    if graph.structure_version != graph.pristine_version:
+        return None
+    from repro.service.keys import netlist_hash
+
+    return (
+        netlist_hash(graph.netlist),
+        tuple(sorted(boundary.clock_ports)),
+        tuple(sorted(boundary.input_delays.items())),
+        boundary.input_slew,
+        boundary.clock_slew,
+        tuple(sorted(depths.items())),
+    )
+
+
+def _clone_layout(cached: LevelizedLayout,
+                  graph: TimingGraph) -> LevelizedLayout:
+    """A cache hit's independently-mutable twin.
+
+    Shares every read-only structural array with the cached build but
+    owns fresh ``edge_delay``/``edge_out_slew`` refilled from the
+    *current* graph's edge objects (the cached copy may carry another
+    engine's sweep results), and resets the lazy per-graph fields —
+    cell groups hold table/edge references resolved against the builder
+    graph, and the flow fingerprint must never certify a foreign
+    engine's fixpoint.
+    """
+    clone = replace(
+        cached,
+        edge_delay=np.zeros(cached.n_edge_slots),
+        edge_out_slew=np.zeros(cached.n_edge_slots),
+    )
+    clone._group_epoch = -1
+    clone._cell_groups = []
+    clone._flow_key = None
+    for edge in graph.edges:
+        if edge is not None:
+            clone.edge_delay[edge.id] = edge.delay
+            clone.edge_out_slew[edge.id] = edge.out_slew
+    return clone
 
 
 def build_layout(
@@ -205,10 +280,32 @@ def build_layout(
     array — it only changes when topology does, which rebuilds the
     layout anyway).  Clock-tree marking must be current: edge domains
     are classified here.
+
+    Pristine-graph builds are served from the content-keyed layout
+    cache when possible (see :func:`_layout_cache_key`); the flattening
+    itself is deterministic per content, so a clone is bit-identical to
+    a fresh build.
     """
+    key = _layout_cache_key(graph, boundary, depths)
+    if key is not None:
+        cached = _layout_cache.get(key)
+        if (
+            cached is not None
+            and cached.n_node_slots == len(graph.nodes)
+            and cached.n_edge_slots == len(graph.edges)
+        ):
+            _layout_cache.move_to_end(key)
+            counter("kernel.layout_cache_hits").inc()
+            return _clone_layout(cached, graph)
     with span("kernel.build", nodes=graph.node_count(),
               edges=graph.edge_count()):
-        return _build_layout(graph, boundary, depths)
+        layout = _build_layout(graph, boundary, depths)
+    if key is not None:
+        counter("kernel.layout_cache_misses").inc()
+        _layout_cache[key] = layout
+        while len(_layout_cache) > _LAYOUT_CACHE_MAX:
+            _layout_cache.popitem(last=False)
+    return layout
 
 
 def _build_layout(

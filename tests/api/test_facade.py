@@ -21,6 +21,7 @@ EXPECTED_SURFACE = [
     "FitResult",
     "ClosureResult",
     "ExplainResult",
+    "ScenarioSweepResult",
     "load_design",
     "make_engine",
     "run_sta",
@@ -29,6 +30,7 @@ EXPECTED_SURFACE = [
     "evaluate",
     "close_timing",
     "explain_slack",
+    "run_scenarios",
 ]
 
 
@@ -43,7 +45,8 @@ class TestSurface:
     def test_result_types_frozen(self):
         for cls in (api.STAResult, api.GoldenSlacksResult,
                     api.FitResult, api.ClosureResult,
-                    api.ExplainResult, RunContext):
+                    api.ExplainResult, api.ScenarioSweepResult,
+                    RunContext):
             assert dataclasses.is_dataclass(cls)
             assert cls.__dataclass_params__.frozen, cls.__name__
 
@@ -148,3 +151,27 @@ class TestVerbs:
         narrowed = api.explain_slack("fig2", endpoint="FF4/D", context=ctx)
         assert narrowed.endpoint == "FF4/D"
         assert narrowed.explanation.summary.endpoints == 1
+
+    def test_run_scenarios_stacked_equals_fanout(self, ctx):
+        corners = [("slow", 1.1), ("fast", 0.9)]
+        stacked = api.run_scenarios("fig2", corners=corners, context=ctx)
+        fanout = api.run_scenarios(
+            "fig2", corners=corners, context=ctx, stacked=False
+        )
+        from repro.timing.sta import resolve_kernel
+
+        # Scalar-kernel CI legs legitimately fall back to the fan-out.
+        assert stacked.stacked is (resolve_kernel(None) == "vector")
+        assert fanout.stacked is False
+        # stacked/seconds are provenance, excluded from equality:
+        # both paths must produce bit-identical sweep content.
+        assert stacked == fanout
+        assert stacked.design == "paper_fig2"
+        assert [name for name, _ in stacked.corners] == ["slow", "fast"]
+        assert stacked.dominant == "slow"
+        assert stacked.to_dict()["corners"] == (("slow", 1.1), ("fast", 0.9))
+
+    def test_run_scenarios_default_corners(self, ctx):
+        result = api.run_scenarios("fig2", context=ctx)
+        assert [name for name, _ in result.corners] == ["ss", "tt", "ff"]
+        assert len(result.setup) == 3 and len(result.hold) == 3

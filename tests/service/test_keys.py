@@ -84,6 +84,18 @@ class TestArtifactKeys:
                                         epsilon=0.2).fit_fingerprint())
         assert len({a, b, c}) == 3
 
+    def test_scenario_key_covers_corner_matrix(self):
+        design = generate_design(SMALL_SPEC)
+        dk = keys.design_key(design.netlist, design.constraints,
+                             design.placement, design.sta_config)
+        base = keys.scenario_key(dk, [("ss", 1.15), ("ff", 0.87)])
+        assert keys.scenario_key(dk, [("ss", 1.15), ("ff", 0.87)]) == base
+        # Scale, name, order, and cardinality all rotate the key.
+        assert keys.scenario_key(dk, [("ss", 1.2), ("ff", 0.87)]) != base
+        assert keys.scenario_key(dk, [("sf", 1.15), ("ff", 0.87)]) != base
+        assert keys.scenario_key(dk, [("ff", 0.87), ("ss", 1.15)]) != base
+        assert keys.scenario_key(dk, [("ss", 1.15)]) != base
+
     def test_fig2_key_stable_across_loads(self):
         a = api.load_design("fig2")
         b = api.load_design("fig2")

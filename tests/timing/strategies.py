@@ -48,3 +48,32 @@ def design_specs(draw, max_flops: int = 14) -> DesignSpec:
 def designs(draw, max_flops: int = 14):
     """A fully built random design bundle (netlist + SDC + placement)."""
     return generate_design(draw(design_specs(max_flops=max_flops)))
+
+
+@st.composite
+def corner_sets(draw, max_corners: int = 4):
+    """A random scenario (corner) set over one shared netlist.
+
+    Scenarios vary exactly along the value axes the stacked kernel has
+    to reproduce per row: every corner draws its own delay scale, and
+    about half additionally draw a corner-private derating
+    characterization (a :func:`~repro.aocv.table.make_derating_table`
+    with its own sigma/slope), exercising the per-scenario derate fill.
+    """
+    from repro.aocv.table import make_derating_table
+    from repro.timing.corners import Corner
+
+    count = draw(st.integers(min_value=2, max_value=max_corners))
+    corners = []
+    for i in range(count):
+        scale = draw(st.floats(min_value=0.7, max_value=1.4))
+        table = None
+        if draw(st.booleans()):
+            table = make_derating_table(
+                sigma=draw(st.floats(min_value=0.1, max_value=0.6)),
+                distance_slope=draw(
+                    st.floats(min_value=0.005, max_value=0.03)
+                ),
+            )
+        corners.append(Corner(f"c{i}", scale, table))
+    return tuple(corners)
