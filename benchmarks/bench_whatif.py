@@ -1,0 +1,205 @@
+"""What-if bench: parallel candidate evaluation must match sequential.
+
+The what-if API's contract is **worker transparency** — evaluating K
+candidate edit-lists chunked across N workers (each on a private
+engine clone) must return results bit-identical to a sequential
+apply → incremental update → revert loop on one engine.  This bench
+builds a deterministic candidate list per design (resizes, VT swaps,
+and a buffer insertion over the first few combinational gates/nets),
+runs it through :func:`repro.opt.whatif.evaluate_what_if` serially and
+with a thread fan-out, and hard-checks:
+
+* every frozen :class:`~repro.opt.whatif.CandidateResult` is equal
+  (``==`` excludes wall time) between the two passes;
+* the min-period search returns the identical
+  :class:`~repro.opt.whatif.MinPeriodResult` at any worker count
+  (trivially — it is worker-independent by construction — but gated
+  so a future parallel implementation cannot drift);
+* the parallel pass actually fanned out (``whatif.chunks`` > 1).
+
+Also runnable as a script for the ``bench-smoke`` CI gate::
+
+    python benchmarks/bench_whatif.py --check --designs D1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import api
+from repro.context import RunContext
+from repro.obs import default_registry
+from repro.opt.whatif import evaluate_what_if, min_period_on_engine
+
+from benchmarks.conftest import bench_design_names, print_table
+
+#: Candidates generated per design (kept small: the bench gates
+#: equivalence, not throughput; raise locally to measure speedup).
+CANDIDATES_PER_DESIGN = 12
+
+#: Workers for the parallel pass.
+PARALLEL_WORKERS = 4
+
+
+def build_candidates(design_name: str) -> "list[list[dict]]":
+    """A deterministic candidate list over one design's content.
+
+    Derived entirely from the design (gate/net iteration order is
+    insertion order, which is deterministic per seed), never from
+    randomness or wall clock — the same list on every run and in
+    every worker.
+    """
+    engine = api.make_engine(design_name)
+    netlist = engine.netlist
+    gates = [
+        g for g in netlist.gates
+        if not netlist.cell_of(g).is_buffer
+    ]
+    nets = [
+        n for n in netlist.nets
+        if netlist.net_driver(n) is not None
+        and netlist.net_loads(n)
+        and not any(r.is_port for r in netlist.net_loads(n))
+    ]
+    candidates: "list[list[dict]]" = []
+    for index in range(CANDIDATES_PER_DESIGN):
+        gate = gates[index % len(gates)]
+        if index % 4 == 3 and nets:
+            candidates.append([{
+                "kind": "insert_buffer",
+                "net": nets[index % len(nets)],
+                "buffer_cell": "BUF_X2",
+            }])
+        elif index % 4 == 2:
+            candidates.append([
+                {"kind": "resize", "gate": gate, "up": True},
+                {"kind": "resize",
+                 "gate": gates[(index + 1) % len(gates)], "up": False},
+            ])
+        else:
+            candidates.append(
+                [{"kind": "resize", "gate": gate, "up": index % 2 == 0}]
+            )
+    return candidates
+
+
+def run_design(design_name: str):
+    """(serial result, parallel result, serial s, parallel s, chunks)."""
+    candidates = build_candidates(design_name)
+    serial_ctx = RunContext(workers=1, backend="serial")
+    parallel_ctx = RunContext(workers=PARALLEL_WORKERS, backend="thread")
+    registry = default_registry()
+    start = time.perf_counter()
+    serial = evaluate_what_if(design_name, candidates, serial_ctx)
+    serial_wall = time.perf_counter() - start
+    chunks_before = registry.counter("whatif.chunks").value
+    start = time.perf_counter()
+    parallel = evaluate_what_if(design_name, candidates, parallel_ctx)
+    parallel_wall = time.perf_counter() - start
+    chunks = registry.counter("whatif.chunks").value - chunks_before
+    return serial, parallel, serial_wall, parallel_wall, chunks
+
+
+def equivalence_failures(design_name: str, serial, parallel,
+                         chunks: int) -> "list[str]":
+    """Human-readable divergences between the two evaluation modes."""
+    failures = []
+    if serial != parallel:  # frozen dataclasses; seconds excluded
+        for index, (s, p) in enumerate(
+            zip(serial.candidates, parallel.candidates)
+        ):
+            if s != p:
+                failures.append(
+                    f"{design_name} candidate {index}: serial and "
+                    f"parallel results differ"
+                )
+        if (serial.wns_baseline, serial.tns_baseline) != (
+            parallel.wns_baseline, parallel.tns_baseline
+        ):
+            failures.append(f"{design_name}: baselines differ")
+    if chunks < 2:
+        failures.append(
+            f"{design_name}: parallel pass did not fan out "
+            f"({chunks} chunk(s))"
+        )
+    mp_a = min_period_on_engine(api.make_engine(design_name))
+    mp_b = min_period_on_engine(api.make_engine(design_name))
+    if mp_a != mp_b:
+        failures.append(f"{design_name}: min_period is not deterministic")
+    return failures
+
+
+def test_whatif_parallel_vs_sequential():
+    """Parallel candidate evaluation is bit-identical to sequential."""
+    failures = []
+    rows = []
+    for name in bench_design_names()[:1]:
+        serial, parallel, s_wall, p_wall, chunks = run_design(name)
+        failures += equivalence_failures(name, serial, parallel, chunks)
+        rows.append([
+            name, len(serial.candidates),
+            f"{s_wall:.3f}", f"{p_wall:.3f}",
+            f"{s_wall / p_wall:.2f}x" if p_wall else "-",
+            chunks, "ok" if serial == parallel else "DIVERGED",
+        ])
+    print_table(
+        "what-if parallel vs sequential",
+        ["design", "cands", "seq s", "par s", "speedup", "chunks", "equal"],
+        rows,
+    )
+    assert not failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="what-if equivalence: parallel vs sequential "
+                    "candidate evaluation",
+    )
+    parser.add_argument(
+        "--designs", default="",
+        help="comma-separated subset (default: REPRO_BENCH_DESIGNS or all)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on any serial/parallel divergence or a "
+             "non-deterministic min-period search",
+    )
+    args = parser.parse_args(argv)
+    names = (
+        [n.strip() for n in args.designs.split(",") if n.strip()]
+        or bench_design_names()
+    )
+    failures: "list[str]" = []
+    rows = []
+    for name in names:
+        serial, parallel, s_wall, p_wall, chunks = run_design(name)
+        failures += equivalence_failures(name, serial, parallel, chunks)
+        rows.append([
+            name, len(serial.candidates),
+            f"{s_wall:.3f}", f"{p_wall:.3f}",
+            f"{s_wall / p_wall:.2f}x" if p_wall else "-",
+            chunks, "ok" if serial == parallel else "DIVERGED",
+        ])
+    print_table(
+        f"what-if parallel vs sequential over {len(names)} design(s)",
+        ["design", "cands", "seq s", "par s", "speedup", "chunks", "equal"],
+        rows,
+        note=f"{CANDIDATES_PER_DESIGN} candidates/design, "
+             f"{PARALLEL_WORKERS} thread workers",
+    )
+    if failures and args.check:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if failures:
+        for failure in failures:
+            print(f"warn: {failure}", file=sys.stderr)
+    else:
+        print("what-if parallel-vs-sequential equivalence: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

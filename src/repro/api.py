@@ -35,6 +35,7 @@ from typing import Any
 
 from repro.context import RunContext
 from repro.designs.generator import Design, DesignSpec, generate_design
+from repro.opt.whatif import CandidateResult, MinPeriodResult, WhatIfResult
 from repro.timing.explain import DesignExplanation
 from repro.timing.sta import STAEngine
 
@@ -46,6 +47,9 @@ __all__ = [
     "ClosureResult",
     "ExplainResult",
     "ScenarioSweepResult",
+    "CandidateResult",
+    "WhatIfResult",
+    "MinPeriodResult",
     "load_design",
     "make_engine",
     "run_sta",
@@ -55,6 +59,8 @@ __all__ = [
     "close_timing",
     "explain_slack",
     "run_scenarios",
+    "what_if",
+    "min_period",
 ]
 
 
@@ -523,6 +529,74 @@ def run_scenarios(design: "Design | str",
     analysis.update_all(ctx.executor(), stacked=stacked)
     return scenario_result_from_analysis(
         analysis, seconds=time.perf_counter() - start
+    )
+
+
+def what_if(design: "Design | STAEngine | str",
+            candidates: "list[Any]",
+            context: "RunContext | None" = None) -> WhatIfResult:
+    """Score K candidate ECO edit-lists against one design, in parallel.
+
+    Each candidate is an edit-spec list (``{"kind": "resize", ...}``
+    dicts — see :mod:`repro.opt.whatif`) or ECO text in the
+    :mod:`repro.opt.eco` grammar.  Candidates are applied, measured,
+    and reverted; passing an :class:`STAEngine` evaluates on *that*
+    engine (serially) and leaves it bit-identical to how it arrived.
+    Parallel and serial evaluation produce equal frozen results, which
+    is the contract the service's per-candidate cache rests on.
+    """
+    from repro.opt.whatif import evaluate_what_if
+
+    if isinstance(design, STAEngine):
+        return evaluate_what_if(
+            design.netlist.name, candidates, context, engine=design
+        )
+    return evaluate_what_if(design, candidates, context)
+
+
+def min_period(design: "Design | STAEngine | str",
+               clock: "str | None" = None,
+               tolerance: float = 1.0,
+               max_iter: int = 64,
+               corner: "tuple[str, float] | None" = None,
+               context: "RunContext | None" = None) -> MinPeriodResult:
+    """Binary-search the smallest feasible period of one clock.
+
+    ``clock`` defaults to the design's primary clock; ``corner``
+    (name, delay scale) searches against a scaled-delay engine instead
+    of the nominal one.  The bracket/bisection sequence is a pure
+    function of (content, clock, tolerance, max_iter), so the result
+    is deterministic at any worker count.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.opt.whatif import min_period_on_engine
+
+    corner_label = ""
+    if corner is not None:
+        corner_label = f"{corner[0]}:{float(corner[1])!r}"
+    if isinstance(design, STAEngine):
+        if corner is not None:
+            raise ValueError(
+                "corner= needs a design bundle or name, not a live engine"
+            )
+        engine = design
+    else:
+        bundle = load_design(design) if isinstance(design, str) else design
+        if corner is not None:
+            bundle = dc_replace(
+                bundle,
+                sta_config=dc_replace(
+                    bundle.sta_config,
+                    delay_scale=(
+                        bundle.sta_config.delay_scale * float(corner[1])
+                    ),
+                ),
+            )
+        engine = make_engine(bundle, context)
+    return min_period_on_engine(
+        engine, clock=clock, tolerance=tolerance, max_iter=max_iter,
+        corner=corner_label,
     )
 
 

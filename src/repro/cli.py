@@ -9,6 +9,8 @@ Subcommands
 ``generate``   emit a suite design as Verilog + SDC + AOCV files.
 ``designs``    list the D1-D10 suite.
 ``scenarios``  sweep a corner matrix in one scenario-stacked kernel pass.
+``what-if``    score candidate ECO edit-lists against a design.
+``min-period`` binary-search the smallest feasible clock period.
 ``batch``      run a JSONL query file as one coalesced service batch.
 ``serve``      answer JSONL queries line-by-line on stdin/stdout.
 ``obs-report`` pretty-print a captured trace as a runtime breakdown.
@@ -433,6 +435,121 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
+def _cmd_what_if(args) -> int:
+    import json
+
+    candidates: "list" = []
+    if args.candidates:
+        try:
+            if args.candidates == "-":
+                payload = json.load(sys.stdin)
+            else:
+                with open(args.candidates) as fh:
+                    payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"what-if: cannot read {args.candidates}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(payload, list):
+            print("what-if: candidates file must be a JSON list "
+                  "(each entry an edit-spec list or ECO text)",
+                  file=sys.stderr)
+            return 2
+        candidates.extend(payload)
+    for eco_path in args.eco or ():
+        try:
+            candidates.append(Path(eco_path).read_text())
+        except OSError as exc:
+            print(f"what-if: cannot read {eco_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    if not candidates:
+        print("what-if: no candidates (give --candidates FILE "
+              "and/or --eco FILE)", file=sys.stderr)
+        return 2
+    from repro.opt.whatif import WhatIfError
+
+    try:
+        result = api.what_if(args.design, candidates)
+    except WhatIfError as exc:
+        print(f"what-if: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(f"{args.design}: {len(result.candidates)} candidate(s), "
+          f"baseline WNS={result.wns_baseline:.1f} "
+          f"TNS={result.tns_baseline:.1f} "
+          f"violations={result.violations_baseline} "
+          f"({result.seconds:.2f}s)\n")
+    header = (
+        f"{'#':>3} {'ok':<3} {'edits':>5} {'ΔWNS':>9} {'ΔTNS':>11} "
+        f"{'viol':>5} {'touched':>7}  eco/error"
+    )
+    print(header)
+    print("-" * len(header))
+    best = result.best()
+    for index, cand in enumerate(result.candidates):
+        tail = "; ".join(cand.eco) if cand.ok else (cand.error or "")
+        marker = "*" if index == best else " "
+        print(
+            f"{index:>2}{marker} {'yes' if cand.ok else 'no':<3} "
+            f"{cand.edits:>5} {cand.delta_wns:>9.1f} "
+            f"{cand.delta_tns:>11.1f} {cand.violations_after:>5} "
+            f"{len(cand.touched):>7}  {tail}"
+        )
+    if best is not None:
+        print(f"\nbest candidate: #{best} "
+              f"(ΔWNS {result.candidates[best].delta_wns:+.1f})")
+    return 0
+
+
+def _cmd_min_period(args) -> int:
+    import json
+
+    corner = None
+    if args.corner:
+        try:
+            pairs = _parse_corner_spec(args.corner)
+        except ValueError as exc:
+            print(f"min-period: {exc}", file=sys.stderr)
+            return 2
+        if len(pairs) != 1:
+            print("min-period: exactly one corner (name:scale)",
+                  file=sys.stderr)
+            return 2
+        corner = pairs[0]
+    from repro.opt.whatif import WhatIfError
+
+    try:
+        result = api.min_period(
+            args.design, clock=args.clock, tolerance=args.tolerance,
+            max_iter=args.max_iter, corner=corner,
+        )
+    except WhatIfError as exc:
+        print(f"min-period: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    label = f" @ {result.corner}" if result.corner else ""
+    print(f"{args.design}: clock {result.clock}{label}")
+    print(f"  baseline period: {result.baseline_period:10.1f} ps  "
+          f"(WNS {result.baseline_wns:+.1f})")
+    print(f"  min period:      {result.period:10.1f} ps  "
+          f"(WNS {result.wns_at_period:+.1f})")
+    print(f"  bracket: ({result.bracket_low:.1f}, {result.bracket_high:.1f}] "
+          f"within ±{result.tolerance:g} ps")
+    print(f"  {result.iterations} bisection(s), "
+          f"{result.evaluations} slack evaluation(s), "
+          f"{result.seconds:.2f}s")
+    if result.baseline_period > result.period:
+        headroom = result.baseline_period - result.period
+        print(f"  headroom: {headroom:.1f} ps "
+              f"({headroom / result.baseline_period:.1%} of the period)")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from repro.netlist.validate import Severity, validate_netlist
 
@@ -629,6 +746,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="merged worst endpoints to list (default: 5)",
     )
 
+    p_wi = sub.add_parser(
+        "what-if",
+        help="score candidate ECO edit-lists (resize/VT/buffer) "
+             "against a design",
+    )
+    p_wi.add_argument("design")
+    p_wi.add_argument(
+        "--candidates", metavar="FILE",
+        help="JSON list of candidates ('-' for stdin); each entry an "
+             "edit-spec list or ECO text (see docs/formats.md)",
+    )
+    p_wi.add_argument(
+        "--eco", metavar="FILE", action="append",
+        help="append an ECO script file as one candidate (repeatable)",
+    )
+    p_wi.add_argument(
+        "--json", action="store_true",
+        help="emit the full WhatIfResult record as JSON",
+    )
+
+    p_mp = sub.add_parser(
+        "min-period",
+        help="binary-search the smallest feasible clock period",
+    )
+    p_mp.add_argument("design")
+    p_mp.add_argument(
+        "--clock", metavar="NAME", default=None,
+        help="clock to search (default: the primary clock)",
+    )
+    p_mp.add_argument(
+        "--tolerance", type=float, default=1.0, metavar="PS",
+        help="bracket resolution in ps (default: 1.0)",
+    )
+    p_mp.add_argument(
+        "--max-iter", type=int, default=64, metavar="N",
+        help="bisection iteration cap (default: 64)",
+    )
+    p_mp.add_argument(
+        "--corner", metavar="SPEC", default=None,
+        help="search at a scaled-delay corner (name:scale, e.g. ss:1.15)",
+    )
+    p_mp.add_argument(
+        "--json", action="store_true",
+        help="emit the full MinPeriodResult record as JSON",
+    )
+
     p_batch = sub.add_parser(
         "batch",
         help="run a JSONL query file as one coalesced service batch",
@@ -729,6 +892,8 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "corners": _cmd_corners,
     "scenarios": _cmd_scenarios,
+    "what-if": _cmd_what_if,
+    "min-period": _cmd_min_period,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
     "obs-report": _cmd_obs_report,

@@ -90,6 +90,8 @@ def insert_buffer(
     buffer_cell: str,
     loads: "list[PinRef] | None" = None,
     placement: Placement | None = None,
+    buffer_name: "str | None" = None,
+    new_net_name: "str | None" = None,
 ) -> ChangeRecord:
     """Insert a buffer on a net, optionally rerouting only some loads.
 
@@ -98,6 +100,11 @@ def insert_buffer(
     placement is given the buffer lands at the midpoint between the
     driver and the centroid-most load, which is what the wire-delay
     model needs to actually see an improvement.
+
+    ``buffer_name`` / ``new_net_name`` pin the generated names (ECO
+    replay and what-if evaluation need names that do not depend on the
+    process-global fresh-name counter); by default both are minted from
+    that counter.
     """
     driver = netlist.net_driver(net_name)
     if driver is None:
@@ -113,8 +120,16 @@ def insert_buffer(
             raise NetlistError(
                 f"cannot reroute top-level port load {ref} through a buffer"
             )
-    buffer_name = _fresh_name(netlist, "rbuf")
-    new_net = _fresh_name(netlist, "rnet")
+    if buffer_name is None:
+        buffer_name = _fresh_name(netlist, "rbuf")
+    elif buffer_name in netlist.gates or buffer_name in netlist.nets:
+        raise NetlistError(f"buffer name {buffer_name} already in use")
+    if new_net_name is None:
+        new_net = _fresh_name(netlist, "rnet")
+    elif new_net_name in netlist.gates or new_net_name in netlist.nets:
+        raise NetlistError(f"net name {new_net_name} already in use")
+    else:
+        new_net = new_net_name
     cell = netlist.library.cell(buffer_cell)
     input_pin = cell.input_pins[0].name
     output_pin = cell.output_pins[0].name

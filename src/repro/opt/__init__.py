@@ -8,11 +8,25 @@
   mGBA-corrected engine.
 * :func:`~repro.opt.compare.run_flow_comparison` — GBA-flow vs
   mGBA-flow A/B on one design (Tables 2 and 5).
+* :mod:`~repro.opt.whatif` — batched what-if candidate evaluation and
+  min-period search: the closure loop's inner oracle as a parallel,
+  cacheable API (served by ``TimingService`` as ``what_if`` /
+  ``min_period``).
 """
 
 from repro.opt.qor import QoRMetrics
 from repro.opt.closure import ClosureConfig, ClosureReport, TimingClosureOptimizer
 from repro.opt.compare import FlowComparison, run_flow_comparison
+from repro.opt.whatif import (
+    CandidateResult,
+    MinPeriodResult,
+    WhatIfError,
+    WhatIfResult,
+    evaluate_what_if,
+    min_period_on_engine,
+    normalize_candidate,
+    parse_eco_candidate,
+)
 
 __all__ = [
     "QoRMetrics",
@@ -21,4 +35,12 @@ __all__ = [
     "TimingClosureOptimizer",
     "FlowComparison",
     "run_flow_comparison",
+    "CandidateResult",
+    "MinPeriodResult",
+    "WhatIfError",
+    "WhatIfResult",
+    "evaluate_what_if",
+    "min_period_on_engine",
+    "normalize_candidate",
+    "parse_eco_candidate",
 ]

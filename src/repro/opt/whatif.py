@@ -1,0 +1,719 @@
+"""ECO what-if evaluation and min-period search (the closure loop's oracle).
+
+A design optimizer iterates *candidate* edits — resize, VT swap, buffer
+insert/remove — against a timing oracle and keeps the winners.  This
+module turns that inner loop into a batched, parallel API:
+
+* :func:`evaluate_what_if` scores K candidate edit-lists against one
+  design.  Each candidate is applied to an engine, measured, and
+  reverted; with a parallel :class:`~repro.context.RunContext` the
+  candidate list is chunked across workers, each worker evaluating its
+  chunk on a private engine clone.  Both paths are **bit-identical**: a
+  candidate's result never depends on which worker (or how many)
+  evaluated it, which is what lets the service cache single candidates
+  content-addressed (``repro.service.keys.what_if_key``).
+* :func:`min_period_on_engine` binary-searches the smallest feasible
+  clock period (pyPPA's period optimizer, made deterministic): the
+  clock period only enters endpoint *required* times, so feasibility at
+  a trial period is one pure slack recomputation — no re-propagation —
+  and WNS is monotone in the period, so bisection converges to a
+  bracket/tolerance-deterministic answer.
+
+Candidates are lists of edit *specs* (JSON-friendly dicts) or ECO text
+in the :mod:`repro.opt.eco` grammar::
+
+    {"kind": "resize",        "gate": "u12", "up": true}
+    {"kind": "size_cell",     "gate": "u12", "cell": "NAND2_X4"}
+    {"kind": "vt_swap",       "gate": "u12", "vt": "lvt"}
+    {"kind": "insert_buffer", "net": "n7", "buffer_cell": "BUF_X2",
+     "loads": ["u3/A"], "buffer": "wbuf0", "new_net": "wnet0"}
+    {"kind": "remove_buffer", "gate": "rbuf_3"}
+
+Generated buffer/net names default to *candidate-local deterministic*
+names (``wbuf<i>`` probed against the netlist), never the process-global
+fresh-name counter — sequential and parallel evaluation must produce
+identical ECO text and identical results.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import ReproError
+from repro.netlist.core import PinRef
+from repro.netlist.edit import (
+    ChangeRecord,
+    insert_buffer,
+    remove_buffer,
+    resize_gate,
+    swap_vt,
+)
+from repro.obs.metrics import counter, histogram
+from repro.obs.trace import span
+from repro.timing import slack as slack_mod
+from repro.timing.sta import STAEngine
+
+#: Recognized edit-spec kinds and their required fields.
+SPEC_KINDS = {
+    "resize": ("gate", "up"),
+    "size_cell": ("gate", "cell"),
+    "vt_swap": ("gate", "vt"),
+    "insert_buffer": ("net", "buffer_cell"),
+    "remove_buffer": ("gate",),
+}
+
+#: Optional fields per kind (beyond the required set).
+_OPTIONAL_FIELDS = {
+    "insert_buffer": ("loads", "buffer", "new_net"),
+}
+
+
+class WhatIfError(ReproError):
+    """A malformed or inapplicable what-if candidate."""
+
+
+# ----------------------------------------------------------------------
+# Candidate normalization (dicts / frozen tuples / ECO text -> canonical)
+# ----------------------------------------------------------------------
+def _is_pair(value: Any) -> bool:
+    return (
+        isinstance(value, (tuple, list)) and len(value) == 2
+        and isinstance(value[0], str)
+    )
+
+
+def _spec_dict(spec: Any) -> "dict[str, Any]":
+    """One spec (dict or frozen (key, value) pairs) -> a plain dict."""
+    if isinstance(spec, dict):
+        return dict(spec)
+    if isinstance(spec, (tuple, list)) and all(_is_pair(p) for p in spec) \
+            and len(spec) > 0:
+        return {str(k): v for k, v in spec}
+    raise WhatIfError(
+        f"edit spec must be a dict of fields, got {type(spec).__name__}: "
+        f"{spec!r}"
+    )
+
+
+def _canonical_spec(raw: Any) -> "tuple[tuple[str, Any], ...]":
+    """Validate one edit spec and freeze it into sorted (key, value) pairs."""
+    data = _spec_dict(raw)
+    kind = data.pop("kind", None)
+    if kind not in SPEC_KINDS:
+        raise WhatIfError(
+            f"unknown edit kind {kind!r}; choose from "
+            f"{tuple(SPEC_KINDS)}"
+        )
+    required = SPEC_KINDS[kind]
+    allowed = set(required) | set(_OPTIONAL_FIELDS.get(kind, ()))
+    missing = [name for name in required if name not in data]
+    if missing:
+        raise WhatIfError(f"{kind} spec is missing {missing}")
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise WhatIfError(f"{kind} spec has unknown fields {unknown}")
+    canonical: "dict[str, Any]" = {"kind": kind}
+    for name, value in data.items():
+        if name == "up":
+            canonical[name] = bool(value)
+        elif name == "loads":
+            canonical[name] = tuple(str(v) for v in value)
+        else:
+            canonical[name] = str(value)
+    return tuple(sorted(canonical.items()))
+
+
+def parse_eco_candidate(text: str) -> "list[dict[str, Any]]":
+    """ECO script text (:mod:`repro.opt.eco` grammar) -> edit specs."""
+    specs: "list[dict[str, Any]]" = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        command = parts[0]
+        if command == "size_cell" and len(parts) == 3:
+            specs.append(
+                {"kind": "size_cell", "gate": parts[1], "cell": parts[2]}
+            )
+        elif command == "insert_buffer" and len(parts) >= 6:
+            specs.append({
+                "kind": "insert_buffer", "net": parts[1],
+                "buffer_cell": parts[2], "buffer": parts[3],
+                "new_net": parts[4], "loads": parts[5:],
+            })
+        elif command == "remove_buffer" and len(parts) == 2:
+            specs.append({"kind": "remove_buffer", "gate": parts[1]})
+        else:
+            raise WhatIfError(
+                f"ECO line {lineno}: cannot parse {line!r}"
+            )
+    return specs
+
+
+def normalize_candidate(candidate: Any) \
+        -> "tuple[tuple[tuple[str, Any], ...], ...]":
+    """One candidate (spec list, single spec, or ECO text) -> canonical form.
+
+    The canonical form — a tuple of frozen specs — is hashable and
+    order-preserving; it is both the cache-key material
+    (:func:`repro.service.keys.what_if_key`) and what the evaluation
+    workers consume, so "same candidate" and "same key" coincide.
+    """
+    if isinstance(candidate, str):
+        candidate = parse_eco_candidate(candidate)
+    elif isinstance(candidate, dict) or (
+        isinstance(candidate, (tuple, list)) and len(candidate) > 0
+        and all(_is_pair(p) for p in candidate)
+    ):
+        candidate = [candidate]  # a bare single spec
+    if not isinstance(candidate, (list, tuple)):
+        raise WhatIfError(
+            f"candidate must be an edit-spec list or ECO text, got "
+            f"{type(candidate).__name__}"
+        )
+    if not candidate:
+        raise WhatIfError("candidate has no edits")
+    return tuple(_canonical_spec(spec) for spec in candidate)
+
+
+# ----------------------------------------------------------------------
+# Apply / revert (the transforms.py idiom, deterministic names)
+# ----------------------------------------------------------------------
+def _deterministic_name(netlist, base: str) -> str:
+    """A fresh name derived from the candidate, not a global counter."""
+    name = base
+    while name in netlist.gates or name in netlist.nets:
+        name += "_"
+    return name
+
+
+def _swap_spec(engine: STAEngine, gate: str, new_cell: "str | None",
+               change: "ChangeRecord | None", label: str) \
+        -> "tuple[ChangeRecord, Callable[[STAEngine], None], str]":
+    """Shared tail of the three cell-substitution kinds."""
+    if change is None:
+        raise WhatIfError(label)
+    old_cell = change.description.split(": ", 1)[1].split(" -> ")[0]
+    engine.apply_change(change)
+    new_cell = engine.netlist.gate(gate).cell_name
+
+    def undo(target: STAEngine) -> None:
+        target.netlist.swap_cell(gate, old_cell)
+        target.apply_change(change)
+
+    return change, undo, f"size_cell {gate} {new_cell}"
+
+
+def _apply_spec(engine: STAEngine, spec: "dict[str, Any]", ordinal: int) \
+        -> "tuple[ChangeRecord, Callable[[STAEngine], None], str]":
+    """Apply one edit spec; returns (change, undo closure, ECO command)."""
+    netlist = engine.netlist
+    kind = spec["kind"]
+    if kind == "resize":
+        gate = spec["gate"]
+        change = resize_gate(netlist, gate, up=spec["up"])
+        return _swap_spec(
+            engine, gate, None, change,
+            f"gate {gate} is already at the "
+            f"{'largest' if spec['up'] else 'smallest'} size",
+        )
+    if kind == "size_cell":
+        gate, cell = spec["gate"], spec["cell"]
+        old_cell = netlist.gate(gate).cell_name
+        netlist.library.cell(cell)  # unknown cells raise here
+        if cell == old_cell:
+            raise WhatIfError(f"gate {gate} is already a {cell}")
+        netlist.swap_cell(gate, cell)
+        change = ChangeRecord(
+            kind="resize", gates=[gate],
+            nets=list(netlist.gate(gate).connections.values()),
+            description=f"{gate}: {old_cell} -> {cell}",
+        )
+        return _swap_spec(engine, gate, cell, change, "")
+    if kind == "vt_swap":
+        gate = spec["gate"]
+        change = swap_vt(netlist, gate, spec["vt"])
+        return _swap_spec(
+            engine, gate, None, change,
+            f"gate {gate} has no {spec['vt']} flavour (or is there already)",
+        )
+    if kind == "insert_buffer":
+        return _apply_insert_buffer(engine, spec, ordinal)
+    if kind == "remove_buffer":
+        return _apply_remove_buffer(engine, spec)
+    raise WhatIfError(f"unknown edit kind {kind!r}")  # pragma: no cover
+
+
+def _apply_insert_buffer(engine: STAEngine, spec: "dict[str, Any]",
+                         ordinal: int):
+    netlist = engine.netlist
+    loads = None
+    if "loads" in spec:
+        loads = []
+        for ref in spec["loads"]:
+            if "/" not in ref:
+                raise WhatIfError(f"load {ref!r} must be gate/pin")
+            gate, pin = ref.rsplit("/", 1)
+            loads.append(PinRef(gate, pin))
+    buffer_name = spec.get(
+        "buffer", _deterministic_name(netlist, f"wbuf{ordinal}")
+    )
+    new_net = spec.get(
+        "new_net", _deterministic_name(netlist, f"wnet{ordinal}")
+    )
+    change = insert_buffer(
+        netlist, spec["net"], spec["buffer_cell"], loads=loads,
+        placement=engine.placement, buffer_name=buffer_name,
+        new_net_name=new_net,
+    )
+    engine.apply_change(change)
+
+    def undo(target: STAEngine) -> None:
+        inverse = remove_buffer(target.netlist, buffer_name)
+        inverse.gates.append(buffer_name)
+        inverse.nets.extend(change.nets)
+        if target.placement is not None:
+            target.placement.locations.pop(buffer_name, None)
+        target.apply_change(inverse)
+
+    meta = change.metadata
+    eco = (
+        f"insert_buffer {meta['net']} {meta['buffer_cell']} "
+        f"{meta['buffer']} {meta['new_net']} "
+        + " ".join(str(r) for r in meta["loads"])
+    )
+    return change, undo, eco
+
+
+def _apply_remove_buffer(engine: STAEngine, spec: "dict[str, Any]"):
+    netlist = engine.netlist
+    buffer_name = spec["gate"]
+    # Capture everything the undo needs *before* removal.
+    cell = netlist.cell_of(buffer_name)
+    if not cell.is_buffer:
+        raise WhatIfError(f"{buffer_name} is not a buffer instance")
+    gate = netlist.gate(buffer_name)
+    in_net = gate.connections.get(cell.input_pins[0].name)
+    out_net = gate.connections.get(cell.output_pins[0].name)
+    moved = list(netlist.net_loads(out_net)) if out_net else []
+    location = None
+    if engine.placement is not None and engine.placement.has(buffer_name):
+        location = engine.placement.location(buffer_name)
+    change = remove_buffer(netlist, buffer_name)
+    # The record must name the removed instance for the incremental
+    # updater to drop its graph nodes (same append transforms.py does).
+    change.gates.append(buffer_name)
+    engine.apply_change(change)
+    cell_name = cell.name
+
+    def undo(target: STAEngine) -> None:
+        inverse = insert_buffer(
+            target.netlist, in_net, cell_name, loads=moved,
+            placement=None, buffer_name=buffer_name, new_net_name=out_net,
+        )
+        if location is not None and target.placement is not None:
+            target.placement.place(buffer_name, location.x, location.y)
+        target.apply_change(inverse)
+
+    return change, undo, f"remove_buffer {buffer_name}"
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CandidateResult:
+    """One candidate's scored outcome (frozen; ``seconds`` is provenance).
+
+    ``touched`` lists the endpoints whose setup slack the candidate
+    moved, as (endpoint, slack before, slack after) in deterministic
+    endpoint order.  ``eco`` is the exact replayable command list
+    (:mod:`repro.opt.eco` grammar) with the deterministic generated
+    names, so a winning candidate can be committed verbatim.  A failed
+    candidate (``ok=False``) carries the error and a zero delta.
+    """
+
+    ok: bool
+    edits: int
+    applied: int
+    eco: "tuple[str, ...]"
+    wns_before: float
+    tns_before: float
+    violations_before: int
+    wns_after: float
+    tns_after: float
+    violations_after: int
+    touched: "tuple[tuple[str, float, float], ...]"
+    error: "str | None" = None
+    seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def delta_wns(self) -> float:
+        """Positive = the candidate improved the worst slack."""
+        return self.wns_after - self.wns_before
+
+    @property
+    def delta_tns(self) -> float:
+        return self.tns_after - self.tns_before
+
+    def to_dict(self) -> "dict[str, Any]":
+        from dataclasses import asdict
+
+        record = asdict(self)
+        record["delta_wns"] = self.delta_wns
+        record["delta_tns"] = self.delta_tns
+        return record
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """K candidates scored against one design's baseline timing."""
+
+    design: str
+    wns_baseline: float
+    tns_baseline: float
+    violations_baseline: int
+    candidates: "tuple[CandidateResult, ...]"
+    seconds: float = field(default=0.0, compare=False)
+
+    def best(self) -> "int | None":
+        """Index of the best successful candidate (by ΔWNS, then ΔTNS)."""
+        scored = [
+            (c.delta_wns, c.delta_tns, -i)
+            for i, c in enumerate(self.candidates) if c.ok
+        ]
+        if not scored:
+            return None
+        return -max(scored)[2]
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "design": self.design,
+            "wns_baseline": self.wns_baseline,
+            "tns_baseline": self.tns_baseline,
+            "violations_baseline": self.violations_baseline,
+            "candidates": [c.to_dict() for c in self.candidates],
+            "best": self.best(),
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
+class MinPeriodResult:
+    """Outcome of the min-period bisection on one clock.
+
+    ``period`` is the smallest period *verified feasible* (WNS >= 0)
+    with the bracket resolved to ``tolerance`` ps: ``bracket_high ==
+    period`` is feasible and ``bracket_low`` is infeasible (or the
+    search floor), with ``bracket_high - bracket_low <= tolerance``.
+    The bracket/bisection sequence is a pure function of (content,
+    clock, tolerance, max_iter) — worker counts and evaluation order
+    cannot move it.
+    """
+
+    design: str
+    clock: str
+    period: float
+    wns_at_period: float
+    baseline_period: float
+    baseline_wns: float
+    bracket_low: float
+    bracket_high: float
+    tolerance: float
+    iterations: int
+    evaluations: int
+    corner: str = ""
+    seconds: float = field(default=0.0, compare=False)
+
+    def to_dict(self) -> "dict[str, Any]":
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Baseline:
+    wns: float
+    tns: float
+    violations: int
+    slacks: "tuple[tuple[str, float], ...]"
+
+
+def _snapshot(engine: STAEngine) -> _Baseline:
+    slacks = engine.setup_slacks()
+    summary = engine.summary()
+    return _Baseline(
+        wns=float(summary.wns), tns=float(summary.tns),
+        violations=int(summary.violations),
+        slacks=tuple((s.name, float(s.slack)) for s in slacks),
+    )
+
+
+def evaluate_candidate_on_engine(
+    engine: STAEngine,
+    candidate: "tuple[tuple[tuple[str, Any], ...], ...]",
+    base: _Baseline,
+) -> CandidateResult:
+    """Apply one canonical candidate, measure, and revert — always.
+
+    The apply -> measure -> revert cycle leaves the engine bit-identical
+    to ``base`` (the revert restores the exact netlist content, and
+    incremental re-propagation is property-tested equal to a full
+    update), which is what makes sequential reuse of one engine
+    equivalent to parallel fresh-engine clones.
+    """
+    start = time.perf_counter()
+    undos: "list[Callable[[STAEngine], None]]" = []
+    eco: "list[str]" = []
+    error: "str | None" = None
+    after = base
+    try:
+        for ordinal, frozen in enumerate(candidate):
+            spec = {key: value for key, value in frozen}
+            change, undo, command = _apply_spec(engine, spec, ordinal)
+            undos.append(undo)
+            eco.append(command)
+        after = _snapshot(engine)
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        for undo in reversed(undos):
+            undo(engine)
+    base_map = dict(base.slacks)
+    touched = tuple(
+        (name, base_map[name], slack)
+        for name, slack in after.slacks
+        if name in base_map and slack != base_map[name]
+    )
+    return CandidateResult(
+        ok=error is None,
+        edits=len(candidate),
+        applied=len(undos),
+        eco=tuple(eco) if error is None else (),
+        wns_before=base.wns, tns_before=base.tns,
+        violations_before=base.violations,
+        wns_after=after.wns, tns_after=after.tns,
+        violations_after=after.violations,
+        touched=touched if error is None else (),
+        error=error,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _evaluate_chunk(job) -> "tuple[_Baseline, list[CandidateResult]]":
+    """Worker body of the candidate fan-out (module-level: picklable).
+
+    Builds a private engine — rebuilding by name for a string source,
+    deep-copying the bundle otherwise (thread workers must never share
+    a mutable netlist) — and evaluates its candidate chunk sequentially
+    through the exact same apply/measure/revert path as serial mode.
+    """
+    from repro import api
+
+    source, candidates = job
+    bundle = (
+        api.load_design(source) if isinstance(source, str)
+        else copy.deepcopy(source)
+    )
+    engine = api.make_engine(bundle)
+    base = _snapshot(engine)
+    return base, [
+        evaluate_candidate_on_engine(engine, candidate, base)
+        for candidate in candidates
+    ]
+
+
+def evaluate_what_if(
+    design,
+    candidates: "Sequence[Any]",
+    context=None,
+    *,
+    engine: "STAEngine | None" = None,
+) -> WhatIfResult:
+    """Score candidate edit-lists against one design; parallel over K.
+
+    ``design`` is a suite name, a ``Design`` bundle, or (with
+    ``engine=``) ignored in favour of a live engine.  Duplicate
+    candidates evaluate once.  With a non-serial context and no pinned
+    engine, unique candidates chunk contiguously across workers
+    (:func:`repro.parallel.chunk_ranges` — one private engine clone per
+    chunk); results merge positionally, so the output is bit-identical
+    at any worker count.
+    """
+    from repro.context import RunContext
+    from repro.parallel import chunk_ranges
+
+    start = time.perf_counter()
+    ctx = context or RunContext.from_env()
+    normalized = [normalize_candidate(c) for c in candidates]
+    unique: "dict[tuple, int]" = {}
+    for candidate in normalized:
+        unique.setdefault(candidate, len(unique))
+    unique_list = list(unique)
+    executor = ctx.executor()
+    parallel = (
+        engine is None and not executor.is_serial and len(unique_list) > 1
+    )
+    with span(
+        "whatif.evaluate", candidates=len(normalized),
+        unique=len(unique_list), parallel=parallel,
+    ):
+        counter("whatif.candidates").inc(len(normalized))
+        if parallel:
+            source = design  # name (rebuilt) or bundle (deep-copied)
+            chunks = chunk_ranges(len(unique_list), ctx.workers)
+            jobs = [
+                (source, [unique_list[i] for i in chunk])
+                for chunk in chunks
+            ]
+            counter("whatif.chunks").inc(len(jobs))
+            groups = executor.map(
+                _evaluate_chunk, jobs, chunk_size=1,
+                label="whatif.candidates",
+            )
+            base = groups[0][0]
+            scored: "list[CandidateResult]" = []
+            for chunk_base, results in groups:
+                scored.extend(results)
+        else:
+            if engine is None:
+                from repro import api
+
+                engine = api.make_engine(design, ctx)
+            base = _snapshot(engine)
+            scored = [
+                evaluate_candidate_on_engine(engine, candidate, base)
+                for candidate in unique_list
+            ]
+    by_candidate = dict(zip(unique_list, scored))
+    ordered = tuple(by_candidate[c] for c in normalized)
+    name = engine.netlist.name if engine is not None else (
+        design if isinstance(design, str) else design.name
+    )
+    if name in ("fig2",):
+        name = "paper_fig2"
+    return WhatIfResult(
+        design=name,
+        wns_baseline=base.wns,
+        tns_baseline=base.tns,
+        violations_baseline=base.violations,
+        candidates=ordered,
+        seconds=time.perf_counter() - start,
+    )
+
+
+# ----------------------------------------------------------------------
+# Min-period search
+# ----------------------------------------------------------------------
+def min_period_on_engine(
+    engine: STAEngine,
+    clock: "str | None" = None,
+    tolerance: float = 1.0,
+    max_iter: int = 64,
+    corner: str = "",
+) -> MinPeriodResult:
+    """Bisect the smallest feasible period of one clock (deterministic).
+
+    The clock period enters timing only through endpoint *required*
+    times (``window = cycles * period``), never through arrivals — so a
+    trial period costs one pure slack recomputation over the existing
+    propagated state, and WNS is monotone non-decreasing in the period.
+    Bracket contract: the upper bound doubles up from the baseline
+    period until feasible (the lower starts at the last infeasible
+    probe); a feasible baseline instead halves the lower bound down
+    until infeasible or below ``tolerance``.  Bisection then shrinks
+    the bracket to ``tolerance`` and returns the feasible upper bound.
+    """
+    if tolerance <= 0:
+        raise WhatIfError(f"tolerance must be > 0, got {tolerance}")
+    start = time.perf_counter()
+    engine.ensure_timing()
+    constraints = engine.constraints
+    try:
+        clk = (
+            constraints.primary_clock() if clock is None
+            else constraints.clock(clock)
+        )
+    except ReproError as exc:
+        raise WhatIfError(str(exc)) from exc
+    evaluations = 0
+
+    def wns_at(period: float) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        saved = clk.period
+        clk.period = period
+        try:
+            slacks = slack_mod.setup_slacks(
+                engine.graph, engine.state, engine.constraints
+            )
+        finally:
+            clk.period = saved
+        return min((float(s.slack) for s in slacks), default=float("inf"))
+
+    with span("whatif.min_period", clock=clk.name, tolerance=tolerance):
+        baseline_period = float(clk.period)
+        baseline_wns = wns_at(baseline_period)
+        if baseline_wns >= 0.0:
+            hi, hi_wns = baseline_period, baseline_wns
+            lo = baseline_period
+            while lo > tolerance:
+                probe = lo / 2.0
+                probe_wns = wns_at(probe)
+                if probe_wns < 0.0:
+                    lo = probe
+                    break
+                hi, hi_wns = probe, probe_wns
+                lo = probe
+            else:
+                probe_wns = 0.0
+            feasible_bracket = hi > lo
+        else:
+            lo = baseline_period
+            hi, hi_wns = baseline_period, baseline_wns
+            for _ in range(64):
+                hi *= 2.0
+                hi_wns = wns_at(hi)
+                if hi_wns >= 0.0:
+                    break
+                lo = hi
+            else:
+                raise WhatIfError(
+                    f"no feasible period for clock {clk.name} up to "
+                    f"{hi:.1f} ps (another clock may be violating)"
+                )
+            feasible_bracket = True
+        iterations = 0
+        if feasible_bracket:
+            while hi - lo > tolerance and iterations < max_iter:
+                mid = 0.5 * (lo + hi)
+                mid_wns = wns_at(mid)
+                if mid_wns >= 0.0:
+                    hi, hi_wns = mid, mid_wns
+                else:
+                    lo = mid
+                iterations += 1
+        counter("whatif.min_period.evaluations").inc(evaluations)
+        histogram("whatif.min_period.iterations").observe(iterations)
+    return MinPeriodResult(
+        design=engine.netlist.name,
+        clock=clk.name,
+        period=hi,
+        wns_at_period=hi_wns,
+        baseline_period=baseline_period,
+        baseline_wns=baseline_wns,
+        bracket_low=lo,
+        bracket_high=hi,
+        tolerance=float(tolerance),
+        iterations=iterations,
+        evaluations=evaluations,
+        corner=corner,
+        seconds=time.perf_counter() - start,
+    )

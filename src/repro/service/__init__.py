@@ -6,17 +6,20 @@ Three pieces compose here (see ``docs/service.md``):
   artifact (STA state, PBA golden slacks, fitted ``x*`` vectors);
 * :mod:`repro.service.store` — the two-tier cache (in-process LRU over
   an on-disk store under ``.repro_cache/``);
+* :mod:`repro.service.registry` — the declarative verb table every
+  dispatcher (service, JSONL layer, CLI, docs) derives from;
 * :mod:`repro.service.engine` — the :class:`TimingService` that
-  answers coalesced, sharded batches of ``sta`` / ``pba_slacks`` /
-  ``mgba_fit`` / ``evaluate`` queries;
-* :mod:`repro.service.batch` — the JSONL protocol behind
+  answers coalesced, sharded batches of registry verbs (``sta``,
+  ``pba_slacks``, ``mgba_fit``, ``evaluate``, ``explain``,
+  ``scenario_sweep``, ``what_if``, ``min_period``);
+* :mod:`repro.service.batch` — the versioned JSONL protocol behind
   ``repro-sta batch`` and ``repro-sta serve``;
 * :mod:`repro.service.suite` — design-suite fan-out (moved from
   ``repro.parallel.fanout``, which remains as a deprecated alias).
 """
 
 from repro.service.batch import (
-    CONTROL_OPS,
+    PROTOCOL_VERSION,
     ServeStats,
     run_batch,
     serve,
@@ -30,6 +33,14 @@ from repro.service.engine import (
     new_request_id,
 )
 from repro.service.keys import DesignKey, design_key, netlist_hash
+from repro.service.registry import (
+    CONTROL_OPS,
+    QUERY_OPS,
+    VERBS,
+    Verb,
+    verb,
+    verb_table_markdown,
+)
 from repro.service.store import (
     ARTIFACT_CLASSES,
     SCHEMA_VERSION,
@@ -47,13 +58,19 @@ __all__ = [
     "DesignReport",
     "DiskStore",
     "LRUCache",
+    "PROTOCOL_VERSION",
+    "QUERY_OPS",
     "Query",
     "QueryResult",
     "SCHEMA_VERSION",
     "ServeStats",
     "ServiceError",
     "TimingService",
+    "VERBS",
+    "Verb",
     "design_key",
+    "verb",
+    "verb_table_markdown",
     "evaluate_design",
     "evaluate_suite",
     "netlist_hash",

@@ -9,9 +9,14 @@ serve`` (see ``docs/service.md``).  One request per line::
 
 and one response per request, same ``id``, in request order::
 
-    {"id": 1, "op": "sta", "design": "D1", "ok": true,
+    {"id": 1, "v": 1, "op": "sta", "design": "D1", "ok": true,
      "cached": false, "seconds": 0.41, "request_id": "r712-000001",
      "result": {...}}
+
+``"v"`` is :data:`PROTOCOL_VERSION`, stamped on every response record
+— success, control, and error alike.  The verb set (queries *and* the
+control verbs below) comes from :mod:`repro.service.registry`; this
+layer never hard-codes an op name.
 
 Every request is minted a process-unique ``request_id`` the moment it
 is parsed; the ID is echoed in the response **and** stamped (via span
@@ -50,9 +55,13 @@ from repro.service.engine import (
     TimingService,
     new_request_id,
 )
+from repro.service.registry import CONTROL_OPS, verb
 
-#: Verbs answered by the protocol layer itself (no Query, no cache).
-CONTROL_OPS = ("stats", "health")
+#: Version of the JSONL response schema, echoed as ``"v"`` on every
+#: response record (success, control, and error alike) so clients can
+#: detect protocol changes without sniffing field shapes.  Bump on any
+#: backward-incompatible response change.
+PROTOCOL_VERSION = 1
 
 
 def parse_request(line: str) -> "dict[str, Any]":
@@ -66,14 +75,16 @@ def parse_request(line: str) -> "dict[str, Any]":
 
 
 def _error_record(request_id: Any, message: str) -> "dict[str, Any]":
-    record: "dict[str, Any]" = {"ok": False, "error": message}
+    record: "dict[str, Any]" = {
+        "v": PROTOCOL_VERSION, "ok": False, "error": message,
+    }
     if request_id is not None:
-        record["id"] = request_id
+        record = {"id": request_id, **record}
     return record
 
 
 def _response(request_id: Any, outcome: QueryResult) -> "dict[str, Any]":
-    record = outcome.to_dict()
+    record = {"v": PROTOCOL_VERSION, **outcome.to_dict()}
     if request_id is not None:
         record = {"id": request_id, **record}
     return record
@@ -81,11 +92,11 @@ def _response(request_id: Any, outcome: QueryResult) -> "dict[str, Any]":
 
 def _control_response(service: TimingService,
                       record: "dict[str, Any]") -> "dict[str, Any]":
-    """Answer a ``stats`` / ``health`` verb from the live service."""
+    """Answer a control verb (``stats`` / ``health``) from the registry."""
     op = record["op"]
-    payload = service.stats() if op == "stats" else service.health()
+    payload = getattr(service, verb(op).handler)()
     response: "dict[str, Any]" = {
-        "op": op, "ok": True,
+        "v": PROTOCOL_VERSION, "op": op, "ok": True,
         "request_id": new_request_id(), "result": payload,
     }
     if record.get("id") is not None:
@@ -177,6 +188,7 @@ def serve(service: TimingService, in_stream: TextIO,
         text = line.strip()
         if not text:
             continue
+        record: "dict[str, Any] | None" = None
         try:
             record = parse_request(text)
             if record.get("op") in CONTROL_OPS:
@@ -188,7 +200,12 @@ def serve(service: TimingService, in_stream: TextIO,
                 )[0]
                 response = _response(record.get("id"), outcome)
         except Exception as exc:
-            response = _error_record(None, f"{type(exc).__name__}: {exc}")
+            # Echo the request id when the line parsed far enough to
+            # have one, so clients can correlate the failure.
+            line_id = record.get("id") if isinstance(record, dict) else None
+            response = _error_record(
+                line_id, f"{type(exc).__name__}: {exc}"
+            )
         if not response.get("ok"):
             errors += 1
         out_stream.write(json.dumps(response, default=str) + "\n")

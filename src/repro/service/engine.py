@@ -12,7 +12,16 @@ the "timing graph + STA state" artifact class), and an
   slew-recalc, variation);
 * ``solve`` — fitted ``x*`` vectors keyed by (A-matrix fingerprint,
   solver config);
-* ``fit`` — whole-flow fit results keyed by (design, fit knobs).
+* ``fit`` — whole-flow fit results keyed by (design, fit knobs);
+* ``what_if`` — scored ECO candidates keyed by (design, canonical
+  edit list) — per candidate, so any batch hits on every candidate an
+  earlier request already scored;
+* ``min_period`` — min-period searches keyed by (design, clock,
+  tolerance, iteration cap, corner).
+
+Dispatch is declarative: every verb (query and control) is one row in
+:mod:`repro.service.registry`, which also feeds the JSONL layer, the
+CLI, and the docs' verb table.
 
 Queries arrive as :class:`Query` values (or the JSONL dicts of
 ``docs/service.md``), are **coalesced** (duplicate queries in one
@@ -36,6 +45,7 @@ from __future__ import annotations
 import itertools
 import os
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Sequence
@@ -44,18 +54,22 @@ from repro import api
 from repro.context import RunContext
 from repro.designs.generator import Design
 from repro.errors import ReproError
+from repro.netlist.edit import ChangeRecord
 from repro.obs.metrics import counter, default_registry, gauge, histogram
 from repro.obs.trace import baggage, span
+from repro.opt.whatif import (
+    CandidateResult,
+    MinPeriodResult,
+    WhatIfResult,
+    evaluate_what_if,
+    min_period_on_engine,
+    normalize_candidate,
+)
 from repro.service import keys as keymod
+from repro.service.registry import QUERY_OPS, verb
 from repro.service.store import ArtifactCache
 from repro.service.suite import DesignReport
 from repro.timing.sta import STAEngine
-
-#: Query operations the service understands, in pipeline order.
-QUERY_OPS = (
-    "sta", "pba_slacks", "mgba_fit", "evaluate", "explain",
-    "scenario_sweep",
-)
 
 #: mgba_fit parameters that override the service context per query.
 _FIT_PARAMS = (
@@ -297,19 +311,41 @@ class TimingService:
             self._keys[name] = key
         return key
 
-    def apply_change(self, name: str, change) -> None:
+    def apply_change(self, change, design: "str | None" = None) -> None:
         """Mirror a netlist edit: incremental engine update + key rotation.
 
-        The live engine re-propagates only the edit's cone
+        The signature matches ``STAEngine.apply_change(change)`` — the
+        :class:`~repro.netlist.edit.ChangeRecord` leads, ``design``
+        names which registered design it edits.  The live engine
+        re-propagates only the edit's cone
         (:mod:`repro.timing.incremental`); the design's content address
         rotates, so exactly the artifacts derived from the old content
         stop being served — other designs, and this design's *previous*
         content (hit again after a revert), are untouched.
+
+        The pre-unification form ``apply_change(name, change)`` still
+        works behind a :class:`DeprecationWarning` for one release.
         """
-        engine = self._engines.get(name)
+        if isinstance(change, str) and isinstance(design, ChangeRecord):
+            warnings.warn(
+                "TimingService.apply_change(name, change) is deprecated; "
+                "call apply_change(change, design=name) — the ChangeRecord "
+                "now leads, matching STAEngine.apply_change",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            change, design = design, change
+        if not isinstance(change, ChangeRecord):
+            raise ServiceError(
+                f"apply_change takes a ChangeRecord, got "
+                f"{type(change).__name__}"
+            )
+        if design is None:
+            raise ServiceError("apply_change needs design= (the design name)")
+        engine = self._engines.get(design)
         if engine is not None:
             engine.apply_change(change)
-        self._keys.pop(name, None)
+        self._keys.pop(design, None)
         counter("service.invalidations").inc()
 
     # ------------------------------------------------------------------
@@ -429,6 +465,34 @@ class TimingService:
         )
         return list(result)
 
+    def what_if(self, name: str, candidates: "Sequence[Any]") \
+            -> WhatIfResult:
+        """Score K candidate edit-lists (cached per candidate by content)."""
+        params = (("candidates", _hashable(list(candidates))),)
+        result, _ = self._q_what_if(
+            Query(op="what_if", design=name, params=params)
+        )
+        return result
+
+    def min_period(self, name: str,
+                   clock: "str | None" = None,
+                   tolerance: float = 1.0,
+                   max_iter: int = 64,
+                   corner: "tuple[str, float] | None" = None) \
+            -> MinPeriodResult:
+        """Min feasible clock period (cached by content + search contract)."""
+        params: "tuple[tuple[str, Any], ...]" = (
+            ("tolerance", float(tolerance)), ("max_iter", int(max_iter)),
+        )
+        if clock is not None:
+            params += (("clock", clock),)
+        if corner is not None:
+            params += (("corner", (str(corner[0]), float(corner[1]))),)
+        result, _ = self._q_min_period(
+            Query(op="min_period", design=name, params=tuple(sorted(params)))
+        )
+        return result
+
     # ------------------------------------------------------------------
     # Query handlers: (result, cached)
     # ------------------------------------------------------------------
@@ -538,14 +602,102 @@ class TimingService:
         )
         return tuple(reports), False
 
-    _HANDLERS = {
-        "sta": _q_sta,
-        "pba_slacks": _q_pba,
-        "mgba_fit": _q_fit,
-        "evaluate": _q_evaluate,
-        "explain": _q_explain,
-        "scenario_sweep": _q_scenarios,
-    }
+    def _q_what_if(self, query: Query) -> "tuple[WhatIfResult, bool]":
+        raw = query.param("candidates")
+        if raw is None or isinstance(raw, str) or not len(raw):
+            raise ServiceError(
+                "what_if query needs a non-empty 'candidates' list "
+                "(each entry an edit-spec list or ECO text)"
+            )
+        normalized = [normalize_candidate(c) for c in raw]
+        dkey = self.design_key(query.design)
+        scored: "dict[Any, CandidateResult]" = {}
+        misses: "list[Any]" = []
+        for candidate in normalized:
+            if candidate in scored or candidate in misses:
+                continue
+            hit = self._cache_get(
+                "what_if", keymod.what_if_key(dkey, candidate)
+            )
+            if hit is not None:
+                scored[candidate] = hit
+            else:
+                misses.append(candidate)
+        if misses:
+            if self.context.executor().is_serial:
+                # Apply/revert on the live engine: content is restored
+                # exactly, so the design key never rotates.
+                partial = evaluate_what_if(
+                    query.design, misses, self.context,
+                    engine=self.engine(query.design),
+                )
+            else:
+                source: "str | Design" = (
+                    query.design if self._rebuildable(query.design)
+                    else self.design(query.design)
+                )
+                partial = evaluate_what_if(source, misses, self.context)
+            baseline = (
+                partial.wns_baseline, partial.tns_baseline,
+                partial.violations_baseline,
+            )
+            for candidate, outcome in zip(misses, partial.candidates):
+                scored[candidate] = outcome
+                self._cache_put(
+                    "what_if", keymod.what_if_key(dkey, candidate), outcome
+                )
+        else:
+            first = scored[normalized[0]]
+            baseline = (
+                first.wns_before, first.tns_before,
+                first.violations_before,
+            )
+        return WhatIfResult(
+            design=query.design,
+            wns_baseline=baseline[0],
+            tns_baseline=baseline[1],
+            violations_baseline=baseline[2],
+            candidates=tuple(scored[c] for c in normalized),
+        ), not misses
+
+    def _q_min_period(self, query: Query) -> "tuple[MinPeriodResult, bool]":
+        clock = query.param("clock")
+        tolerance = float(query.param("tolerance", 1.0))
+        max_iter = int(query.param("max_iter", 64))
+        corner = query.param("corner")
+        corner_label = ""
+        if corner is not None:
+            corner_label = f"{corner[0]}:{float(corner[1])!r}"
+        key = keymod.min_period_key(
+            self.design_key(query.design), clock, tolerance, max_iter,
+            corner_label,
+        )
+        hit = self._cache_get("min_period", key)
+        if hit is not None:
+            return replace(hit, design=query.design), True
+        if corner is None:
+            engine = self.engine(query.design)
+        else:
+            # An ephemeral corner engine: scaled delays, same content
+            # (min_period never mutates the design, so sharing the
+            # bundle's netlist/constraints is safe).
+            bundle = self.design(query.design)
+            config = replace(
+                bundle.sta_config,
+                delay_scale=bundle.sta_config.delay_scale * float(corner[1]),
+            )
+            engine = STAEngine(
+                bundle.netlist, bundle.constraints,
+                getattr(bundle, "placement", None), config,
+            )
+            engine.update_timing()
+        result = min_period_on_engine(
+            engine, clock=clock, tolerance=tolerance, max_iter=max_iter,
+            corner=corner_label,
+        )
+        result = replace(result, design=query.design)
+        self._cache_put("min_period", key, result)
+        return result, False
 
     def _run(self, query: Query,
              request_id: "str | None" = None) -> QueryResult:
@@ -570,7 +722,8 @@ class TimingService:
                 request_id=request_id,
             ) as query_span, baggage(request_id=request_id):
                 try:
-                    result, cached = self._HANDLERS[query.op](self, query)
+                    handler = getattr(self, verb(query.op).handler)
+                    result, cached = handler(query)
                 except Exception as exc:
                     query_span.set(error_type=type(exc).__name__)
                     counter("service.request.errors").inc()

@@ -207,3 +207,30 @@ def solve_key(fingerprint: str, solver: str, seed: "int | None") -> str:
 def fit_key(design: DesignKey, fit_fingerprint: "tuple[Any, ...]") -> str:
     """Key of a whole-flow fit artifact (design + every fit knob)."""
     return digest([design.token, *fit_fingerprint])
+
+
+def what_if_key(design: DesignKey, candidate: "Any") -> str:
+    """Key of one scored what-if candidate (design + canonical edits).
+
+    ``candidate`` is the canonical frozen form from
+    :func:`repro.opt.whatif.normalize_candidate` — a tuple of sorted
+    (field, value) spec tuples, so spelling differences (dict order,
+    ECO text vs. spec list) collapse onto one key.  Keys are
+    per-candidate, not per-request: a K-candidate batch hits for every
+    candidate any earlier request already scored.
+    """
+    return digest([design.token, "what_if", repr(candidate)])
+
+
+def min_period_key(design: DesignKey, clock: "str | None",
+                   tolerance: float, max_iter: int, corner: str) -> str:
+    """Key of a min-period search artifact (design + search contract).
+
+    The bracket/bisection sequence is a pure function of these inputs,
+    so the tolerance and iteration cap are key material — a tighter
+    tolerance is a different (more precise) artifact.
+    """
+    return digest([
+        design.token, "min_period", clock, repr(float(tolerance)),
+        max_iter, corner,
+    ])

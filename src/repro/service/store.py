@@ -55,7 +55,10 @@ logger = get_logger("service.store")
 SCHEMA_VERSION = 1
 
 #: Recognized artifact classes, in pipeline order.
-ARTIFACT_CLASSES = ("sta", "scenarios", "pba", "solve", "fit", "explain")
+ARTIFACT_CLASSES = (
+    "sta", "scenarios", "pba", "solve", "fit", "explain",
+    "what_if", "min_period",
+)
 
 
 class LRUCache:

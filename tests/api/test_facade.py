@@ -22,6 +22,9 @@ EXPECTED_SURFACE = [
     "ClosureResult",
     "ExplainResult",
     "ScenarioSweepResult",
+    "CandidateResult",
+    "WhatIfResult",
+    "MinPeriodResult",
     "load_design",
     "make_engine",
     "run_sta",
@@ -31,6 +34,8 @@ EXPECTED_SURFACE = [
     "close_timing",
     "explain_slack",
     "run_scenarios",
+    "what_if",
+    "min_period",
 ]
 
 
@@ -46,7 +51,8 @@ class TestSurface:
         for cls in (api.STAResult, api.GoldenSlacksResult,
                     api.FitResult, api.ClosureResult,
                     api.ExplainResult, api.ScenarioSweepResult,
-                    RunContext):
+                    api.CandidateResult, api.WhatIfResult,
+                    api.MinPeriodResult, RunContext):
             assert dataclasses.is_dataclass(cls)
             assert cls.__dataclass_params__.frozen, cls.__name__
 
@@ -175,3 +181,36 @@ class TestVerbs:
         result = api.run_scenarios("fig2", context=ctx)
         assert [name for name, _ in result.corners] == ["ss", "tt", "ff"]
         assert len(result.setup) == 3 and len(result.hold) == 3
+
+    def test_what_if_deterministic(self, ctx):
+        candidates = [
+            [{"kind": "insert_buffer", "net": "n3", "buffer_cell": "BUF_U"}]
+        ]
+        a = api.what_if("fig2", candidates, ctx)
+        b = api.what_if("fig2", candidates, ctx)
+        assert a == b
+        assert a.design == "paper_fig2"
+        assert a.candidates[0].ok
+        assert a.to_dict()["best"] in (0, None)
+
+    def test_what_if_on_engine_restores_it(self, ctx):
+        engine = api.make_engine("fig2", ctx)
+        before = api.sta_result_from_engine(engine)
+        api.what_if(
+            engine,
+            [[{"kind": "insert_buffer", "net": "n3", "buffer_cell": "BUF_U"}]],
+        )
+        assert api.sta_result_from_engine(engine) == before
+
+    def test_min_period_deterministic(self, ctx):
+        a = api.min_period("fig2", tolerance=1.0, context=ctx)
+        b = api.min_period("fig2", tolerance=1.0, context=ctx)
+        assert a == b
+        assert a.wns_at_period >= 0.0
+        assert a.bracket_high - a.bracket_low <= a.tolerance + 1e-9
+
+    def test_min_period_corner_is_slower(self, ctx):
+        nominal = api.min_period("fig2", context=ctx)
+        slow = api.min_period("fig2", corner=("ss", 1.2), context=ctx)
+        assert slow.period > nominal.period
+        assert slow.corner == "ss:1.2"

@@ -6,7 +6,13 @@ import json
 import pytest
 
 from repro.context import RunContext
-from repro.service import TimingService, run_batch, serve, write_responses
+from repro.service import (
+    PROTOCOL_VERSION,
+    TimingService,
+    run_batch,
+    serve,
+    write_responses,
+)
 
 
 @pytest.fixture()
@@ -30,6 +36,7 @@ class TestRunBatch:
         assert [r["id"] for r in out] == ["a", "b"]
         assert [r["op"] for r in out] == ["pba_slacks", "sta"]
         assert all(r["ok"] for r in out)
+        assert all(r["v"] == PROTOCOL_VERSION for r in out)
         assert out[1]["result"]["design"] == "fig2"
 
     def test_malformed_line_becomes_error_record(self, service):
@@ -38,6 +45,7 @@ class TestRunBatch:
             json.dumps({"id": 2, "op": "sta", "design": "fig2"}),
         ])
         assert out[0]["ok"] is False and "line 1" in out[0]["error"]
+        assert out[0]["v"] == PROTOCOL_VERSION  # errors are versioned too
         assert out[1]["ok"] is True and out[1]["id"] == 2
 
     def test_missing_op_is_an_error(self, service):
@@ -105,6 +113,88 @@ class TestServe:
         sink = io.StringIO()
         stats = serve(service, source, sink)
         assert stats.served == 1 and stats.errors == 1
+
+
+class TestProtocolVersion:
+    """Every record — success, control, error — carries ``"v"``."""
+
+    def test_all_record_shapes_are_versioned(self, service):
+        out = run_batch(service, [
+            json.dumps({"id": 1, "op": "sta", "design": "fig2"}),
+            json.dumps({"id": 2, "op": "health"}),
+            json.dumps({"id": 3, "op": "sta", "design": "missing"}),
+            "not json at all",
+        ])
+        assert len(out) == 4
+        assert [r["v"] for r in out] == [PROTOCOL_VERSION] * 4
+        assert [r.get("ok") for r in out] == [True, True, False, False]
+
+    def test_serve_records_are_versioned(self, service):
+        source = io.StringIO(
+            "garbage\n"
+            + json.dumps({"id": 1, "op": "stats"}) + "\n"
+        )
+        sink = io.StringIO()
+        serve(service, source, sink)
+        records = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert [r["v"] for r in records] == [PROTOCOL_VERSION] * 2
+
+
+class TestServeErrorPaths:
+    """Schema-stable ``ok: false`` records for every failure shape."""
+
+    ERROR_KEYS = {"v", "ok", "error"}
+
+    def _serve(self, service, text):
+        sink = io.StringIO()
+        stats = serve(service, io.StringIO(text), sink)
+        return stats, [json.loads(l) for l in sink.getvalue().splitlines()]
+
+    def test_unknown_op_record_shape(self, service):
+        stats, records = self._serve(
+            service, json.dumps({"id": 5, "op": "explode"}) + "\n"
+        )
+        assert stats.errors == 1
+        (record,) = records
+        assert record["ok"] is False and record["v"] == PROTOCOL_VERSION
+        assert record["id"] == 5  # the id survives an op failure
+        assert "explode" in record["error"]
+        assert self.ERROR_KEYS <= set(record)
+
+    def test_malformed_json_record_shape(self, service):
+        stats, records = self._serve(service, "{not json\n")
+        assert stats.errors == 1
+        (record,) = records
+        assert record["ok"] is False and record["v"] == PROTOCOL_VERSION
+        assert self.ERROR_KEYS <= set(record)
+
+    def test_mid_batch_exception_keeps_serving(self, service):
+        stats, records = self._serve(service, "\n".join([
+            json.dumps({"id": 1, "op": "sta", "design": "fig2"}),
+            json.dumps({"id": 2, "op": "sta", "design": "no_such"}),
+            json.dumps({"id": 3, "op": "sta", "design": "fig2"}),
+        ]) + "\n")
+        assert stats.served == 3 and stats.errors == 1
+        assert [r["ok"] for r in records] == [True, False, True]
+        failed = records[1]
+        assert failed["id"] == 2 and failed["v"] == PROTOCOL_VERSION
+        assert failed["error"]
+        assert records[2]["cached"] is True  # the failure poisoned nothing
+
+    def test_exit_code_2_per_error_path(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        for text in (
+            json.dumps({"op": "explode"}) + "\n",
+            "{not json\n",
+            json.dumps({"op": "sta", "design": "no_such"}) + "\n",
+        ):
+            monkeypatch.setattr("sys.stdin", io.StringIO(text))
+            assert main(["serve", "--no-cache"]) == 2
+            captured = capsys.readouterr()
+            record = json.loads(captured.out.splitlines()[0])
+            assert record["ok"] is False
+            assert record["v"] == PROTOCOL_VERSION
 
 
 class TestRequestIds:

@@ -60,7 +60,7 @@ def test_fit_after_changes_matches_full_recompute(edits):
         for gate_index, up in edits:
             change = apply_edit(service.design("dut").netlist,
                                 gate_index, up)
-            service.apply_change("dut", change)
+            service.apply_change(change, design="dut")
             apply_edit(twin.netlist, gate_index, up)
 
         got_sta = service.sta("dut")
@@ -96,7 +96,7 @@ def test_revert_rehits_previous_artifacts(edits):
 
         gate_index, up = edits[0]
         change = apply_edit(service.design("dut").netlist, gate_index, up)
-        service.apply_change("dut", change)
+        service.apply_change(change, design="dut")
         assert service.design_key("dut").token != key_before
         # Computes fresh under the rotated key (slacks may coincide if
         # the resized gate sits off every worst path, so no inequality

@@ -1,0 +1,78 @@
+"""Verb registry tests: one source of truth for every dispatch path.
+
+The registry (`repro/service/registry.py`) is what `submit`,
+`run_batch`, `serve`, the CLI, and the docs all derive from — these
+tests pin the projection invariants and diff the generated verb table
+against the copies embedded in `docs/service.md` and `docs/api.md`,
+so the docs cannot drift from the code.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.service import TimingService
+from repro.service.registry import (
+    CONTROL_OPS,
+    QUERY_OPS,
+    VERBS,
+    VERBS_BY_OP,
+    verb,
+    verb_table_markdown,
+)
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+
+class TestRegistry:
+    def test_ops_unique(self):
+        ops = [v.op for v in VERBS]
+        assert len(ops) == len(set(ops))
+
+    def test_projections_partition_the_registry(self):
+        assert set(QUERY_OPS) | set(CONTROL_OPS) == set(VERBS_BY_OP)
+        assert not set(QUERY_OPS) & set(CONTROL_OPS)
+        for row in VERBS:
+            assert row.kind in ("query", "control")
+
+    def test_every_handler_exists_on_the_service(self):
+        service = TimingService.__new__(TimingService)  # no engine needed
+        for row in VERBS:
+            handler = getattr(type(service), row.handler, None)
+            assert callable(handler), f"{row.op} -> {row.handler}"
+
+    def test_query_verbs_have_cache_keys_and_schemas(self):
+        for row in VERBS:
+            if row.kind == "query":
+                assert row.cache_key, row.op
+                assert row.result_schema, row.op
+            assert row.summary, row.op
+
+    def test_verb_lookup(self):
+        assert verb("sta").kind == "query"
+        assert verb("health").kind == "control"
+        with pytest.raises(KeyError):
+            verb("explode")
+
+    def test_expected_verbs_present(self):
+        assert {"sta", "pba_slacks", "mgba_fit", "evaluate", "explain",
+                "scenario_sweep", "what_if", "min_period"} == set(QUERY_OPS)
+        assert {"stats", "health"} == set(CONTROL_OPS)
+
+
+class TestDocsEmbedding:
+    """The docs' verb tables are the generated one, verbatim."""
+
+    @pytest.mark.parametrize("page", ["service.md", "api.md"])
+    def test_table_matches_generated(self, page):
+        text = (DOCS / page).read_text()
+        begin = "<!-- verb-table:begin -->"
+        end = "<!-- verb-table:end -->"
+        assert begin in text and end in text, (
+            f"{page} lost its verb-table markers"
+        )
+        embedded = text.split(begin, 1)[1].split(end, 1)[0].strip()
+        assert embedded == verb_table_markdown().strip(), (
+            f"{page} verb table is stale — re-embed "
+            f"repro.service.verb_table_markdown()"
+        )

@@ -72,7 +72,7 @@ class TestScenarioSweepVerb:
         change = resize_gate(netlist, gate, up=True)
         if change is None:
             change = resize_gate(netlist, gate, up=False)
-        service.apply_change("dut", change)
+        service.apply_change(change, design="dut")
         after = _submit(service, design="dut")
         assert after.cached is False  # rotated key: stale entry missed
         assert after.result != before.result

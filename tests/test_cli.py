@@ -151,6 +151,92 @@ class TestServiceCommands:
         assert record["ok"] and record["op"] == "sta"
 
 
+class TestWhatIfCommand:
+    CANDS = [[{"kind": "insert_buffer", "net": "n3",
+               "buffer_cell": "BUF_U"}]]
+
+    def _write(self, tmp_path):
+        import json
+
+        path = tmp_path / "cands.json"
+        path.write_text(json.dumps(self.CANDS))
+        return str(path)
+
+    def test_table_output_marks_best(self, tmp_path, capsys):
+        code = main(["what-if", "fig2", "--candidates",
+                     self._write(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 candidate(s)" in out
+        assert "best candidate:" in out
+        assert "insert_buffer n3 BUF_U" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        code = main(["what-if", "fig2", "--json", "--candidates",
+                     self._write(tmp_path)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "paper_fig2"
+        assert payload["candidates"][0]["ok"] is True
+
+    def test_eco_file_is_a_candidate(self, tmp_path, capsys):
+        import json
+
+        eco = tmp_path / "fix.eco"
+        eco.write_text("insert_buffer n3 BUF_U b0 net0 G4/A L1/A\n")
+        code = main(["what-if", "fig2", "--json", "--eco", str(eco)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["candidates"][0]["eco"] == [
+            "insert_buffer n3 BUF_U b0 net0 G4/A L1/A"
+        ]
+
+    def test_no_candidates_is_usage_error(self, capsys):
+        assert main(["what-if", "fig2"]) == 2
+        assert "no candidates" in capsys.readouterr().err
+
+    def test_unreadable_candidates_file_exits_2(self, tmp_path, capsys):
+        assert main(["what-if", "fig2", "--candidates",
+                     str(tmp_path / "absent.json")]) == 2
+        capsys.readouterr()
+
+    def test_malformed_candidate_exits_2(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([[{"kind": "teleport"}]]))
+        assert main(["what-if", "fig2", "--candidates", str(path)]) == 2
+        assert "unknown edit kind" in capsys.readouterr().err
+
+
+class TestMinPeriodCommand:
+    def test_human_output(self, capsys):
+        assert main(["min-period", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "clock clk" in out
+        assert "min period:" in out and "bracket:" in out
+
+    def test_json_output_with_corner(self, capsys):
+        import json
+
+        code = main(["min-period", "fig2", "--json",
+                     "--corner", "ss:1.2"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corner"] == "ss:1.2"
+        assert payload["wns_at_period"] >= 0.0
+
+    def test_bad_corner_spec_exits_2(self, capsys):
+        assert main(["min-period", "fig2", "--corner", "nonsense"]) == 2
+        capsys.readouterr()
+
+    def test_unknown_clock_exits_2(self, capsys):
+        assert main(["min-period", "fig2", "--clock", "ghost"]) == 2
+        capsys.readouterr()
+
+
 class TestObsReportMetrics:
     def test_missing_metrics_file_is_tolerated(self, tmp_path, capsys):
         code = main([
