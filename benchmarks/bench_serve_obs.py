@@ -1,0 +1,204 @@
+"""Serve-path observability smoke: scrape, flight dump, verb labels.
+
+Drives a real ``TimingService`` through the JSONL ``serve`` loop —
+query traffic, one cache-warm repeat, the control verbs, and one
+deliberately failing request — with the OpenMetrics scrape endpoint
+live, then hard-checks the whole observability surface:
+
+* the scraped exposition parses (``# EOF`` terminated) and carries a
+  ``verb``-labeled ``service_request_latency`` series for **every**
+  verb in the registry (the drift guarantee);
+* the error-path exit wrote a schema-versioned flight dump whose
+  request window holds the induced failure;
+* the committed ``slo/default.json`` spec evaluates over that dump
+  (the advisory CI gate replays the same file).
+
+Artifacts land in ``bench_metrics/`` (``openmetrics.txt``,
+``flight_serve.json``) so CI uploads them next to the other bench
+outputs.  Run standalone::
+
+    python benchmarks/bench_serve_obs.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import urllib.request
+from pathlib import Path
+
+from repro.context import RunContext
+from repro.obs.expo import start_metrics_server
+from repro.obs.flight import default_flight_recorder, load_flight
+from repro.service import TimingService, serve
+from repro.service.registry import VERBS
+
+DESIGN = os.environ.get("REPRO_BENCH_DESIGNS", "D1").split(",")[0].strip()
+
+#: The serve session: queries, a cache-warm repeat, control verbs, and
+#: one request that must fail (to exercise the flight dump path).
+REQUESTS = (
+    {"id": 1, "op": "sta", "design": DESIGN},
+    {"id": 2, "op": "sta", "design": DESIGN},          # cache hit
+    {"id": 3, "op": "pba_slacks", "design": DESIGN, "k": 8},
+    {"id": 4, "op": "stats"},
+    {"id": 5, "op": "health"},
+    {"id": 6, "op": "metrics_export"},
+    {"id": 7, "op": "sta", "design": "no_such_design"},  # induced error
+)
+
+
+def run_session(metrics_dir: Path) -> "tuple[list[str], dict]":
+    """Run the serve session; returns (failures, summary row data)."""
+    failures: "list[str]" = []
+    metrics_dir.mkdir(parents=True, exist_ok=True)
+    flight_path = metrics_dir / "flight_serve.json"
+    exposition_path = metrics_dir / "openmetrics.txt"
+    default_flight_recorder().clear()
+
+    service = TimingService(context=RunContext.from_env(
+        workers=1, backend="serial", cache=False,
+    ))
+    server = start_metrics_server(port=0, health_fn=service.health)
+    try:
+        in_stream = io.StringIO(
+            "".join(json.dumps(r) + "\n" for r in REQUESTS)
+        )
+        out_stream = io.StringIO()
+        stats = serve(service, in_stream, out_stream,
+                      flight_dump=flight_path)
+        # Scrape while the endpoint is still up, as Prometheus would.
+        exposition = urllib.request.urlopen(
+            server.url, timeout=10
+        ).read().decode()
+    finally:
+        server.close()
+    exposition_path.write_text(exposition)
+
+    responses = [
+        json.loads(line) for line in out_stream.getvalue().splitlines()
+    ]
+    if stats.served != len(REQUESTS):
+        failures.append(
+            f"served {stats.served} of {len(REQUESTS)} requests"
+        )
+    if stats.errors != 1:
+        failures.append(f"expected exactly 1 error, got {stats.errors}")
+    if sum(1 for r in responses if not r.get("ok")) != 1:
+        failures.append("response stream disagrees on the error count")
+
+    # --- exposition checks -------------------------------------------
+    if not exposition.endswith("# EOF\n"):
+        failures.append("exposition is not # EOF terminated")
+    for row in VERBS:
+        needle = f'service_request_latency_count{{verb="{row.op}"}}'
+        if needle not in exposition:
+            failures.append(
+                f"verb {row.op!r} missing from the scraped exposition"
+            )
+    if 'service_requests_total{verb="sta"} 3' not in exposition:
+        failures.append("sta request counter did not reach 3")
+    if 'service_request_errors_total{verb="sta"} 1' not in exposition:
+        failures.append("induced sta error not counted")
+
+    # --- flight dump checks ------------------------------------------
+    dump = load_flight(flight_path)
+    if dump is None:
+        failures.append(f"no flight dump written to {flight_path}")
+    else:
+        if dump.get("schema_version") != 1:
+            failures.append(
+                f"flight schema_version {dump.get('schema_version')!r}"
+            )
+        window = dump.get("requests") or []
+        if not any(not r.get("ok") for r in window):
+            failures.append("flight window lost the failing request")
+        if not dump.get("errors"):
+            failures.append("flight dump has no error records")
+
+    summary = {
+        "served": stats.served,
+        "errors": stats.errors,
+        "exposition_lines": len(exposition.splitlines()),
+        "flight_requests": len((dump or {}).get("requests") or []),
+        "by_verb": {
+            op: served for op, served, _errors in stats.by_verb if served
+        },
+    }
+    return failures, summary
+
+
+def check_default_slo(metrics_dir: Path) -> "list[str]":
+    """Replay the committed default spec over the session's dump."""
+    from repro.obs.slo import evaluate_slo, format_slo_report, load_slo_spec
+
+    spec_path = Path(__file__).resolve().parent.parent / "slo" \
+        / "default.json"
+    spec = load_slo_spec(spec_path)
+    dump = load_flight(metrics_dir / "flight_serve.json") or {}
+    report = evaluate_slo(spec, dump.get("requests") or [])
+    print()
+    print(format_slo_report(report))
+    # Advisory by design: the CI step that runs this is
+    # continue-on-error, so a violation informs without gating.
+    return [
+        f"SLO violation: {v.objective.describe()} "
+        f"(actual {v.actual:.4g})"
+        for v in report.violations
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serve-path observability smoke: scrape endpoint, "
+                    "flight dump, per-verb labels",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any observability invariant fails",
+    )
+    parser.add_argument(
+        "--slo", action="store_true",
+        help="also evaluate slo/default.json over the session's "
+             "flight dump (violations are reported, never fatal)",
+    )
+    parser.add_argument(
+        "--metrics-dir", default="bench_metrics",
+        help="artifact directory (default: bench_metrics)",
+    )
+    args = parser.parse_args(argv)
+    metrics_dir = Path(args.metrics_dir)
+    failures, summary = run_session(metrics_dir)
+    print(f"serve-path observability smoke on {DESIGN}:")
+    print(f"  served:            {summary['served']} "
+          f"({summary['errors']} induced error)")
+    print(f"  exposition:        {summary['exposition_lines']} lines "
+          f"-> {metrics_dir / 'openmetrics.txt'}")
+    print(f"  flight window:     {summary['flight_requests']} requests "
+          f"-> {metrics_dir / 'flight_serve.json'}")
+    print(f"  traffic by verb:   {summary['by_verb']}")
+    if args.slo:
+        for warning in check_default_slo(metrics_dir):
+            print(f"warn: {warning}", file=sys.stderr)
+    if failures and args.check:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    for failure in failures:
+        print(f"warn: {failure}", file=sys.stderr)
+    if not failures:
+        print("serve-path observability invariants: OK")
+    return 0
+
+
+def test_serve_observability(tmp_path):
+    """Pytest entry: the full smoke must hold on a temp artifact dir."""
+    failures, _summary = run_session(tmp_path)
+    assert not failures, failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,15 @@ Subcommands
 ``what-if``    score candidate ECO edit-lists against a design.
 ``min-period`` binary-search the smallest feasible clock period.
 ``batch``      run a JSONL query file as one coalesced service batch.
-``serve``      answer JSONL queries line-by-line on stdin/stdout.
-``obs-report`` pretty-print a captured trace as a runtime breakdown.
+``serve``      answer JSONL queries line-by-line on stdin/stdout
+               (``--expose-metrics PORT`` scrape endpoint, ``--slo``
+               spec, ``--flight-dump`` post-mortem on error exits).
+``obs-report`` pretty-print a captured trace as a runtime breakdown
+               (``--flight`` renders a flight-recorder dump).
+``metrics-export`` OpenMetrics exposition of the live metrics
+               registry or of a saved ``--metrics`` snapshot.
+``slo-check``  judge a flight-recorder dump against an SLO spec
+               (exit 1 on violation — the advisory CI gate).
 ``bench-history`` list/compare the benchmark time series
                (``bench_metrics/history.jsonl``) and flag regressions.
 
@@ -25,8 +32,10 @@ artifact cache (``--cache-dir`` / ``--no-cache``; see
 
 Global observability flags (before the subcommand):
 
-* ``--trace FILE`` — capture every tracing span of the run as JSONL
-  (read it back with ``obs-report``);
+* ``--trace FILE`` — capture every tracing span of the run as JSONL,
+  **streamed durably**: each root span is flushed as it closes, so a
+  crashed run still leaves a valid parseable trace (read it back with
+  ``obs-report``);
 * ``--chrome-trace FILE`` — same spans as a Chrome ``trace_event``
   file for ``chrome://tracing`` / Perfetto;
 * ``--metrics FILE`` — dump the metrics registry (counters, gauges,
@@ -156,17 +165,19 @@ def _cmd_obs_report(args) -> int:
 
     from repro.obs import (
         format_breakdown,
+        format_flight,
         format_metrics,
         format_profile,
+        load_flight,
         load_metrics,
         load_profile,
         load_trace,
     )
 
     if not args.trace_file and not args.metrics_file \
-            and not args.profile_file:
+            and not args.profile_file and not args.flight_file:
         print("obs-report: give a trace file, --metrics FILE, "
-              "and/or --profile FILE", file=sys.stderr)
+              "--profile FILE, and/or --flight FILE", file=sys.stderr)
         return 2
     printed = False
     if args.trace_file:
@@ -211,6 +222,18 @@ def _cmd_obs_report(args) -> int:
             print(f"Profile {args.profile_file}:")
             print()
             print(format_profile(data, top=args.top or 20))
+        printed = True
+    if args.flight_file:
+        if printed:
+            print()
+        dump = load_flight(args.flight_file)
+        if dump is None:
+            print(f"Flight {args.flight_file}: "
+                  "missing or not a flight-recorder dump")
+        else:
+            print(f"Flight {args.flight_file}:")
+            print()
+            print(format_flight(dump, top=args.top))
     return 0
 
 
@@ -269,7 +292,14 @@ def _service_for(args):
         overrides["cache_dir"] = args.cache_dir
     if getattr(args, "no_cache", False):
         overrides["cache"] = False
-    return TimingService(context=RunContext.from_env(**overrides))
+    slo_spec = None
+    if getattr(args, "slo", None):
+        from repro.obs.slo import load_slo_spec
+
+        slo_spec = load_slo_spec(args.slo)  # raises SLOError when bad
+    return TimingService(
+        context=RunContext.from_env(**overrides), slo_spec=slo_spec
+    )
 
 
 def _cmd_batch(args) -> int:
@@ -298,13 +328,89 @@ def _cmd_batch(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.obs.slo import SLOError
     from repro.service import serve
 
-    service = _service_for(args)
-    stats = serve(service, sys.stdin, sys.stdout)
-    print(f"served {stats.served} request(s) "
-          f"({stats.errors} error(s))", file=sys.stderr)
+    try:
+        service = _service_for(args)
+    except SLOError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    server = None
+    if args.expose_metrics is not None:
+        from repro.obs.expo import start_metrics_server
+
+        try:
+            server = start_metrics_server(
+                port=args.expose_metrics, health_fn=service.health
+            )
+        except OSError as exc:
+            print(f"serve: cannot bind metrics endpoint on port "
+                  f"{args.expose_metrics}: {exc}", file=sys.stderr)
+            return 2
+        print(f"serve: metrics exposition at {server.url}",
+              file=sys.stderr)
+    flight_dump = None if args.no_flight_dump else args.flight_dump
+    try:
+        stats = serve(service, sys.stdin, sys.stdout,
+                      flight_dump=flight_dump)
+    finally:
+        if server is not None:
+            server.close()
+    summary = (f"served {stats.served} request(s) "
+               f"({stats.errors} error(s))")
+    if stats.slo_ok is not None:
+        summary += f"; SLO {'ok' if stats.slo_ok else 'VIOLATED'}"
+    if stats.flight_dump:
+        summary += f"; flight recorder dumped to {stats.flight_dump}"
+    print(summary, file=sys.stderr)
     return 2 if stats.errors else 0
+
+
+def _cmd_metrics_export(args) -> int:
+    from repro.obs import load_metrics, render_openmetrics
+
+    if args.metrics_file:
+        snapshot = load_metrics(args.metrics_file)
+        if snapshot is None:
+            print(f"metrics-export: {args.metrics_file} is missing, "
+                  "empty, or not a metrics snapshot", file=sys.stderr)
+            return 2
+        text = render_openmetrics(snapshot)
+    else:
+        # The live process registry: mostly useful after another
+        # subcommand ran in-process (tests) or for a quick format demo.
+        text = render_openmetrics()
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.output).write_text(text)
+        print(f"wrote OpenMetrics exposition to {args.output}")
+    return 0
+
+
+def _cmd_slo_check(args) -> int:
+    from repro.obs import load_flight
+    from repro.obs.slo import (
+        SLOError,
+        evaluate_slo,
+        format_slo_report,
+        load_slo_spec,
+    )
+
+    try:
+        spec = load_slo_spec(args.spec)
+    except SLOError as exc:
+        print(f"slo-check: {exc}", file=sys.stderr)
+        return 2
+    dump = load_flight(args.flight)
+    if dump is None:
+        print(f"slo-check: {args.flight} is missing or not a "
+              "flight-recorder dump", file=sys.stderr)
+        return 2
+    report = evaluate_slo(spec, dump.get("requests") or [])
+    print(format_slo_report(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_closure(args) -> int:
@@ -804,10 +910,11 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="-",
         help="JSONL response file (default: stdout)",
     )
-    for p_svc in (p_batch, sub.add_parser(
+    p_serve = sub.add_parser(
         "serve",
         help="answer JSONL queries line-by-line on stdin/stdout",
-    )):
+    )
+    for p_svc in (p_batch, p_serve):
         p_svc.add_argument(
             "--cache-dir", metavar="DIR",
             help="artifact-cache directory "
@@ -817,6 +924,54 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache", action="store_true",
             help="disable the artifact cache for this invocation",
         )
+    p_serve.add_argument(
+        "--expose-metrics", type=int, metavar="PORT", default=None,
+        help="serve an OpenMetrics scrape endpoint on localhost:PORT "
+             "for the session (0 = OS-assigned; /metrics and /health)",
+    )
+    p_serve.add_argument(
+        "--flight-dump", metavar="FILE", default="flight_dump.json",
+        help="where the flight recorder is dumped when the session "
+             "exits on the error path (default: flight_dump.json)",
+    )
+    p_serve.add_argument(
+        "--no-flight-dump", action="store_true",
+        help="never dump the flight recorder, even on errors",
+    )
+    p_serve.add_argument(
+        "--slo", metavar="FILE", default=None,
+        help="SLO spec (JSON or TOML, see docs/formats.md); the "
+             "health verb and exit summary then report SLO status",
+    )
+
+    p_mx = sub.add_parser(
+        "metrics-export",
+        help="render the metrics registry in OpenMetrics text format",
+    )
+    p_mx.add_argument(
+        "--metrics", dest="metrics_file", metavar="FILE", default=None,
+        help="render a saved --metrics JSON snapshot instead of the "
+             "live process registry",
+    )
+    p_mx.add_argument(
+        "-o", "--output", default="-",
+        help="write the exposition here (default: stdout)",
+    )
+
+    p_slo = sub.add_parser(
+        "slo-check",
+        help="judge a flight-recorder dump against an SLO spec "
+             "(exit 1 on violation)",
+    )
+    p_slo.add_argument(
+        "--spec", metavar="FILE", default="slo/default.json",
+        help="SLO spec, JSON or TOML (default: slo/default.json)",
+    )
+    p_slo.add_argument(
+        "--flight", metavar="FILE", required=True,
+        help="flight-recorder dump to evaluate (see serve "
+             "--flight-dump and docs/formats.md)",
+    )
 
     p_obs = sub.add_parser(
         "obs-report",
@@ -832,6 +987,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", dest="profile_file", metavar="FILE",
         help="also render a --profile JSON dump as a top-N "
              "self-time table",
+    )
+    p_obs.add_argument(
+        "--flight", dest="flight_file", metavar="FILE",
+        help="also render a flight-recorder dump (recent requests "
+             "and errors; see serve --flight-dump)",
     )
     p_obs.add_argument(
         "--sort", choices=["wall", "self", "calls"], default="wall",
@@ -896,6 +1056,8 @@ _COMMANDS = {
     "min-period": _cmd_min_period,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
+    "metrics-export": _cmd_metrics_export,
+    "slo-check": _cmd_slo_check,
     "obs-report": _cmd_obs_report,
     "bench-history": _cmd_bench_history,
 }
@@ -928,6 +1090,11 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.obs import install_tracer
 
         tracer = install_tracer()
+        if args.trace:
+            # Stream, don't buffer: every closed root span is flushed
+            # to the file immediately, so a crashed run still leaves a
+            # valid JSONL trace for obs-report.
+            tracer.stream_jsonl(args.trace)
     profiler = None
     if args.profile:
         from repro.obs import SpanProfiler, set_span_profiler
@@ -945,8 +1112,7 @@ def main(argv: "list[str] | None" = None) -> int:
             from repro.obs import uninstall_tracer
 
             uninstall_tracer()
-            if args.trace:
-                tracer.export_jsonl(args.trace)
+            tracer.close()
             if args.chrome_trace:
                 tracer.export_chrome(args.chrome_trace)
         if profiler is not None:

@@ -13,13 +13,32 @@ is instrumented with (see ``docs/observability.md`` for the tour):
 * :mod:`repro.obs.history` — the append-only benchmark time series
   behind ``repro-sta bench-history``;
 * :mod:`repro.obs.profile` — opt-in span-scoped cProfile
-  (``repro-sta --profile``).
+  (``repro-sta --profile``);
+* :mod:`repro.obs.flight` — the always-on bounded flight recorder
+  (last N spans / M requests / E errors), dumped on serve failures;
+* :mod:`repro.obs.expo` — OpenMetrics text exposition of the registry
+  plus the ``--expose-metrics`` HTTP scrape endpoint;
+* :mod:`repro.obs.slo` — declarative latency/error/cache objectives
+  evaluated over the flight window.
 
 Everything is importable from the package root::
 
     from repro.obs import span, tracing, counter, record_iterations
 """
 
+from repro.obs.expo import (
+    CONTENT_TYPE,
+    MetricsServer,
+    render_openmetrics,
+    start_metrics_server,
+)
+from repro.obs.flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    default_flight_recorder,
+    format_flight,
+    load_flight,
+)
 from repro.obs.history import (
     BenchRecord,
     append_record,
@@ -35,6 +54,15 @@ from repro.obs.metrics import (
     default_registry,
     gauge,
     histogram,
+    labeled,
+    latency_buckets,
+)
+from repro.obs.slo import (
+    SLOReport,
+    SLOSpec,
+    evaluate_slo,
+    format_slo_report,
+    load_slo_spec,
 )
 from repro.obs.report import (
     format_breakdown,
@@ -83,6 +111,16 @@ __all__ = [
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "default_registry", "counter", "gauge", "histogram",
+    "labeled", "latency_buckets",
+    # flight recorder
+    "FLIGHT_SCHEMA_VERSION", "FlightRecorder",
+    "default_flight_recorder", "format_flight", "load_flight",
+    # exposition
+    "CONTENT_TYPE", "MetricsServer",
+    "render_openmetrics", "start_metrics_server",
+    # SLOs
+    "SLOReport", "SLOSpec", "evaluate_slo", "format_slo_report",
+    "load_slo_spec",
     # telemetry
     "IterationStats", "subscribe", "unsubscribe",
     "iteration_callbacks", "record_iterations",

@@ -1,0 +1,274 @@
+"""OpenMetrics exposition: render the metrics registry for scrapers.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` snapshots to plain
+dicts; this module renders that snapshot in the Prometheus /
+OpenMetrics text format so any standard scraper can consume it.
+Three surfaces share the renderer:
+
+* the ``metrics_export`` control verb of the JSONL service protocol;
+* the ``repro-sta metrics-export`` subcommand (live registry or a
+  saved ``--metrics`` snapshot file);
+* the opt-in background scrape endpoint (``repro-sta serve
+  --expose-metrics PORT`` → :func:`start_metrics_server`), a stdlib
+  ``http.server`` on a daemon thread — the first real network
+  listener on the road to the async timing service (ROADMAP item 1).
+
+Label convention: the registry is flat, so a labeled series is one
+instrument named ``family{key="value"}`` (built with
+:func:`repro.obs.metrics.labeled`); :func:`parse_metric_name` inverts
+the convention and the renderer groups label sets under one
+``# TYPE`` family header.  Dots become underscores
+(``service.request.latency`` → ``service_request_latency``), counters
+gain the ``_total`` suffix, histograms export cumulative ``le``
+buckets plus ``_sum`` / ``_count``, and the document ends with
+``# EOF`` as OpenMetrics requires.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+#: The OpenMetrics content type, scrape responses included.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+_NAME_RE = re.compile(r"^(?P<family>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def parse_metric_name(name: str) -> "tuple[str, dict[str, str]]":
+    """Split a registry name into (family, labels).
+
+    Inverts the :func:`repro.obs.metrics.labeled` convention; a name
+    without braces is a bare family with no labels.
+    """
+    match = _NAME_RE.match(name)
+    if match is None:  # pragma: no cover - regex matches any string
+        return name, {}
+    family = match.group("family")
+    raw = match.group("labels")
+    if not raw:
+        return family, {}
+    labels = {
+        key: value.replace(r"\"", '"').replace(r"\\", "\\")
+        for key, value in _LABEL_RE.findall(raw)
+    }
+    return family, labels
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A valid exposition metric name: ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_labels(labels: "Mapping[str, str]") -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(
+            sanitize_metric_name(key),
+            str(value).replace("\\", r"\\").replace('"', r"\"")
+        )
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _render_histogram(lines: "list[str]", family: str,
+                      labels: "Mapping[str, str]",
+                      record: "Mapping[str, Any]") -> None:
+    boundaries = list(record.get("boundaries") or [])
+    counts = list(record.get("counts") or [])
+    cumulative = 0
+    for edge, bucket_count in zip(boundaries, counts):
+        cumulative += int(bucket_count)
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = format(float(edge), ".10g")
+        lines.append(
+            f"{family}_bucket{_format_labels(bucket_labels)} {cumulative}"
+        )
+    total = int(record.get("count") or 0)
+    inf_labels = dict(labels)
+    inf_labels["le"] = "+Inf"
+    lines.append(f"{family}_bucket{_format_labels(inf_labels)} {total}")
+    lines.append(
+        f"{family}_sum{_format_labels(labels)} "
+        f"{_format_value(record.get('sum') or 0.0)}"
+    )
+    lines.append(f"{family}_count{_format_labels(labels)} {total}")
+
+
+def render_openmetrics(
+    source: "MetricsRegistry | Mapping[str, Any] | None" = None,
+) -> str:
+    """The OpenMetrics text document for a registry or snapshot.
+
+    ``source`` may be a live :class:`MetricsRegistry`, a snapshot dict
+    (``MetricsRegistry.snapshot()`` / a ``--metrics`` JSON file), or
+    ``None`` for the process-wide default registry.  Instruments
+    sharing a family (label convention) render under one ``# TYPE``
+    header; unset gauges are omitted (no value to expose).
+    """
+    if source is None:
+        source = default_registry()
+    snapshot: "Mapping[str, Any]" = (
+        source.snapshot() if isinstance(source, MetricsRegistry) else source
+    )
+    #: family -> kind -> list of (labels, record); insertion sorted.
+    families: "dict[str, dict[str, list[tuple[dict[str, str], Any]]]]" = {}
+    for name in sorted(snapshot):
+        record = snapshot[name]
+        if not isinstance(record, Mapping):
+            continue
+        kind = record.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        raw_family, labels = parse_metric_name(name)
+        family = sanitize_metric_name(raw_family)
+        families.setdefault(family, {}).setdefault(kind, []).append(
+            (labels, record)
+        )
+    lines: "list[str]" = []
+    for family in sorted(families):
+        for kind in sorted(families[family]):
+            series = families[family][kind]
+            if kind == "counter":
+                lines.append(f"# TYPE {family} counter")
+                for labels, record in series:
+                    lines.append(
+                        f"{family}_total{_format_labels(labels)} "
+                        f"{_format_value(record.get('value') or 0.0)}"
+                    )
+            elif kind == "gauge":
+                samples = [
+                    (labels, record) for labels, record in series
+                    if record.get("value") is not None
+                ]
+                if not samples:
+                    continue
+                lines.append(f"# TYPE {family} gauge")
+                for labels, record in samples:
+                    lines.append(
+                        f"{family}{_format_labels(labels)} "
+                        f"{_format_value(record['value'])}"
+                    )
+            else:
+                lines.append(f"# TYPE {family} histogram")
+                for labels, record in series:
+                    _render_histogram(lines, family, labels, record)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class _ScrapeHandler(BaseHTTPRequestHandler):
+    """GET-only handler: ``/metrics`` exposition, ``/health`` JSON."""
+
+    server: "MetricsServer"  # type: ignore[assignment]
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = render_openmetrics(self.server.registry).encode()
+            self._reply(200, CONTENT_TYPE, body)
+        elif path == "/health" and self.server.health_fn is not None:
+            try:
+                payload = self.server.health_fn()
+            except Exception as exc:
+                payload = {"status": "error", "error": str(exc)}
+            body = json.dumps(payload, default=str).encode()
+            self._reply(200, "application/json; charset=utf-8", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """The background scrape endpoint behind ``--expose-metrics``.
+
+    A stdlib ``ThreadingHTTPServer`` running ``serve_forever`` on a
+    daemon thread: it can never block interpreter exit, and
+    :meth:`close` shuts it down deterministically for tests and the
+    CLI's ``finally``.  Binds localhost by default; port ``0`` asks
+    the OS for a free port (read it back from :attr:`port`).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1",
+                 registry: "MetricsRegistry | None" = None,
+                 health_fn: "Callable[[], Any] | None" = None):
+        self.registry = registry if registry is not None \
+            else default_registry()
+        self.health_fn = health_fn
+        super().__init__((host, port), _ScrapeHandler)
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-metrics-export",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def start_metrics_server(
+    port: int = 0, host: str = "127.0.0.1",
+    registry: "MetricsRegistry | None" = None,
+    health_fn: "Callable[[], Any] | None" = None,
+) -> MetricsServer:
+    """Bind, start, and return the scrape endpoint (caller closes it)."""
+    return MetricsServer(
+        port=port, host=host, registry=registry, health_fn=health_fn
+    ).start()
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricsServer",
+    "parse_metric_name",
+    "render_openmetrics",
+    "sanitize_metric_name",
+    "start_metrics_server",
+]

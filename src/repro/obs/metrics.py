@@ -87,6 +87,47 @@ def default_buckets() -> list[float]:
     return [10.0 ** (k / 2.0) for k in range(-12, 13)]
 
 
+def latency_buckets() -> list[float]:
+    """Explicit request-latency boundaries (seconds).
+
+    Denser than :func:`default_buckets` in the 1 ms – 60 s band where
+    service requests actually land, so the OpenMetrics exposition
+    (:mod:`repro.obs.expo`) exports scrape-friendly ``le`` edges and
+    the SLO layer gets tight percentile interpolation.
+    """
+    return [
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+        0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+    ]
+
+
+def labeled(name: str, **labels: str) -> str:
+    """The canonical registry name of one labeled time series.
+
+    The flat registry has no native label dimension; instead a family
+    plus labels is spelled into a single canonical name —
+    ``labeled("service.request.latency", verb="sta")`` →
+    ``service.request.latency{verb="sta"}`` — with label keys sorted
+    so the same labels always produce the same instrument.  The
+    OpenMetrics renderer (:mod:`repro.obs.expo`) parses the convention
+    back into real exposition labels.
+    """
+    if not labels:
+        return name
+    for key in labels:
+        if not key or not key.replace("_", "a").isalnum() \
+                or key[0].isdigit():
+            raise ValueError(f"bad label key {key!r} for metric {name!r}")
+    inner = ",".join(
+        '{}="{}"'.format(
+            key,
+            str(value).replace("\\", r"\\").replace('"', r"\"")
+        )
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
 class Histogram:
     """Fixed-bucket histogram with interpolated percentiles.
 

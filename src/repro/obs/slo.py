@@ -1,0 +1,348 @@
+"""Declarative service-level objectives over the flight window.
+
+An SLO spec is a small JSON or TOML document declaring what "healthy"
+means for the serve path: per-verb p95/p99 latency ceilings, an
+error-rate budget, and a cache-hit-ratio floor.  Objectives are
+evaluated over the **flight-recorder request window** (the last M
+requests the :class:`~repro.obs.flight.FlightRecorder` retained, or a
+saved flight dump), which makes the evaluation cheap, always
+available, and exactly as recent as the post-mortem data — the same
+triad a production timing-signoff service runs behind.
+
+Spec shape (JSON shown; ``.toml`` loads the same keys)::
+
+    {
+      "schema_version": 1,
+      "name": "serve-path defaults",
+      "min_requests": 5,
+      "latency": {
+        "*":   {"p95": 30.0, "p99": 60.0},
+        "sta": {"p95": 10.0}
+      },
+      "error_rate_max": 0.05,
+      "cache_hit_ratio_min": 0.0
+    }
+
+``latency`` maps a verb (or ``"*"`` for all) to percentile ceilings in
+**seconds**; ``error_rate_max`` budgets ``errors / requests``;
+``cache_hit_ratio_min`` floors ``hits / (hits + misses)`` over query
+requests (control verbs never touch the cache and are excluded).  An
+objective whose window holds fewer than ``min_requests`` matching
+requests is *skipped*, not failed — a freshly started service is not
+in violation.  Results surface through the extended ``health`` verb,
+``repro-sta slo-check``, and the advisory CI gate against the
+committed ``slo/default.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+try:
+    import tomllib as _tomllib  # Python >= 3.11
+except ImportError:  # pragma: no cover - py3.10
+    _tomllib = None  # type: ignore[assignment]
+
+#: Bump on any backward-incompatible spec-document change.
+SLO_SCHEMA_VERSION = 1
+
+#: Objective kinds and the comparison direction each implies.
+_CEILING_KINDS = ("latency_p95", "latency_p99", "error_rate")
+_FLOOR_KINDS = ("cache_hit_ratio",)
+OBJECTIVE_KINDS = _CEILING_KINDS + _FLOOR_KINDS
+
+
+class SLOError(ValueError):
+    """A malformed SLO spec (bad file, unknown key, bad threshold)."""
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative objective: kind, verb scope, and threshold.
+
+    Latency and error-rate thresholds are *ceilings* (actual must stay
+    at or under); the cache-hit ratio is a *floor*.
+    """
+
+    kind: str
+    threshold: float
+    verb: str = "*"
+
+    def __post_init__(self):
+        if self.kind not in OBJECTIVE_KINDS:
+            raise SLOError(
+                f"unknown objective kind {self.kind!r}; "
+                f"choose from {OBJECTIVE_KINDS}"
+            )
+        if not math.isfinite(self.threshold) or self.threshold < 0:
+            raise SLOError(
+                f"objective {self.kind} ({self.verb}): threshold must be "
+                f"a finite non-negative number, got {self.threshold!r}"
+            )
+
+    @property
+    def is_floor(self) -> bool:
+        return self.kind in _FLOOR_KINDS
+
+    def describe(self) -> str:
+        scope = "all verbs" if self.verb == "*" else f"verb {self.verb}"
+        op = ">=" if self.is_floor else "<="
+        return f"{self.kind} ({scope}) {op} {self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A named set of objectives plus the evaluation window floor."""
+
+    objectives: "tuple[Objective, ...]"
+    min_requests: int = 1
+    name: str = ""
+
+    @classmethod
+    def from_dict(cls, payload: "Mapping[str, Any]") -> "SLOSpec":
+        version = payload.get("schema_version", SLO_SCHEMA_VERSION)
+        if version != SLO_SCHEMA_VERSION:
+            raise SLOError(
+                f"unsupported SLO schema_version {version!r} "
+                f"(this build speaks {SLO_SCHEMA_VERSION})"
+            )
+        objectives: "list[Objective]" = []
+        latency = payload.get("latency") or {}
+        if not isinstance(latency, Mapping):
+            raise SLOError("'latency' must map verb -> {p95/p99: seconds}")
+        for verb, ceilings in sorted(latency.items()):
+            if not isinstance(ceilings, Mapping):
+                raise SLOError(
+                    f"latency[{verb!r}] must be a {{p95/p99: seconds}} map"
+                )
+            for percentile, threshold in sorted(ceilings.items()):
+                if percentile not in ("p95", "p99"):
+                    raise SLOError(
+                        f"latency[{verb!r}]: unknown percentile "
+                        f"{percentile!r} (p95/p99)"
+                    )
+                objectives.append(Objective(
+                    kind=f"latency_{percentile}",
+                    threshold=float(threshold), verb=str(verb),
+                ))
+        if "error_rate_max" in payload:
+            objectives.append(Objective(
+                kind="error_rate",
+                threshold=float(payload["error_rate_max"]),
+            ))
+        if "cache_hit_ratio_min" in payload:
+            objectives.append(Objective(
+                kind="cache_hit_ratio",
+                threshold=float(payload["cache_hit_ratio_min"]),
+            ))
+        if not objectives:
+            raise SLOError(
+                "SLO spec declares no objectives (latency / "
+                "error_rate_max / cache_hit_ratio_min)"
+            )
+        return cls(
+            objectives=tuple(objectives),
+            min_requests=int(payload.get("min_requests", 1)),
+            name=str(payload.get("name", "")),
+        )
+
+
+def load_slo_spec(path: "str | Path") -> SLOSpec:
+    """Load a spec file; ``.toml`` via ``tomllib``, anything else JSON."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SLOError(f"cannot read SLO spec {path}: {exc}") from exc
+    if path.suffix.lower() == ".toml":
+        if _tomllib is None:
+            raise SLOError(
+                f"{path}: TOML specs need Python >= 3.11 (tomllib); "
+                "use the JSON form on this interpreter"
+            )
+        try:
+            payload = _tomllib.loads(raw.decode())
+        except _tomllib.TOMLDecodeError as exc:
+            raise SLOError(f"{path} is not valid TOML: {exc}") from exc
+    else:
+        try:
+            payload = json.loads(raw.decode())
+        except json.JSONDecodeError as exc:
+            raise SLOError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise SLOError(f"{path}: SLO spec must be a JSON/TOML object")
+    return SLOSpec.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class ObjectiveResult:
+    """One objective's verdict over the window."""
+
+    objective: Objective
+    actual: "float | None"
+    ok: bool
+    skipped: bool = False
+    reason: str = ""
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "kind": self.objective.kind,
+            "verb": self.objective.verb,
+            "threshold": self.objective.threshold,
+            "actual": self.actual,
+            "ok": self.ok,
+            "skipped": self.skipped,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """The full evaluation: overall verdict plus per-objective rows."""
+
+    ok: bool
+    window: int  #: requests the evaluation saw
+    results: "tuple[ObjectiveResult, ...]"
+    spec_name: str = ""
+
+    @property
+    def violations(self) -> "tuple[ObjectiveResult, ...]":
+        return tuple(r for r in self.results if not r.ok and not r.skipped)
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "ok": self.ok,
+            "window": self.window,
+            "spec": self.spec_name,
+            "objectives": [r.to_dict() for r in self.results],
+        }
+
+
+def _request_fields(record: Any) -> "tuple[str, float, bool, bool | None]":
+    """(verb, seconds, ok, cached) from a RequestRecord or a dump dict."""
+    if isinstance(record, Mapping):
+        return (
+            str(record.get("verb", "")),
+            float(record.get("seconds", 0.0)),
+            bool(record.get("ok", True)),
+            record.get("cached"),
+        )
+    return (record.verb, record.seconds, record.ok, record.cached)
+
+
+def _percentile(values: "list[float]", p: float) -> float:
+    """Exact nearest-rank percentile of a non-empty value list."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def evaluate_slo(spec: SLOSpec, requests: "Iterable[Any]") -> SLOReport:
+    """Judge every objective against a request window.
+
+    ``requests`` may be live :class:`~repro.obs.flight.RequestRecord`
+    values (``FlightRecorder.requests()``) or the dict rows of a saved
+    flight dump's ``"requests"`` list — the CI gate replays dumps.
+    """
+    rows = [_request_fields(r) for r in requests]
+    results: "list[ObjectiveResult]" = []
+    for objective in spec.objectives:
+        if objective.kind in ("latency_p95", "latency_p99"):
+            scoped = [
+                seconds for verb, seconds, _ok, _cached in rows
+                if objective.verb in ("*", verb)
+            ]
+            if len(scoped) < spec.min_requests:
+                results.append(ObjectiveResult(
+                    objective=objective, actual=None, ok=True, skipped=True,
+                    reason=f"{len(scoped)} matching request(s) in window "
+                           f"(< min_requests {spec.min_requests})",
+                ))
+                continue
+            percent = 95.0 if objective.kind == "latency_p95" else 99.0
+            actual = _percentile(scoped, percent)
+            results.append(ObjectiveResult(
+                objective=objective, actual=actual,
+                ok=actual <= objective.threshold,
+            ))
+        elif objective.kind == "error_rate":
+            if len(rows) < spec.min_requests:
+                results.append(ObjectiveResult(
+                    objective=objective, actual=None, ok=True, skipped=True,
+                    reason=f"{len(rows)} request(s) in window "
+                           f"(< min_requests {spec.min_requests})",
+                ))
+                continue
+            failed = sum(1 for _v, _s, ok, _c in rows if not ok)
+            actual = failed / len(rows)
+            results.append(ObjectiveResult(
+                objective=objective, actual=actual,
+                ok=actual <= objective.threshold,
+            ))
+        else:  # cache_hit_ratio
+            cacheable = [
+                cached for _v, _s, _ok, cached in rows if cached is not None
+            ]
+            if len(cacheable) < spec.min_requests:
+                results.append(ObjectiveResult(
+                    objective=objective, actual=None, ok=True, skipped=True,
+                    reason=f"{len(cacheable)} cacheable request(s) in "
+                           f"window (< min_requests {spec.min_requests})",
+                ))
+                continue
+            actual = sum(1 for c in cacheable if c) / len(cacheable)
+            results.append(ObjectiveResult(
+                objective=objective, actual=actual,
+                ok=actual >= objective.threshold,
+            ))
+    return SLOReport(
+        ok=all(r.ok for r in results),
+        window=len(rows),
+        results=tuple(results),
+        spec_name=spec.name,
+    )
+
+
+def format_slo_report(report: SLOReport) -> str:
+    """Render the evaluation as the ``slo-check`` verdict table."""
+    title = f" ({report.spec_name})" if report.spec_name else ""
+    lines = [
+        f"SLO evaluation{title}: "
+        f"{'PASS' if report.ok else 'FAIL'} over "
+        f"{report.window} request(s)",
+    ]
+    if report.results:
+        header = (
+            f"{'objective':<34} {'threshold':>10} {'actual':>10} verdict"
+        )
+        lines += ["", header, "-" * len(header)]
+        for row in report.results:
+            if row.skipped:
+                verdict = f"skipped ({row.reason})"
+                actual = "-"
+            else:
+                verdict = "ok" if row.ok else "VIOLATION"
+                actual = f"{row.actual:.4g}"
+            lines.append(
+                f"{row.objective.describe():<34} "
+                f"{row.objective.threshold:>10.4g} {actual:>10} {verdict}"
+            )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "OBJECTIVE_KINDS",
+    "SLO_SCHEMA_VERSION",
+    "Objective",
+    "ObjectiveResult",
+    "SLOError",
+    "SLOReport",
+    "SLOSpec",
+    "evaluate_slo",
+    "format_slo_report",
+    "load_slo_spec",
+]

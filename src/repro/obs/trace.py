@@ -33,7 +33,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, TextIO
 
 try:
     import resource as _resource
@@ -108,6 +108,24 @@ _state = _State()
 #: profiling is off.
 _span_profiler: "Any | None" = None
 
+#: Installed flight recorder (see :mod:`repro.obs.flight`); the same
+#: kind of seam — importing ``repro.obs`` installs the default
+#: recorder, and every span close then costs one extra deque append.
+_flight_recorder: "Any | None" = None
+
+
+def set_flight_recorder(recorder: "Any | None") -> "Any | None":
+    """Install (or clear, with None) the span-close flight recorder.
+
+    The recorder must expose ``record_span(name, seconds, error=...,
+    request_id=...)``; :func:`span` feeds it every completed span.
+    Returns the previously installed one.
+    """
+    global _flight_recorder
+    previous = _flight_recorder
+    _flight_recorder = recorder
+    return previous
+
 
 def set_span_profiler(profiler: "Any | None") -> "Any | None":
     """Install (or clear, with None) the span-scoped profiler.
@@ -122,14 +140,62 @@ def set_span_profiler(profiler: "Any | None") -> "Any | None":
     return previous
 
 
+def _flatten_root(root: Span, start_id: int) -> list[dict]:
+    """Flatten one root's subtree to records with ids from ``start_id``.
+
+    Parent references never cross roots, so per-root flattening with a
+    running id offset produces exactly the same records as flattening
+    the whole forest at once — which is what lets a streaming tracer
+    write roots as they close and still match ``export_jsonl``.
+    """
+    records: list[dict] = []
+
+    def emit(span_obj: Span, parent: int | None) -> None:
+        my_id = start_id + len(records)
+        record = {
+            "id": my_id,
+            "parent": parent,
+            "name": span_obj.name,
+            "start": span_obj.start,
+            "end": span_obj.end,
+            "cpu_start": span_obj.cpu_start,
+            "cpu_end": span_obj.cpu_end,
+            "attrs": span_obj.attrs,
+        }
+        if span_obj.error is not None:
+            record["error"] = span_obj.error
+        records.append(record)
+        for c in span_obj.children:
+            emit(c, my_id)
+
+    emit(root, None)
+    return records
+
+
 class Tracer:
-    """Collects the root spans closed while installed."""
+    """Collects the root spans closed while installed.
+
+    Optionally *streams*: :meth:`stream_jsonl` opens a JSONL file that
+    every root is appended to (and flushed) the moment it closes, so a
+    run killed mid-flight still leaves a valid, parseable trace of
+    everything that completed — the in-memory forest and the file stay
+    in lockstep.  :meth:`close` is idempotent; an unclosed stream still
+    holds flushed lines because every write is followed by ``flush``.
+    """
 
     def __init__(self):
         self.roots: list[Span] = []
+        self._stream: "TextIO | None" = None
+        self._streamed = 0  #: records already written to the stream
 
     def add_root(self, span_obj: Span) -> None:
         self.roots.append(span_obj)
+        if self._stream is not None:
+            records = _flatten_root(span_obj, self._streamed)
+            for record in records:
+                self._stream.write(json.dumps(record, default=str) + "\n")
+            self._stream.flush()
+            self._streamed += len(records)
 
     def all_spans(self) -> Iterator[Span]:
         """Every collected span, depth-first across roots."""
@@ -139,6 +205,32 @@ class Tracer:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
+    def stream_jsonl(self, path) -> None:
+        """Start appending every future root to ``path``, durably.
+
+        Roots already collected are written immediately, so installing
+        the stream late loses nothing.  Each root's records are flushed
+        as soon as the root closes: an unhandled exception (or a kill)
+        after that point cannot truncate them.
+        """
+        if self._stream is not None:
+            raise ValueError("tracer is already streaming")
+        self._stream = open(path, "w")
+        self._streamed = 0
+        for root in self.roots:
+            records = _flatten_root(root, self._streamed)
+            for record in records:
+                self._stream.write(json.dumps(record, default=str) + "\n")
+            self._streamed += len(records)
+        self._stream.flush()
+
+    def close(self) -> None:
+        """Flush and close the stream (idempotent; no-op when not set)."""
+        if self._stream is not None:
+            self._stream.flush()
+            self._stream.close()
+            self._stream = None
+
     def to_records(self) -> list[dict]:
         """Flatten the forest to JSON-able records.
 
@@ -146,27 +238,8 @@ class Tracer:
         ``parent`` id (None for roots) so the tree round-trips.
         """
         records: list[dict] = []
-
-        def emit(span_obj: Span, parent: int | None) -> None:
-            my_id = len(records)
-            record = {
-                "id": my_id,
-                "parent": parent,
-                "name": span_obj.name,
-                "start": span_obj.start,
-                "end": span_obj.end,
-                "cpu_start": span_obj.cpu_start,
-                "cpu_end": span_obj.cpu_end,
-                "attrs": span_obj.attrs,
-            }
-            if span_obj.error is not None:
-                record["error"] = span_obj.error
-            records.append(record)
-            for c in span_obj.children:
-                emit(c, my_id)
-
         for root in self.roots:
-            emit(root, None)
+            records.extend(_flatten_root(root, len(records)))
         return records
 
     def export_jsonl(self, path) -> None:
@@ -322,6 +395,13 @@ def span(name: str, **attrs: Any):
         if profiling:
             profiler.stop(name)
         stack.pop()
+        recorder = _flight_recorder
+        if recorder is not None:
+            recorder.record_span(
+                name, span_obj.end - span_obj.start,
+                error=span_obj.error,
+                request_id=span_obj.attrs.get("request_id"),
+            )
         if parent is None:
             _record_peak_rss()
             if _state.tracer is not None:

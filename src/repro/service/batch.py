@@ -45,17 +45,21 @@ error records it emitted so the CLI can exit non-zero.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import time
+import traceback as traceback_mod
+from dataclasses import dataclass, field
 from typing import Any, Iterable, TextIO
 
+from repro.obs.flight import default_flight_recorder
 from repro.obs.trace import span
 from repro.service.engine import (
     Query,
     QueryResult,
     TimingService,
     new_request_id,
+    note_request,
 )
-from repro.service.registry import CONTROL_OPS, verb
+from repro.service.registry import CONTROL_OPS, VERBS, verb
 
 #: Version of the JSONL response schema, echoed as ``"v"`` on every
 #: response record (success, control, and error alike) so clients can
@@ -92,12 +96,24 @@ def _response(request_id: Any, outcome: QueryResult) -> "dict[str, Any]":
 
 def _control_response(service: TimingService,
                       record: "dict[str, Any]") -> "dict[str, Any]":
-    """Answer a control verb (``stats`` / ``health``) from the registry."""
+    """Answer a control verb (``stats``/``health``/``metrics_export``).
+
+    Control verbs never reach :meth:`TimingService._run`, so this is
+    where their per-verb telemetry and flight-recorder request records
+    come from (the same :func:`~repro.service.engine.note_request`
+    choke point the query path uses).
+    """
     op = record["op"]
+    request_id = new_request_id()
+    start = time.perf_counter()
     payload = getattr(service, verb(op).handler)()
+    note_request(
+        op=op, request_id=request_id,
+        seconds=time.perf_counter() - start, ok=True,
+    )
     response: "dict[str, Any]" = {
         "v": PROTOCOL_VERSION, "op": op, "ok": True,
-        "request_id": new_request_id(), "result": payload,
+        "request_id": request_id, "result": payload,
     }
     if record.get("id") is not None:
         response = {"id": record["id"], **response}
@@ -164,14 +180,27 @@ def write_responses(responses: "Iterable[dict[str, Any]]",
 
 @dataclass(frozen=True)
 class ServeStats:
-    """What one :func:`serve` session did."""
+    """What one :func:`serve` session did.
+
+    ``by_verb`` always carries one ``(op, served, errors)`` row per
+    verb in the registry, in registry order — the row set is a
+    projection of :data:`~repro.service.registry.VERBS`, so it can
+    never drift from the ops the service dispatches (rows for verbs
+    the session never saw are zero, not absent).
+    """
 
     served: int = 0   #: responses written (errors included)
     errors: int = 0   #: error records among them
+    by_verb: "tuple[tuple[str, int, int], ...]" = field(
+        default_factory=lambda: tuple((v.op, 0, 0) for v in VERBS)
+    )
+    flight_dump: "str | None" = None  #: post-mortem path, when written
+    slo_ok: "bool | None" = None      #: SLO verdict (None: no spec)
 
 
 def serve(service: TimingService, in_stream: TextIO,
-          out_stream: TextIO) -> ServeStats:
+          out_stream: TextIO,
+          flight_dump: "Any | None" = None) -> ServeStats:
     """Answer requests line-by-line until EOF.
 
     Each response is flushed immediately, so a front-end driving the
@@ -181,34 +210,82 @@ def serve(service: TimingService, in_stream: TextIO,
     :class:`ServeStats` so the CLI can exit non-zero when any request
     failed (malformed line or query error) while still having served
     the rest.
+
+    ``flight_dump`` names the post-mortem file: whenever the session
+    ends on the error path — any error record served, or an exception
+    escaping the loop — the process flight recorder is dumped there,
+    so every exit-2 comes with its recent history.  ``None`` disables
+    the dump.
     """
     served = 0
     errors = 0
-    for line in in_stream:
-        text = line.strip()
-        if not text:
-            continue
-        record: "dict[str, Any] | None" = None
+    counts = {v.op: [0, 0] for v in VERBS}
+
+    def _dump() -> "str | None":
+        if flight_dump is None:
+            return None
         try:
-            record = parse_request(text)
-            if record.get("op") in CONTROL_OPS:
-                response = _control_response(service, record)
-            else:
-                query = Query.from_any(record)
-                outcome = service.submit(
-                    [query], request_ids=[new_request_id()]
-                )[0]
-                response = _response(record.get("id"), outcome)
-        except Exception as exc:
-            # Echo the request id when the line parsed far enough to
-            # have one, so clients can correlate the failure.
-            line_id = record.get("id") if isinstance(record, dict) else None
-            response = _error_record(
-                line_id, f"{type(exc).__name__}: {exc}"
-            )
-        if not response.get("ok"):
-            errors += 1
-        out_stream.write(json.dumps(response, default=str) + "\n")
-        out_stream.flush()
-        served += 1
-    return ServeStats(served=served, errors=errors)
+            default_flight_recorder().save_json(flight_dump)
+        except OSError:
+            return None  # the dump must never mask the real failure
+        return str(flight_dump)
+
+    try:
+        for line in in_stream:
+            text = line.strip()
+            if not text:
+                continue
+            record: "dict[str, Any] | None" = None
+            try:
+                record = parse_request(text)
+                if record.get("op") in CONTROL_OPS:
+                    response = _control_response(service, record)
+                else:
+                    query = Query.from_any(record)
+                    outcome = service.submit(
+                        [query], request_ids=[new_request_id()]
+                    )[0]
+                    response = _response(record.get("id"), outcome)
+            except Exception as exc:
+                # Echo the request id when the line parsed far enough
+                # to have one, so clients can correlate the failure.
+                line_id = (
+                    record.get("id") if isinstance(record, dict) else None
+                )
+                response = _error_record(
+                    line_id, f"{type(exc).__name__}: {exc}"
+                )
+                default_flight_recorder().record_error(
+                    kind=type(exc).__name__, message=str(exc),
+                    traceback=traceback_mod.format_exc(),
+                )
+            failed = not response.get("ok")
+            if failed:
+                errors += 1
+            op = response.get("op")
+            if op in counts:
+                counts[op][0] += 1
+                if failed:
+                    counts[op][1] += 1
+            out_stream.write(json.dumps(response, default=str) + "\n")
+            out_stream.flush()
+            served += 1
+    except BaseException as exc:
+        # A crash of the serve loop itself is the flight recorder's
+        # prime use case: capture it, dump, and re-raise unchanged.
+        default_flight_recorder().record_error(
+            kind=type(exc).__name__, message=str(exc),
+            traceback=traceback_mod.format_exc(),
+        )
+        _dump()
+        raise
+    dump_path = _dump() if errors else None
+    slo = service.slo_status()
+    return ServeStats(
+        served=served, errors=errors,
+        by_verb=tuple(
+            (v.op, counts[v.op][0], counts[v.op][1]) for v in VERBS
+        ),
+        flight_dump=dump_path,
+        slo_ok=None if slo is None else bool(slo["ok"]),
+    )

@@ -45,6 +45,7 @@ from __future__ import annotations
 import itertools
 import os
 import time
+import traceback as traceback_mod
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, replace
@@ -55,7 +56,16 @@ from repro.context import RunContext
 from repro.designs.generator import Design
 from repro.errors import ReproError
 from repro.netlist.edit import ChangeRecord
-from repro.obs.metrics import counter, default_registry, gauge, histogram
+from repro.obs.flight import default_flight_recorder
+from repro.obs.metrics import (
+    counter,
+    default_registry,
+    gauge,
+    histogram,
+    labeled,
+    latency_buckets,
+)
+from repro.obs.slo import SLOSpec, evaluate_slo
 from repro.obs.trace import baggage, span
 from repro.opt.whatif import (
     CandidateResult,
@@ -66,7 +76,7 @@ from repro.opt.whatif import (
     normalize_candidate,
 )
 from repro.service import keys as keymod
-from repro.service.registry import QUERY_OPS, verb
+from repro.service.registry import QUERY_OPS, VERBS, verb
 from repro.service.store import ArtifactCache
 from repro.service.suite import DesignReport
 from repro.timing.sta import STAEngine
@@ -94,6 +104,35 @@ def new_request_id() -> str:
     span subtree.
     """
     return f"r{os.getpid()}-{next(_request_counter):06d}"
+
+
+def note_request(op: str, request_id: str, seconds: float,
+                 ok: bool = True, cached: "bool | None" = None,
+                 design: str = "", key_prefix: str = "",
+                 error: "str | None" = None) -> None:
+    """The single per-verb telemetry choke point.
+
+    Every answered request — query verbs through
+    :meth:`TimingService._run`, control verbs at the protocol layer —
+    passes through here, which keeps three surfaces in lockstep with
+    the verb registry: the labeled ``service.requests`` /
+    ``service.request.errors`` counters and the per-verb
+    ``service.request.latency{verb=...}`` histogram (scraped via
+    :mod:`repro.obs.expo`), and the flight recorder's request ring
+    (the SLO evaluation window).  No verb can ship without telemetry
+    because dispatch itself is registry-driven and lands here.
+    """
+    counter(labeled("service.requests", verb=op)).inc()
+    if not ok:
+        counter(labeled("service.request.errors", verb=op)).inc()
+    histogram(
+        labeled("service.request.latency", verb=op), latency_buckets()
+    ).observe(seconds)
+    default_flight_recorder().record_request(
+        verb=op, request_id=request_id, design=design,
+        key_prefix=key_prefix, cached=cached, ok=ok,
+        seconds=seconds, error=error,
+    )
 
 
 def _hashable(value: Any) -> Any:
@@ -236,12 +275,16 @@ class TimingService:
     max_engines = 8
 
     def __init__(self, context: "RunContext | None" = None,
-                 cache: "ArtifactCache | None" = None):
+                 cache: "ArtifactCache | None" = None,
+                 slo_spec: "SLOSpec | None" = None):
         self.context = context or RunContext.from_env()
         self.cache = (
             cache if cache is not None
             else ArtifactCache.from_context(self.context)
         )
+        #: Declarative objectives the ``health`` verb evaluates over
+        #: the flight window (``repro-sta serve --slo FILE``).
+        self.slo_spec = slo_spec
         self._bundles: "dict[str, Design]" = {}
         self._factories: "dict[str, Callable[[], Design]]" = {}
         self._engines: "OrderedDict[str, STAEngine]" = OrderedDict()
@@ -249,6 +292,30 @@ class TimingService:
         #: Names resolvable by rebuild in a worker process (suite/fig2).
         self._by_name: "set[str]" = set()
         self._started = time.monotonic()
+        self._register_verb_telemetry()
+
+    @staticmethod
+    def _register_verb_telemetry() -> None:
+        """Pre-create every verb's labeled instruments from the registry.
+
+        Registration (not first use) is what puts a verb on the
+        OpenMetrics exposition, so a scrape of a fresh service already
+        shows one ``service.request.latency{verb=...}`` series per
+        registered op — zeroed, never absent.  Drift-tested in
+        ``tests/service/test_observability.py``: a verb added to the
+        registry ships with telemetry by construction.
+        """
+        registry = default_registry()
+        registry.histogram("service.request.latency", latency_buckets())
+        for row in VERBS:
+            registry.counter(labeled("service.requests", verb=row.op))
+            registry.counter(
+                labeled("service.request.errors", verb=row.op)
+            )
+            registry.histogram(
+                labeled("service.request.latency", verb=row.op),
+                latency_buckets(),
+            )
 
     # ------------------------------------------------------------------
     # Design registry
@@ -352,13 +419,44 @@ class TimingService:
     # Introspection (the `stats` / `health` JSONL verbs)
     # ------------------------------------------------------------------
     def health(self) -> "dict[str, Any]":
-        """Cheap liveness summary — never touches an engine or the cache."""
+        """Cheap liveness summary — never touches an engine or the cache.
+
+        When an SLO spec is installed the summary also carries the
+        objectives evaluated over the flight-recorder request window
+        (``slo`` is ``None`` otherwise), and ``status`` degrades to
+        ``"slo_violation"`` so a bare health probe is enough to see
+        the service out of objective.
+        """
+        slo = self.slo_status()
+        status = "ok"
+        if slo is not None and not slo["ok"]:
+            status = "slo_violation"
         return {
-            "status": "ok",
+            "status": status,
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "designs": len(set(self._bundles) | set(self._factories)),
             "engines_live": len(self._engines),
             "cache_enabled": self.cache is not None,
+            "slo": slo,
+        }
+
+    def slo_status(self) -> "dict[str, Any] | None":
+        """The SLO report over the flight window (None without a spec)."""
+        if self.slo_spec is None:
+            return None
+        report = evaluate_slo(
+            self.slo_spec, default_flight_recorder().requests()
+        )
+        return report.to_dict()
+
+    def metrics_export(self) -> "dict[str, Any]":
+        """The registry rendered as OpenMetrics text (control verb)."""
+        from repro.obs.expo import CONTENT_TYPE, render_openmetrics
+
+        return {
+            "format": "openmetrics",
+            "content_type": CONTENT_TYPE,
+            "text": render_openmetrics(default_registry()),
         }
 
     def stats(self) -> "dict[str, Any]":
@@ -380,9 +478,23 @@ class TimingService:
             cache_stats["memory_entries"] = len(self.cache.memory)
         if self.cache is not None and self.cache.disk is not None:
             cache_stats["disk_bytes"] = self.cache.disk.total_bytes()
+        # One row per registered verb, driven by the registry itself —
+        # the row set cannot drift from the ops the service dispatches.
+        verbs = {
+            row.op: {
+                "requests": registry.counter(
+                    labeled("service.requests", verb=row.op)
+                ).value,
+                "errors": registry.counter(
+                    labeled("service.request.errors", verb=row.op)
+                ).value,
+            }
+            for row in VERBS
+        }
         return {
             **self.health(),
             "queries": registry.counter("service.queries").value,
+            "verbs": verbs,
             "coalesced": registry.counter("service.coalesced").value,
             "errors": registry.counter("service.request.errors").value,
             "invalidations": registry.counter("service.invalidations").value,
@@ -716,6 +828,9 @@ class TimingService:
         counter("service.queries").inc()
         inflight = gauge("service.inflight")
         inflight.add(1)
+        ok = False
+        cached_flag: "bool | None" = None
+        error_text: "str | None" = None
         try:
             with span(
                 "service.query", op=query.op, design=query.design,
@@ -727,13 +842,20 @@ class TimingService:
                 except Exception as exc:
                     query_span.set(error_type=type(exc).__name__)
                     counter("service.request.errors").inc()
+                    error_text = f"{type(exc).__name__}: {exc}"
+                    default_flight_recorder().record_error(
+                        kind=type(exc).__name__, message=str(exc),
+                        traceback=traceback_mod.format_exc(),
+                        request_id=request_id,
+                    )
                     return QueryResult(
                         query=query, ok=False,
                         seconds=time.perf_counter() - start,
-                        error=f"{type(exc).__name__}: {exc}",
+                        error=error_text,
                         request_id=request_id,
                     )
                 query_span.set(cached=cached)
+            ok, cached_flag = True, cached
             return QueryResult(
                 query=query, ok=True, cached=cached,
                 seconds=time.perf_counter() - start, result=result,
@@ -741,8 +863,19 @@ class TimingService:
             )
         finally:
             inflight.add(-1)
-            histogram("service.request.latency").observe(
-                time.perf_counter() - start
+            seconds = time.perf_counter() - start
+            histogram(
+                "service.request.latency", latency_buckets()
+            ).observe(seconds)
+            # The design key is read from the memo only — telemetry
+            # must never trigger a key computation the request itself
+            # did not.
+            key = self._keys.get(query.design)
+            note_request(
+                op=query.op, request_id=request_id, seconds=seconds,
+                ok=ok, cached=cached_flag, design=query.design,
+                key_prefix=key.token[:12] if key is not None else "",
+                error=error_text,
             )
 
     # ------------------------------------------------------------------

@@ -131,11 +131,19 @@ VERBS: "tuple[Verb, ...]" = (
     ),
     Verb(
         op="health", kind="control", handler="health",
-        summary="Cheap liveness summary",
+        summary="Cheap liveness summary plus SLO status",
         request_fields=(),
         cache_key="(control: live process state)",
         artifact_class="",
-        result_schema="dict: status/uptime/designs/engines",
+        result_schema="dict: status/uptime/designs/engines/slo",
+    ),
+    Verb(
+        op="metrics_export", kind="control", handler="metrics_export",
+        summary="OpenMetrics exposition of the metrics registry",
+        request_fields=(),
+        cache_key="(control: live process state)",
+        artifact_class="",
+        result_schema="dict: format/content_type/text (OpenMetrics)",
     ),
 )
 

@@ -1,0 +1,133 @@
+"""OpenMetrics exposition tests: rendering, labels, the scrape server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.expo import (
+    CONTENT_TYPE,
+    parse_metric_name,
+    render_openmetrics,
+    sanitize_metric_name,
+    start_metrics_server,
+)
+from repro.obs.metrics import MetricsRegistry, labeled
+
+
+class TestNameHandling:
+    def test_labeled_round_trips_through_parse(self):
+        name = labeled("service.request.latency", verb="sta", corner="ss")
+        family, labels = parse_metric_name(name)
+        assert family == "service.request.latency"
+        assert labels == {"verb": "sta", "corner": "ss"}
+
+    def test_parse_bare_name(self):
+        assert parse_metric_name("queries.total") == ("queries.total", {})
+
+    def test_labeled_escapes_quotes_and_backslashes(self):
+        name = labeled("m", path='a"b\\c')
+        _family, labels = parse_metric_name(name)
+        assert labels == {"path": 'a"b\\c'}
+
+    def test_sanitize(self):
+        assert sanitize_metric_name("service.request.latency") == \
+            "service_request_latency"
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+class TestRendering:
+    def test_golden_document(self):
+        registry = MetricsRegistry()
+        registry.counter("service.queries").inc(3)
+        registry.counter(labeled("service.requests", verb="sta")).inc(2)
+        registry.counter(labeled("service.requests", verb="health")).inc()
+        registry.gauge("cache.entries").set(7)
+        hist = registry.histogram("fit.seconds", boundaries=[0.1, 1.0])
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = render_openmetrics(registry)
+        assert text == (
+            "# TYPE cache_entries gauge\n"
+            "cache_entries 7\n"
+            "# TYPE fit_seconds histogram\n"
+            'fit_seconds_bucket{le="0.1"} 1\n'
+            'fit_seconds_bucket{le="1"} 2\n'
+            'fit_seconds_bucket{le="+Inf"} 3\n'
+            "fit_seconds_sum 5.55\n"
+            "fit_seconds_count 3\n"
+            "# TYPE service_queries counter\n"
+            "service_queries_total 3\n"
+            "# TYPE service_requests counter\n"
+            'service_requests_total{verb="health"} 1\n'
+            'service_requests_total{verb="sta"} 2\n'
+            "# EOF\n"
+        )
+
+    def test_unset_gauges_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        text = render_openmetrics(registry)
+        assert "never_set" not in text
+        assert text.endswith("# EOF\n")
+
+    def test_renders_a_saved_snapshot_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(4)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert "a_b_total 4" in render_openmetrics(snapshot)
+
+    def test_content_type_names_openmetrics(self):
+        assert "openmetrics-text" in CONTENT_TYPE
+
+
+class TestScrapeServer:
+    @pytest.fixture()
+    def registry(self):
+        registry = MetricsRegistry()
+        registry.counter(labeled("service.requests", verb="sta")).inc(9)
+        return registry
+
+    def test_scrape_and_health_endpoints(self, registry):
+        server = start_metrics_server(
+            port=0, registry=registry,
+            health_fn=lambda: {"status": "ok"},
+        )
+        try:
+            assert server.port > 0
+            response = urllib.request.urlopen(server.url, timeout=5)
+            body = response.read().decode()
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+            assert 'service_requests_total{verb="sta"} 9' in body
+            assert body.endswith("# EOF\n")
+            health_url = server.url.replace("/metrics", "/health")
+            health = json.loads(
+                urllib.request.urlopen(health_url, timeout=5).read()
+            )
+            assert health == {"status": "ok"}
+        finally:
+            server.close()
+
+    def test_unknown_path_is_404(self, registry):
+        server = start_metrics_server(port=0, registry=registry)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    server.url.replace("/metrics", "/nope"), timeout=5
+                )
+            assert excinfo.value.code == 404
+        finally:
+            server.close()
+
+    def test_health_without_fn_is_404(self, registry):
+        server = start_metrics_server(port=0, registry=registry)
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    server.url.replace("/metrics", "/health"), timeout=5
+                )
+            assert excinfo.value.code == 404
+        finally:
+            server.close()

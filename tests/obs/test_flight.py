@@ -1,0 +1,162 @@
+"""Flight-recorder tests: rings, dumps, the span seam, concurrency."""
+
+import json
+import threading
+
+from repro.obs import span
+from repro.obs.flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    default_flight_recorder,
+    format_flight,
+    load_flight,
+)
+
+
+class TestRings:
+    def test_records_round_trip(self):
+        recorder = FlightRecorder()
+        recorder.record_span("sta.update_timing", 0.25, request_id="r1-1")
+        recorder.record_request(
+            "sta", request_id="r1-1", design="D1", key_prefix="abc123",
+            cached=False, ok=True, seconds=0.25,
+        )
+        recorder.record_error("ValueError", "boom", traceback="tb",
+                              request_id="r1-1")
+        (span_rec,) = recorder.spans()
+        (request,) = recorder.requests()
+        (error,) = recorder.errors()
+        assert span_rec.name == "sta.update_timing"
+        assert span_rec.when > 0
+        assert request.verb == "sta" and request.cached is False
+        assert error.kind == "ValueError" and error.traceback == "tb"
+
+    def test_capacity_is_a_hard_bound(self):
+        recorder = FlightRecorder(max_spans=4, max_requests=3, max_errors=2)
+        for index in range(10):
+            recorder.record_span(f"s{index}", 0.0)
+            recorder.record_request(f"v{index}")
+            recorder.record_error("E", f"m{index}")
+        assert [r.name for r in recorder.spans()] == \
+            ["s6", "s7", "s8", "s9"]
+        assert [r.verb for r in recorder.requests()] == ["v7", "v8", "v9"]
+        assert [r.message for r in recorder.errors()] == ["m8", "m9"]
+
+    def test_clear_resets_rings_and_totals(self):
+        recorder = FlightRecorder()
+        recorder.record_request("sta")
+        recorder.clear()
+        assert recorder.requests() == []
+        assert recorder.dump()["recorded"]["requests"] == 0
+
+
+class TestSpanSeam:
+    def test_closed_spans_reach_the_default_recorder(self):
+        recorder = default_flight_recorder()
+        recorder.clear()
+        with span("flight.seam.demo"):
+            pass
+        names = [r.name for r in recorder.spans()]
+        assert "flight.seam.demo" in names
+
+    def test_span_error_and_request_id_captured(self):
+        recorder = default_flight_recorder()
+        recorder.clear()
+        try:
+            with span("flight.seam.fail", request_id="r9-9"):
+                raise RuntimeError("nope")
+        except RuntimeError:
+            pass
+        record = next(
+            r for r in recorder.spans() if r.name == "flight.seam.fail"
+        )
+        assert record.error == "RuntimeError"
+        assert record.request_id == "r9-9"
+
+
+class TestDump:
+    def test_dump_is_schema_versioned_and_json_able(self, tmp_path):
+        recorder = FlightRecorder(max_requests=2)
+        for index in range(5):
+            recorder.record_request("sta", request_id=f"r-{index}")
+        recorder.record_error("E", "m")
+        path = tmp_path / "flight.json"
+        recorder.save_json(path)
+        dump = json.loads(path.read_text())
+        assert dump["schema_version"] == FLIGHT_SCHEMA_VERSION
+        assert dump["recorded"]["requests"] == 5   # lifetime
+        assert dump["retained"]["requests"] == 2   # ring
+        assert [r["request_id"] for r in dump["requests"]] == ["r-3", "r-4"]
+        assert dump["pid"] > 0 and dump["dumped_at"] > 0
+
+    def test_load_flight_tolerates_garbage(self, tmp_path):
+        assert load_flight(tmp_path / "missing.json") is None
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert load_flight(empty) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]")
+        assert load_flight(bad) is None
+
+    def test_format_flight_renders_requests_and_errors(self):
+        recorder = FlightRecorder()
+        recorder.record_request("sta", design="D1", cached=True,
+                                seconds=0.5, request_id="r1-1")
+        recorder.record_request("health")
+        recorder.record_error("ServiceError", "unknown op",
+                              traceback="Trace\n  last frame line")
+        text = format_flight(recorder.dump())
+        assert "sta" in text and "hit" in text and "D1" in text
+        assert "ServiceError" in text and "unknown op" in text
+        assert "last frame line" in text
+
+    def test_format_flight_top_hides_older_rows(self):
+        recorder = FlightRecorder()
+        for index in range(6):
+            recorder.record_request(f"verb{index}")
+        text = format_flight(recorder.dump(), top=2)
+        assert "verb5" in text and "verb4" in text
+        assert "verb0" not in text and "4 older request(s) hidden" in text
+
+
+class TestConcurrency:
+    def test_hammer_never_tears_records_or_overflows(self):
+        recorder = FlightRecorder(max_spans=64, max_requests=64,
+                                  max_errors=16)
+        workers = 8
+        per_worker = 200
+        barrier = threading.Barrier(workers)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for index in range(per_worker):
+                recorder.record_span(f"w{worker}.s{index}", 0.001)
+                recorder.record_request(
+                    "sta", request_id=f"w{worker}-{index}",
+                    design=f"D{worker}", cached=bool(index % 2),
+                    seconds=0.001,
+                )
+                if index % 10 == 0:
+                    recorder.record_error("E", f"w{worker}-{index}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        dump = recorder.dump()
+        assert dump["recorded"]["spans"] == workers * per_worker
+        assert dump["recorded"]["requests"] == workers * per_worker
+        assert len(dump["spans"]) == 64
+        assert len(dump["requests"]) == 64
+        assert len(dump["errors"]) == 16
+        # No torn records: every retained row is fully formed.
+        for record in dump["requests"]:
+            assert record["verb"] == "sta"
+            assert record["request_id"].startswith("w")
+            assert isinstance(record["cached"], bool)
+        json.dumps(dump)  # and the whole document stays JSON-able

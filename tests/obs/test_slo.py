@@ -1,0 +1,185 @@
+"""SLO-layer tests: spec parsing, evaluation windows, verdicts."""
+
+import sys
+
+import pytest
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.slo import (
+    Objective,
+    SLOError,
+    SLOSpec,
+    evaluate_slo,
+    format_slo_report,
+    load_slo_spec,
+)
+
+
+def _spec(**overrides):
+    payload = {
+        "schema_version": 1,
+        "name": "test",
+        "min_requests": 1,
+        "latency": {"*": {"p95": 1.0}},
+        "error_rate_max": 0.25,
+        "cache_hit_ratio_min": 0.5,
+    }
+    payload.update(overrides)
+    return SLOSpec.from_dict(payload)
+
+
+def _requests(recorder=None, rows=()):
+    recorder = recorder or FlightRecorder()
+    for verb, seconds, ok, cached in rows:
+        recorder.record_request(verb, seconds=seconds, ok=ok,
+                                cached=cached)
+    return recorder.requests()
+
+
+class TestSpecParsing:
+    def test_from_dict_builds_objectives(self):
+        spec = _spec()
+        kinds = sorted(o.kind for o in spec.objectives)
+        assert kinds == ["cache_hit_ratio", "error_rate", "latency_p95"]
+        assert spec.name == "test" and spec.min_requests == 1
+
+    def test_per_verb_latency_scopes(self):
+        spec = _spec(latency={"sta": {"p95": 2.0, "p99": 5.0}})
+        scoped = [o for o in spec.objectives if o.verb == "sta"]
+        assert {o.kind for o in scoped} == {"latency_p95", "latency_p99"}
+
+    def test_rejects_unknown_percentile_and_kind(self):
+        with pytest.raises(SLOError):
+            _spec(latency={"*": {"p50": 1.0}})
+        with pytest.raises(SLOError):
+            Objective(kind="availability", threshold=0.99)
+
+    def test_rejects_bad_threshold_and_empty_spec(self):
+        with pytest.raises(SLOError):
+            Objective(kind="error_rate", threshold=-0.1)
+        with pytest.raises(SLOError):
+            SLOSpec.from_dict({"schema_version": 1})
+
+    def test_rejects_wrong_schema_version(self):
+        with pytest.raises(SLOError):
+            _spec(schema_version=99)
+
+    def test_load_json_spec(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            '{"schema_version": 1, "name": "from-json",'
+            ' "latency": {"*": {"p95": 3.0}}}'
+        )
+        spec = load_slo_spec(path)
+        assert spec.name == "from-json"
+        assert spec.objectives[0].threshold == 3.0
+
+    @pytest.mark.skipif(sys.version_info < (3, 11),
+                        reason="tomllib needs Python 3.11")
+    def test_load_toml_spec(self, tmp_path):
+        path = tmp_path / "slo.toml"
+        path.write_text(
+            'schema_version = 1\nname = "from-toml"\n'
+            'error_rate_max = 0.1\n\n[latency."*"]\np95 = 2.5\n'
+        )
+        spec = load_slo_spec(path)
+        assert spec.name == "from-toml"
+        assert {o.kind for o in spec.objectives} == \
+            {"latency_p95", "error_rate"}
+
+    def test_load_rejects_missing_and_malformed(self, tmp_path):
+        with pytest.raises(SLOError):
+            load_slo_spec(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(SLOError):
+            load_slo_spec(bad)
+
+
+class TestEvaluation:
+    def test_all_objectives_pass_on_healthy_window(self):
+        requests = _requests(rows=[
+            ("sta", 0.1, True, False),
+            ("sta", 0.2, True, True),
+            ("health", 0.001, True, None),
+        ])
+        report = evaluate_slo(_spec(), requests)
+        assert report.ok and report.window == 3
+        assert not report.violations
+
+    def test_slow_request_fails_latency_ceiling(self):
+        # The injected slow request dominates p95 over a small window.
+        requests = _requests(rows=[
+            ("sta", 0.1, True, True),
+            ("sta", 9.0, True, True),   # the slow one
+        ])
+        report = evaluate_slo(_spec(), requests)
+        assert not report.ok
+        (violation,) = [
+            v for v in report.violations if v.objective.kind == "latency_p95"
+        ]
+        assert violation.actual == 9.0
+
+    def test_error_budget_exceeded(self):
+        requests = _requests(rows=[
+            ("sta", 0.1, False, True),
+            ("sta", 0.1, True, True),
+        ])
+        report = evaluate_slo(_spec(), requests)
+        kinds = {v.objective.kind for v in report.violations}
+        assert "error_rate" in kinds
+
+    def test_cache_floor_ignores_control_verbs(self):
+        # Only cached-aware (query) rows count toward the ratio; the
+        # control verb rows (cached=None) must not dilute it.
+        requests = _requests(rows=[
+            ("sta", 0.1, True, True),
+            ("health", 0.0, True, None),
+            ("health", 0.0, True, None),
+        ])
+        report = evaluate_slo(_spec(), requests)
+        cache = next(
+            r for r in report.results
+            if r.objective.kind == "cache_hit_ratio"
+        )
+        assert cache.ok and cache.actual == 1.0
+
+    def test_thin_window_skips_not_fails(self):
+        requests = _requests(rows=[("sta", 99.0, False, False)])
+        report = evaluate_slo(_spec(min_requests=5), requests)
+        assert report.ok  # everything skipped, nothing violated
+        assert all(r.skipped for r in report.results)
+
+    def test_evaluates_dump_dict_rows(self):
+        recorder = FlightRecorder()
+        recorder.record_request("sta", seconds=9.0, ok=True, cached=True)
+        recorder.record_request("sta", seconds=9.5, ok=True, cached=True)
+        dump = recorder.dump()
+        report = evaluate_slo(_spec(), dump["requests"])
+        assert not report.ok
+
+    def test_per_verb_scope_only_sees_its_verb(self):
+        spec = _spec(latency={"mgba_fit": {"p95": 1.0}},
+                     error_rate_max=1.0, cache_hit_ratio_min=0.0)
+        requests = _requests(rows=[
+            ("sta", 50.0, True, True),        # slow, but out of scope
+            ("mgba_fit", 0.5, True, True),
+        ])
+        report = evaluate_slo(spec, requests)
+        assert report.ok
+
+
+class TestFormatting:
+    def test_report_renders_verdicts(self):
+        requests = _requests(rows=[
+            ("sta", 9.0, False, False),
+            ("sta", 9.0, True, False),
+        ])
+        text = format_slo_report(evaluate_slo(_spec(), requests))
+        assert "FAIL" in text and "VIOLATION" in text
+        assert "latency_p95" in text
+
+    def test_report_renders_skips(self):
+        report = evaluate_slo(_spec(min_requests=10), [])
+        text = format_slo_report(report)
+        assert "PASS" in text and "skipped" in text

@@ -276,3 +276,56 @@ class TestSpanProfilerHook:
         first = object()
         assert set_span_profiler(first) is None
         assert set_span_profiler(None) is first
+
+
+class TestStreaming:
+    def test_stream_matches_buffered_export(self, tmp_path):
+        streamed = tmp_path / "stream.jsonl"
+        with tracing() as tracer:
+            tracer.stream_jsonl(streamed)
+            with span("flow", design="D3"):
+                with span("flow.solve"):
+                    pass
+            with span("flow2"):
+                pass
+        tracer.close()
+        buffered = tmp_path / "buffered.jsonl"
+        tracer.export_jsonl(buffered)
+        assert streamed.read_text() == buffered.read_text()
+
+    def test_closed_roots_survive_a_crash(self, tmp_path):
+        # The durability contract: once a root span closes, its records
+        # are flushed — a run killed later still leaves a valid trace.
+        path = tmp_path / "crash.jsonl"
+        with pytest.raises(RuntimeError):
+            with tracing() as tracer:
+                tracer.stream_jsonl(path)
+                with span("completed.work"):
+                    pass
+                # simulate dying before close()/export ever runs
+                raise RuntimeError("killed")
+        roots = load_trace(path)  # parseable without tracer.close()
+        assert [r.name for r in roots] == ["completed.work"]
+
+    def test_late_stream_install_replays_existing_roots(self, tmp_path):
+        path = tmp_path / "late.jsonl"
+        with tracing() as tracer:
+            with span("early"):
+                pass
+            tracer.stream_jsonl(path)
+            with span("late"):
+                pass
+        tracer.close()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["early", "late"]
+        assert [r["id"] for r in records] == [0, 1]
+
+    def test_double_stream_is_an_error_and_close_is_idempotent(
+            self, tmp_path):
+        with tracing() as tracer:
+            tracer.stream_jsonl(tmp_path / "a.jsonl")
+            with pytest.raises(ValueError):
+                tracer.stream_jsonl(tmp_path / "b.jsonl")
+        tracer.close()
+        tracer.close()  # no-op

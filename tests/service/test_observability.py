@@ -1,0 +1,226 @@
+"""Service observability tests: per-verb telemetry, flight dumps, SLOs.
+
+The drift guarantees under test: every verb in the registry gets a
+``verb``-labeled telemetry series the moment a service is constructed,
+``ServeStats.by_verb`` carries one row per registry verb, and the
+``health`` verb reports SLO status when a spec is configured.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.context import RunContext
+from repro.obs.expo import render_openmetrics
+from repro.obs.flight import default_flight_recorder
+from repro.obs.metrics import default_registry, labeled
+from repro.obs.slo import SLOSpec
+from repro.service import TimingService, serve
+from repro.service.registry import VERBS
+
+
+def _slo_spec(**overrides):
+    payload = {
+        "schema_version": 1, "name": "test-slo", "min_requests": 1,
+        "latency": {"*": {"p95": 60.0}}, "error_rate_max": 1.0,
+    }
+    payload.update(overrides)
+    return SLOSpec.from_dict(payload)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    default_flight_recorder().clear()
+    return TimingService(context=RunContext.from_env(
+        workers=1, backend="serial", cache_dir=str(tmp_path / "cache"),
+        solver="direct", k_per_endpoint=6, pba_k=8,
+    ))
+
+
+def _serve(service, *records, flight_dump=None):
+    out = io.StringIO()
+    stream = io.StringIO(
+        "".join(json.dumps(r) + "\n" for r in records)
+    )
+    stats = serve(service, stream, out, flight_dump=flight_dump)
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    return stats, responses
+
+
+class TestVerbLabelDrift:
+    def test_every_registry_verb_is_a_latency_label(self, service):
+        # Constructing the service pre-registers the per-verb series,
+        # so a scrape before any traffic already exposes every verb —
+        # the dashboards' label set can never drift from the registry.
+        text = render_openmetrics(default_registry())
+        for row in VERBS:
+            assert f'service_request_latency_count{{verb="{row.op}"}}' \
+                in text, f"verb {row.op} missing from exposition"
+            assert f'service_requests_total{{verb="{row.op}"}}' in text
+
+    def test_dispatch_increments_the_labeled_counters(self, service):
+        name = labeled("service.requests", verb="sta")
+        before = default_registry().counter(name).value
+        service.submit([{"op": "sta", "design": "fig2"}])[0]
+        assert default_registry().counter(name).value == before + 1
+
+
+class TestFlightCapture:
+    def test_queries_land_in_the_flight_window(self, service):
+        service.submit([{"op": "sta", "design": "fig2"}])[0]
+        requests = default_flight_recorder().requests()
+        record = next(r for r in requests if r.verb == "sta")
+        assert record.design == "fig2"
+        assert record.cached is False
+        assert record.key_prefix  # the cache-key prefix is recorded
+        assert record.request_id
+
+    def test_control_verbs_recorded_without_cache_flag(self, service):
+        _stats, responses = _serve(service, {"id": 1, "op": "health"})
+        assert responses[0]["ok"]
+        record = next(
+            r for r in default_flight_recorder().requests()
+            if r.verb == "health"
+        )
+        assert record.cached is None
+
+    def test_failed_query_records_error_with_traceback(self, service):
+        result = service.submit([{"op": "sta", "design": "no_such"}])[0]
+        assert not result.ok
+        errors = default_flight_recorder().errors()
+        assert errors and "no_such" in errors[-1].message
+        assert "Traceback" in errors[-1].traceback
+
+
+class TestServeFlightDump:
+    def test_error_path_exit_writes_schema_versioned_dump(
+            self, service, tmp_path):
+        dump_path = tmp_path / "flight.json"
+        stats, responses = _serve(
+            service,
+            {"id": 1, "op": "sta", "design": "fig2"},
+            {"id": 2, "op": "sta", "design": "no_such_design"},
+            flight_dump=dump_path,
+        )
+        assert stats.errors == 1
+        assert stats.flight_dump == str(dump_path)
+        dump = json.loads(dump_path.read_text())
+        assert dump["schema_version"] == 1
+        verbs = [r["verb"] for r in dump["requests"]]
+        assert verbs.count("sta") == 2
+        assert any(not r["ok"] for r in dump["requests"])
+        assert dump["errors"]
+
+    def test_clean_session_writes_no_dump(self, service, tmp_path):
+        dump_path = tmp_path / "flight.json"
+        stats, _responses = _serve(
+            service, {"id": 1, "op": "health"}, flight_dump=dump_path,
+        )
+        assert stats.errors == 0
+        assert stats.flight_dump is None
+        assert not dump_path.exists()
+
+    def test_escaping_exception_still_dumps(self, service, tmp_path):
+        dump_path = tmp_path / "flight.json"
+
+        class Boom(BaseException):
+            pass
+
+        def explode():
+            raise Boom("serve loop died")
+
+        service.health = explode  # crash inside the dispatch loop
+        with pytest.raises(Boom):
+            _serve(service, {"id": 1, "op": "health"},
+                   flight_dump=dump_path)
+        dump = json.loads(dump_path.read_text())
+        assert any(e["kind"] == "Boom" for e in dump["errors"])
+
+
+class TestServeStats:
+    def test_by_verb_covers_the_whole_registry(self, service):
+        stats, _responses = _serve(
+            service,
+            {"id": 1, "op": "sta", "design": "fig2"},
+            {"id": 2, "op": "health"},
+        )
+        rows = dict(
+            (op, (served, errors)) for op, served, errors in stats.by_verb
+        )
+        assert set(rows) == {v.op for v in VERBS}
+        assert rows["sta"] == (1, 0)
+        assert rows["health"] == (1, 0)
+        assert rows["mgba_fit"] == (0, 0)
+
+    def test_slo_ok_is_none_without_a_spec(self, service):
+        stats, _responses = _serve(service, {"id": 1, "op": "health"})
+        assert stats.slo_ok is None
+
+    def test_stats_verb_counts_derive_from_registry(self, service):
+        # The registry is process-global, so judge deltas, not totals.
+        before = service.stats()["verbs"]
+        service.submit([{"op": "sta", "design": "fig2"}])[0]
+        after = service.stats()["verbs"]
+        assert set(after) == {v.op for v in VERBS}
+        assert after["sta"]["requests"] == before["sta"]["requests"] + 1
+        assert after["sta"]["errors"] == before["sta"]["errors"]
+
+
+class TestMetricsExportVerb:
+    def test_returns_valid_exposition(self, service):
+        _stats, responses = _serve(
+            service,
+            {"id": 1, "op": "sta", "design": "fig2"},
+            {"id": 2, "op": "metrics_export"},
+        )
+        result = responses[1]["result"]
+        assert result["format"] == "openmetrics"
+        assert "openmetrics-text" in result["content_type"]
+        assert result["text"].endswith("# EOF\n")
+        assert 'service_requests_total{verb="sta"}' in result["text"]
+
+
+class TestSLOHealth:
+    def test_health_reports_slo_pass(self, tmp_path):
+        default_flight_recorder().clear()
+        service = TimingService(
+            context=RunContext.from_env(
+                workers=1, backend="serial",
+                cache_dir=str(tmp_path / "cache"),
+            ),
+            slo_spec=_slo_spec(),
+        )
+        _stats, responses = _serve(
+            service,
+            {"id": 1, "op": "sta", "design": "fig2"},
+            {"id": 2, "op": "health"},
+        )
+        health = responses[1]["result"]
+        assert health["status"] == "ok"
+        assert health["slo"]["ok"] is True
+        assert health["slo"]["spec"] == "test-slo"
+
+    def test_health_flags_slo_violation(self, tmp_path):
+        default_flight_recorder().clear()
+        service = TimingService(
+            context=RunContext.from_env(
+                workers=1, backend="serial",
+                cache_dir=str(tmp_path / "cache"),
+            ),
+            # Impossible ceiling: any real request violates it.
+            slo_spec=_slo_spec(latency={"*": {"p95": 0.0}}),
+        )
+        stats, responses = _serve(
+            service,
+            {"id": 1, "op": "sta", "design": "fig2"},
+            {"id": 2, "op": "health"},
+        )
+        health = responses[1]["result"]
+        assert health["status"] == "slo_violation"
+        assert health["slo"]["ok"] is False
+        assert stats.slo_ok is False
+
+    def test_health_without_spec_reports_none(self, service):
+        _stats, responses = _serve(service, {"id": 1, "op": "health"})
+        assert responses[0]["result"]["slo"] is None

@@ -57,7 +57,7 @@ class TestRegistry:
     def test_expected_verbs_present(self):
         assert {"sta", "pba_slacks", "mgba_fit", "evaluate", "explain",
                 "scenario_sweep", "what_if", "min_period"} == set(QUERY_OPS)
-        assert {"stats", "health"} == set(CONTROL_OPS)
+        assert {"stats", "health", "metrics_export"} == set(CONTROL_OPS)
 
 
 class TestDocsEmbedding:

@@ -401,3 +401,178 @@ class TestBenchHistoryCommand:
             "bench-history", str(tmp_path / "absent.jsonl"),
         ]) == 0
         assert "(empty history)" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def _serve(self, monkeypatch, tmp_path, lines, extra=()):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        return main([
+            "serve", "--cache-dir", str(tmp_path / "cache"), *extra,
+        ])
+
+    def test_serve_error_exit_dumps_flight(self, tmp_path, capsys,
+                                           monkeypatch):
+        import json
+
+        dump = tmp_path / "flight.json"
+        code = self._serve(
+            monkeypatch, tmp_path,
+            json.dumps({"id": 1, "op": "sta", "design": "zzz"}) + "\n",
+            extra=["--flight-dump", str(dump)],
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert f"flight recorder dumped to {dump}" in captured.err
+        assert json.loads(dump.read_text())["schema_version"] == 1
+
+    def test_serve_no_flight_dump_flag(self, tmp_path, capsys,
+                                       monkeypatch):
+        import json
+
+        code = self._serve(
+            monkeypatch, tmp_path,
+            json.dumps({"op": "sta", "design": "zzz"}) + "\n",
+            extra=["--flight-dump", str(tmp_path / "f.json"),
+                   "--no-flight-dump"],
+        )
+        assert code == 2
+        assert not (tmp_path / "f.json").exists()
+        capsys.readouterr()
+
+    def test_serve_with_slo_reports_status(self, tmp_path, capsys,
+                                           monkeypatch):
+        import json
+
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps({
+            "schema_version": 1, "min_requests": 1,
+            "latency": {"*": {"p95": 60.0}},
+        }))
+        code = self._serve(
+            monkeypatch, tmp_path,
+            json.dumps({"op": "sta", "design": "fig2"}) + "\n",
+            extra=["--slo", str(spec)],
+        )
+        assert code == 0
+        assert "SLO ok" in capsys.readouterr().err
+
+    def test_serve_bad_slo_spec_exits_2(self, tmp_path, capsys,
+                                        monkeypatch):
+        spec = tmp_path / "slo.json"
+        spec.write_text("{}")
+        code = self._serve(monkeypatch, tmp_path, "", ["--slo", str(spec)])
+        assert code == 2
+        assert "serve:" in capsys.readouterr().err
+
+    def test_serve_expose_metrics_scrapes(self, tmp_path, capsys,
+                                          monkeypatch):
+        import json
+        import re
+        import urllib.request
+
+        real_serve = None
+
+        def scraping_serve(service, in_stream, out_stream, **kwargs):
+            # Scrape while the endpoint is alive, mid-session.
+            err = capsys.readouterr().err
+            match = re.search(r"http://[\d.]+:\d+/metrics", err)
+            assert match, f"no endpoint URL announced: {err!r}"
+            body = urllib.request.urlopen(match.group(0), timeout=5) \
+                .read().decode()
+            assert body.endswith("# EOF\n")
+            assert 'service_requests_total{verb="sta"}' in body
+            return real_serve(service, in_stream, out_stream, **kwargs)
+
+        from repro.service import batch
+
+        real_serve = batch.serve
+        monkeypatch.setattr("repro.service.batch.serve", scraping_serve)
+        monkeypatch.setattr("repro.service.serve", scraping_serve)
+        code = self._serve(
+            monkeypatch, tmp_path,
+            json.dumps({"op": "health"}) + "\n",
+            extra=["--expose-metrics", "0"],
+        )
+        assert code == 0
+
+    def test_metrics_export_from_snapshot(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.metrics import MetricsRegistry, labeled
+
+        registry = MetricsRegistry()
+        registry.counter(labeled("service.requests", verb="sta")).inc(5)
+        snapshot = tmp_path / "metrics.json"
+        snapshot.write_text(json.dumps(registry.snapshot()))
+        code = main(["metrics-export", "--metrics", str(snapshot)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'service_requests_total{verb="sta"} 5' in out
+        assert out.endswith("# EOF\n")
+
+    def test_metrics_export_missing_snapshot_exits_2(self, tmp_path,
+                                                     capsys):
+        code = main(["metrics-export", "--metrics",
+                     str(tmp_path / "nope.json")])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_slo_check_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder()
+        recorder.record_request("sta", seconds=5.0, ok=True, cached=True)
+        dump = tmp_path / "flight.json"
+        recorder.save_json(dump)
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps({
+            "schema_version": 1, "min_requests": 1,
+            "latency": {"*": {"p95": 10.0}},
+        }))
+        assert main(["slo-check", "--spec", str(spec),
+                     "--flight", str(dump)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        tight = tmp_path / "tight.json"
+        tight.write_text(json.dumps({
+            "schema_version": 1, "min_requests": 1,
+            "latency": {"*": {"p95": 1.0}},
+        }))
+        assert main(["slo-check", "--spec", str(tight),
+                     "--flight", str(dump)]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_slo_check_unreadable_inputs_exit_2(self, tmp_path, capsys):
+        assert main(["slo-check", "--spec", str(tmp_path / "no.json"),
+                     "--flight", str(tmp_path / "no2.json")]) == 2
+        spec = tmp_path / "slo.json"
+        spec.write_text('{"schema_version": 1, "error_rate_max": 0.1}')
+        assert main(["slo-check", "--spec", str(spec),
+                     "--flight", str(tmp_path / "no2.json")]) == 2
+        capsys.readouterr()
+
+    def test_obs_report_flight(self, tmp_path, capsys):
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder()
+        recorder.record_request("sta", design="fig2", cached=False,
+                                seconds=0.2, request_id="r1-1")
+        recorder.record_error("ServiceError", "bad op")
+        dump = tmp_path / "flight.json"
+        recorder.save_json(dump)
+        assert main(["obs-report", "--flight", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "ServiceError" in out
+
+    def test_trace_stream_is_durable_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(trace), "sta", "fig2"]) == 0
+        capsys.readouterr()
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert records and any(r["parent"] is None for r in records)
