@@ -23,6 +23,11 @@ Subcommands
                (exit 1 on violation — the advisory CI gate).
 ``bench-history`` list/compare the benchmark time series
                (``bench_metrics/history.jsonl``) and flag regressions.
+``cache``      inspect or manage the on-disk artifact store:
+               ``stats`` (per-class entry/byte counts), ``warm DESIGN``
+               (pre-build and persist the design's levelized layout so
+               the next cold process hydrates instead of rebuilding),
+               ``clear`` (drop entries, optionally one ``--class``).
 
 Query commands route through the stable :mod:`repro.api` facade;
 ``batch`` / ``serve`` go through the :class:`repro.service`
@@ -280,6 +285,98 @@ def _cmd_bench_history(args) -> int:
         print(format_compare(compare(records, tolerance=args.tolerance)))
         return 0
     print(format_list(records))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from collections import Counter as TallyCounter
+
+    from repro.context import RunContext
+    from repro.service.store import (
+        ARTIFACT_CLASSES,
+        SCHEMA_VERSION,
+        DiskStore,
+    )
+
+    overrides = {}
+    if getattr(args, "cache_dir", None):
+        overrides["cache_dir"] = args.cache_dir
+    context = RunContext.from_env(**overrides)
+    if not context.cache or not context.cache_dir:
+        print("cache: the artifact cache is disabled "
+              "(REPRO_CACHE=0 or empty cache dir)", file=sys.stderr)
+        return 2
+    store = DiskStore(context.cache_dir,
+                      max_bytes=context.cache_disk_bytes)
+
+    if args.action == "clear":
+        cls = args.artifact_class
+        if cls is not None and cls not in ARTIFACT_CLASSES:
+            print(f"cache: unknown class {cls!r}; choose from "
+                  f"{', '.join(ARTIFACT_CLASSES)}", file=sys.stderr)
+            return 2
+        removed = store.invalidate(cls)
+        scope = f"class {cls!r}" if cls else "all classes"
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"({scope}) from {context.cache_dir}")
+        return 0
+
+    if args.action == "warm":
+        if not args.design:
+            print("cache: warm needs a design name "
+                  "(repro-sta cache warm D1)", file=sys.stderr)
+            return 2
+        from repro.obs.metrics import counter
+        from repro.timing import kernel as kernel_mod
+
+        from dataclasses import replace
+
+        design = api.load_design(args.design)
+        hits0 = counter("kernel.layout_disk_hits").value
+        misses0 = counter("kernel.layout_disk_misses").value
+        kernel_mod.set_layout_disk_store(store)
+        try:
+            # Bypass the in-process LRU: a still-cached layout from an
+            # earlier in-process run would skip the disk tier entirely.
+            # The kernel is pinned to vector — only it has a layout to
+            # warm, regardless of REPRO_STA_KERNEL.
+            kernel_mod.clear_layout_cache()
+            engine = STAEngine(
+                design.netlist, design.constraints, design.placement,
+                replace(design.sta_config, kernel="vector"),
+            )
+            engine.update_timing()
+        finally:
+            kernel_mod.set_layout_disk_store(None)
+        hits = int(counter("kernel.layout_disk_hits").value - hits0)
+        misses = int(counter("kernel.layout_disk_misses").value - misses0)
+        state = "already warm (hydrated from disk)" if hits else "persisted"
+        print(f"{args.design}: levelized layout {state} under "
+              f"{context.cache_dir} (disk hits {hits}, misses {misses})")
+        return 0
+
+    # stats
+    tally: "TallyCounter[str]" = TallyCounter()
+    sizes: "TallyCounter[str]" = TallyCounter()
+    for path in store.entries():
+        cls = path.parent.name
+        tally[cls] += 1
+        try:
+            sizes[cls] += path.stat().st_size
+        except OSError:
+            pass
+    total_entries = sum(tally.values())
+    total_bytes = sum(sizes.values())
+    print(f"artifact store {context.cache_dir} (schema v{SCHEMA_VERSION}):")
+    header = f"{'class':<12} {'entries':>8} {'bytes':>12}"
+    print(header)
+    print("-" * len(header))
+    for cls in ARTIFACT_CLASSES:
+        if tally[cls]:
+            print(f"{cls:<12} {tally[cls]:>8} {sizes[cls]:>12}")
+    print("-" * len(header))
+    print(f"{'total':<12} {total_entries:>8} {total_bytes:>12} "
+          f"(budget {store.max_bytes})")
     return 0
 
 
@@ -1037,6 +1134,29 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 3)",
     )
 
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or manage the on-disk artifact store",
+    )
+    p_cache.add_argument(
+        "action", choices=["stats", "warm", "clear"],
+        help="stats: per-class entry/byte counts; warm: pre-build and "
+             "persist a design's levelized layout; clear: drop entries",
+    )
+    p_cache.add_argument(
+        "design", nargs="?", default=None,
+        help="design to warm (required for the warm action)",
+    )
+    p_cache.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact-cache directory "
+             "(default .repro_cache, or REPRO_CACHE_DIR)",
+    )
+    p_cache.add_argument(
+        "--class", dest="artifact_class", metavar="CLS", default=None,
+        help="restrict clear to one artifact class (e.g. layout, sta)",
+    )
+
     return parser
 
 
@@ -1060,6 +1180,7 @@ _COMMANDS = {
     "slo-check": _cmd_slo_check,
     "obs-report": _cmd_obs_report,
     "bench-history": _cmd_bench_history,
+    "cache": _cmd_cache,
 }
 
 

@@ -8,7 +8,11 @@ module turns that inner loop into a batched, parallel API:
   design.  Each candidate is applied to an engine, measured, and
   reverted; with a parallel :class:`~repro.context.RunContext` the
   candidate list is chunked across workers, each worker evaluating its
-  chunk on a private engine clone.  Both paths are **bit-identical**: a
+  chunk on a private engine clone.  The apply→measure→revert loop is
+  *layout-stable*: bounded structural edits (buffer in/out) are spliced
+  into the engine's levelized layout by
+  :func:`repro.timing.kernel.patch_layout` instead of re-flattening the
+  whole graph per candidate.  Both paths are **bit-identical**: a
   candidate's result never depends on which worker (or how many)
   evaluated it, which is what lets the service cache single candidates
   content-addressed (``repro.service.keys.what_if_key``).

@@ -17,7 +17,11 @@ the "timing graph + STA state" artifact class), and an
   edit list) — per candidate, so any batch hits on every candidate an
   earlier request already scored;
 * ``min_period`` — min-period searches keyed by (design, clock,
-  tolerance, iteration cap, corner).
+  tolerance, iteration cap, corner);
+* ``layout`` — the vector kernel's persisted levelized-layout
+  structural arrays, keyed by (netlist hash, boundary, GBA depths) —
+  wired into :mod:`repro.timing.kernel` at service construction so a
+  serve restart hydrates instead of re-flattening known designs.
 
 Dispatch is declarative: every verb (query and control) is one row in
 :mod:`repro.service.registry`, which also feeds the JSONL layer, the
@@ -282,6 +286,15 @@ class TimingService:
             cache if cache is not None
             else ArtifactCache.from_context(self.context)
         )
+        # Layout persistence rides the same disk tier: engines built
+        # by this service (and by the per-design workers, which
+        # construct their own TimingService) hydrate cold levelized
+        # layouts from the store's ``layout/`` class instead of
+        # re-flattening known designs.
+        if self.cache is not None and self.cache.disk is not None:
+            from repro.timing import kernel as kernel_mod
+
+            kernel_mod.set_layout_disk_store(self.cache.disk)
         #: Declarative objectives the ``health`` verb evaluates over
         #: the flight window (``repro-sta serve --slo FILE``).
         self.slo_spec = slo_spec

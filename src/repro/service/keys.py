@@ -177,6 +177,19 @@ def scenario_key(design: DesignKey,
     return digest(parts)
 
 
+def layout_key(content: "tuple[Any, ...]", schema: int) -> str:
+    """Key of a persisted levelized-layout artifact.
+
+    ``content`` is the kernel's in-process layout cache key — netlist
+    hash, boundary conditions, and GBA depth map — available only for
+    *pristine* graphs (``structure_version == pristine_version``), which
+    is exactly what makes slot assignment a pure function of content.
+    The payload ``schema`` version is key material too: a layout format
+    change simply misses instead of needing a cache wipe.
+    """
+    return digest(["layout", schema, repr(content)])
+
+
 def problem_fingerprint(problem) -> str:
     """Digest of one mGBA problem instance (the A matrix and friends).
 

@@ -17,6 +17,7 @@ Disk layout (versioned schema)::
         pba/<key>.pkl
         solve/<key>.pkl
         fit/<key>.pkl
+        layout/<key>.pkl     levelized-layout structural arrays
 
 Bumping :data:`SCHEMA_VERSION` retires every old artifact at once: a
 store initialized at version N wipes any ``v*`` directory of a
@@ -54,10 +55,12 @@ logger = get_logger("service.store")
 #: shapes change incompatibly; old versions are wiped, not migrated.
 SCHEMA_VERSION = 1
 
-#: Recognized artifact classes, in pipeline order.
+#: Recognized artifact classes, in pipeline order.  ``layout`` holds
+#: the vector kernel's persisted :class:`LevelizedLayout` structural
+#: arrays (see :func:`repro.timing.kernel.set_layout_disk_store`).
 ARTIFACT_CLASSES = (
     "sta", "scenarios", "pba", "solve", "fit", "explain",
-    "what_if", "min_period",
+    "what_if", "min_period", "layout",
 )
 
 

@@ -22,6 +22,14 @@ from repro.errors import TimingError
 from repro.liberty.cell import ArcKind, PinDirection, TimingArc
 from repro.netlist.core import Netlist, PinRef, PortDirection
 
+#: Cap on retained structure-journal entries.  Each node/edge mutation
+#: appends one entry; once the deque overflows, the floor version rises
+#: and ``touched_since`` answers ``None`` for anything older, forcing
+#: layout consumers back to a full rebuild.  512 covers hundreds of
+#: buffer insert/remove edits between timing queries — far beyond the
+#: one-or-two-edit window the what-if loop actually patches across.
+_JOURNAL_MAX = 512
+
 
 class NodeKind(enum.Enum):
     """What a timing node represents."""
@@ -114,6 +122,17 @@ class TimingGraph:
         #: change (resize / vt swap); invalidates the kernel's
         #: per-level LUT grouping but not the layout itself.
         self.arc_epoch: int = 0
+        #: Bounded journal of structural mutations: one
+        #: ``(structure_version_after, node_ids, edge_ids)`` entry per
+        #: mutation, newest last.  ``touched_since`` folds these into
+        #: the touched node/edge sets the kernel's layout patcher needs
+        #: to splice an edit into an existing levelization.
+        self._journal: deque[tuple[int, tuple[int, ...], tuple[int, ...]]] = (
+            deque()
+        )
+        #: Highest version already trimmed out of the journal; asking
+        #: ``touched_since`` for anything below it is unanswerable.
+        self._journal_floor: int = 0
         self._build()
         #: ``structure_version`` as of the end of construction.  A graph
         #: still at this version is *pristine*: its node/edge slot
@@ -159,6 +178,7 @@ class TimingGraph:
         self.node_of[ref] = node_id
         self._topo_cache = None
         self.structure_version += 1
+        self._note_structure(nodes=(node_id,))
         return node
 
     def _new_edge(self, src: int, dst: int, kind: EdgeKind, **attrs) -> TimingEdge:
@@ -174,6 +194,7 @@ class TimingGraph:
         self.in_edges[dst].append(edge_id)
         self._topo_cache = None
         self.structure_version += 1
+        self._note_structure(nodes=(src, dst), edges=(edge_id,))
         return edge
 
     def _drop_edge(self, edge_id: int) -> None:
@@ -185,6 +206,7 @@ class TimingGraph:
         self._free_edges.append(edge_id)
         self._topo_cache = None
         self.structure_version += 1
+        self._note_structure(nodes=(edge.src, edge.dst), edges=(edge_id,))
 
     def add_gate_nodes(self, gate_name: str) -> list[int]:
         """Create nodes and cell edges for a (new) gate instance."""
@@ -240,6 +262,7 @@ class TimingGraph:
             self._free_nodes.append(node_id)
         self._topo_cache = None
         self.structure_version += 1
+        self._note_structure(nodes=tuple(node_id for _, node_id in doomed))
 
     def rebuild_net(self, net_name: str) -> list[int]:
         """(Re)create the net edges of one net; returns new edge ids.
@@ -267,6 +290,40 @@ class TimingGraph:
             edge = self._new_edge(src, dst, EdgeKind.NET, net=net_name)
             created.append(edge.id)
         return created
+
+    def _note_structure(
+        self,
+        nodes: tuple[int, ...] = (),
+        edges: tuple[int, ...] = (),
+    ) -> None:
+        """Record one structural mutation in the bounded journal."""
+        self._journal.append((self.structure_version, nodes, edges))
+        while len(self._journal) > _JOURNAL_MAX:
+            version, _, _ = self._journal.popleft()
+            if version > self._journal_floor:
+                self._journal_floor = version
+
+    def touched_since(
+        self, version: int
+    ) -> tuple[set[int], set[int]] | None:
+        """Node/edge ids touched by every mutation after ``version``.
+
+        Returns ``(node_ids, edge_ids)`` — slot ids, which may since
+        have been freed or reused; consumers must re-read liveness from
+        the graph.  Returns ``None`` when the journal has been trimmed
+        past ``version`` (too many edits): the caller must fall back to
+        a full rebuild.
+        """
+        if version < self._journal_floor:
+            return None
+        nodes: set[int] = set()
+        edges: set[int] = set()
+        for entry_version, entry_nodes, entry_edges in reversed(self._journal):
+            if entry_version <= version:
+                break
+            nodes.update(entry_nodes)
+            edges.update(entry_edges)
+        return nodes, edges
 
     # ------------------------------------------------------------------
     # Queries

@@ -14,6 +14,7 @@ Correctness contract (property-tested): after any sequence of edits,
 from __future__ import annotations
 
 import heapq
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -27,6 +28,11 @@ from repro.timing.propagation import (
     propagate_full,
     relax_node,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netlist.core import PinRef
+    from repro.timing.delaycalc import DelayCalculator
+    from repro.timing.sta import STAEngine
 
 _EPS = 1e-9
 
@@ -73,13 +79,13 @@ def _collect_seed_nodes(graph: TimingGraph, change: ChangeRecord) -> set[int]:
     return seeds
 
 
-def _ref(gate: str, pin: str):
+def _ref(gate: str, pin: str) -> "PinRef":
     from repro.netlist.core import PinRef
 
     return PinRef(gate, pin)
 
 
-def _mirror_structure(engine, change: ChangeRecord) -> bool:
+def _mirror_structure(engine: "STAEngine", change: ChangeRecord) -> bool:
     """Sync the timing graph with the netlist after an edit.
 
     Returns True when topology changed (new/removed nodes or edges), in
@@ -152,7 +158,7 @@ def refresh_gate_arcs(graph: TimingGraph, gate_name: str) -> None:
 
 def propagate_incremental(
     graph: TimingGraph,
-    calc,
+    calc: "DelayCalculator",
     state: TimingState,
     boundary: BoundaryConditions,
     seeds: set[int],
@@ -208,12 +214,12 @@ def propagate_incremental(
     return visited
 
 
-def _propagate(engine, seeds: set[int]) -> int:
+def _propagate(engine: "STAEngine", seeds: set[int]) -> int:
     """Run the engine's configured incremental kernel over ``seeds``.
 
-    The vector kernel sweeps the levelized layout with a dirty mask
-    (see :func:`repro.timing.kernel.propagate_incremental`); the scalar
-    kernel runs the rank-ordered worklist above.  Both relax the same
+    The vector kernel advances a per-level frontier over the levelized
+    layout (see :func:`repro.timing.kernel.propagate_incremental`); the
+    scalar kernel runs the rank-ordered worklist above.  Both relax the same
     node set and produce bit-identical states.  An unexpected vector
     failure falls back to a *full* scalar pass (a fixpoint regardless
     of how far the vector sweep got) and counts ``kernel.fallbacks``.
@@ -241,7 +247,7 @@ def _propagate(engine, seeds: set[int]) -> int:
     )
 
 
-def _seed_derate_moves(engine, seeds: set[int],
+def _seed_derate_moves(engine: "STAEngine", seeds: set[int],
                        old_derates: np.ndarray) -> None:
     """Seed the dst of every edge whose late derate moved (or is new).
 
@@ -275,7 +281,7 @@ def _seed_derate_moves(engine, seeds: set[int],
             seeds.add(edge.dst)
 
 
-def apply_change_incremental(engine, change: ChangeRecord) -> int:
+def apply_change_incremental(engine: "STAEngine", change: ChangeRecord) -> int:
     """Mirror a netlist edit into an engine and update its timing.
 
     Returns the number of nodes the incremental pass visited (useful

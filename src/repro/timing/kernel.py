@@ -33,16 +33,35 @@ reductions are order-independent, so arrivals, slews, slacks, and
 required times are *bit-identical* between kernels — full updates,
 weighted (mGBA) updates, and post-edit incremental states alike.
 
-Incremental updates reuse the layout: a boolean dirty mask seeded from
-the edit's cone sweeps the levels in order, re-relaxing only the dirty
-slice of each level and marking fanout dirty exactly when the scalar
-worklist would (value or out-edge movement beyond the shared epsilon),
-so ``closure.run``'s thousands of ECO updates ride the same arrays.
+Incremental updates reuse the layout: a per-level frontier seeded from
+the edit's cone advances through exactly the levels that contain dirty
+nodes (a heap of level indices over id buckets), re-relaxing only the
+dirty slice of each touched level and marking fanout dirty exactly when
+the scalar worklist would (value or out-edge movement beyond the shared
+epsilon) — O(cone), not O(levels) — so ``closure.run``'s thousands of
+ECO updates ride the same arrays.
+
+Two cold-path amortizations complete the picture.  **Persistence**: a
+pristine graph's structural arrays are content-addressed and, when a
+:class:`~repro.service.store.DiskStore` is attached via
+:func:`set_layout_disk_store`, serialized under its ``layout/`` class —
+a process-level cache miss hydrates from disk instead of re-flattening,
+so serve restarts and repeated CLI runs never rebuild a known design.
+**Patching**: a bounded structural edit (the what-if loop's buffer
+insert/remove) is spliced into the existing layout by
+:func:`patch_layout` using the graph's structure journal, falling back
+to a full rebuild whenever the edit's level impact is not provably
+local.  Both paths preserve the bit-identity contract: a hydrated or
+patched layout is structurally equal to a fresh build up to level
+assignment legality, which the sweeps' per-node reductions are
+insensitive to.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import heapq
+import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
@@ -137,6 +156,12 @@ class LevelizedLayout:
     net_eids_by_level: list[np.ndarray]
     net_srcs_by_level: list[np.ndarray]
     cell_eids_by_level: list[np.ndarray]
+    # -- id-indexed topology mirrors -----------------------------------
+    #: Level per node id (-1 dead) — the frontier sweep buckets dirty
+    #: nodes by it, and the patcher's worklist updates it in place.
+    node_level: np.ndarray
+    edge_src: np.ndarray             # id-indexed src node (dead slots stale)
+    edge_is_net: np.ndarray          # bool, id-indexed
     # -- lazily (arc-epoch keyed) rebuilt LUT grouping ------------------
     _group_epoch: int = field(default=-1, repr=False)
     _cell_groups: "list[list[tuple[Any, Any, np.ndarray, np.ndarray]]]" = field(
@@ -209,6 +234,36 @@ class LevelizedLayout:
 _LAYOUT_CACHE_MAX = 8
 _layout_cache: "OrderedDict[tuple, LevelizedLayout]" = OrderedDict()
 
+#: Version of the persisted layout payload.  Key material (a schema
+#: bump misses cleanly instead of needing a cache wipe) *and* a payload
+#: sanity field checked again on hydrate.
+LAYOUT_SCHEMA = 1
+
+#: Optional disk tier behind the in-process LRU: a
+#: :class:`repro.service.store.DiskStore` whose ``layout/`` class holds
+#: serialized structural arrays.  Opt-in (service / CLI / bench wiring)
+#: rather than ambient, so library users and tests never grow a
+#: ``.repro_cache/`` as a side effect of building a layout.
+_disk_store: "Any | None" = None
+
+
+def set_layout_disk_store(store: "Any | None") -> None:
+    """Attach (or with ``None`` detach) the layout persistence tier.
+
+    Once attached, every content-keyed build is serialized under the
+    store's ``layout/`` class and a process-level cache miss tries disk
+    hydration before re-flattening — ``kernel.layout_disk_hits`` /
+    ``kernel.layout_disk_misses`` count the outcomes, and a corrupt or
+    schema-mismatched payload falls back to a fresh build.
+    """
+    global _disk_store
+    _disk_store = store
+
+
+def layout_disk_store() -> "Any | None":
+    """The currently attached layout persistence store, if any."""
+    return _disk_store
+
 
 def clear_layout_cache() -> None:
     """Drop all cached layouts (test isolation hook)."""
@@ -269,6 +324,130 @@ def _clone_layout(cached: LevelizedLayout,
     return clone
 
 
+#: Structural :class:`LevelizedLayout` fields persisted to disk, by
+#: shape: id/position-indexed ndarrays, plain string lists, and
+#: per-level ndarray lists.  The working arrays
+#: (``edge_delay``/``edge_out_slew``) and lazy per-graph fields are
+#: deliberately absent: they are refilled from the hydrating graph.
+_LAYOUT_ARRAY_FIELDS = (
+    "order", "pos_of", "level_ptr", "in_ptr", "in_edge", "in_src",
+    "out_ptr", "out_edge", "out_dst", "edge_live", "edge_dst",
+    "live_eids", "clock_eids", "plain_eids", "data_eids", "data_depths",
+    "data_gate_cols", "node_is_clock_tree", "node_gate_col",
+    "source_ids", "boundary_arrival", "boundary_slew", "cell_edge_net",
+    "node_level", "edge_src", "edge_is_net",
+)
+_LAYOUT_LIST_FIELDS = ("gates", "node_gates", "cell_nets")
+_LAYOUT_LEVEL_FIELDS = (
+    "net_eids_by_level", "net_srcs_by_level", "cell_eids_by_level",
+)
+
+
+def layout_to_payload(layout: LevelizedLayout) -> "dict[str, Any]":
+    """The npz-style persistable form of a layout's structural arrays."""
+    return {
+        "schema": LAYOUT_SCHEMA,
+        "n_node_slots": layout.n_node_slots,
+        "n_edge_slots": layout.n_edge_slots,
+        "arrays": {
+            name: getattr(layout, name) for name in _LAYOUT_ARRAY_FIELDS
+        },
+        "lists": {
+            name: list(getattr(layout, name)) for name in _LAYOUT_LIST_FIELDS
+        },
+        "levels": {
+            name: list(getattr(layout, name)) for name in _LAYOUT_LEVEL_FIELDS
+        },
+    }
+
+
+def layout_from_payload(
+    payload: Any, graph: TimingGraph
+) -> "LevelizedLayout | None":
+    """Rehydrate a persisted payload against the current graph, or None.
+
+    Validation is deliberately strict — schema version, slot counts
+    against the live graph, array types — because a stale or corrupt
+    payload must degrade to a fresh build, never to a wrong layout.
+    """
+    if not isinstance(payload, dict) or payload.get("schema") != LAYOUT_SCHEMA:
+        return None
+    if (
+        payload.get("n_node_slots") != len(graph.nodes)
+        or payload.get("n_edge_slots") != len(graph.edges)
+    ):
+        return None
+    kwargs: "dict[str, Any]" = {}
+    arrays = payload["arrays"]
+    for name in _LAYOUT_ARRAY_FIELDS:
+        value = arrays[name]
+        if not isinstance(value, np.ndarray):
+            return None
+        kwargs[name] = value
+    for name in _LAYOUT_LIST_FIELDS:
+        kwargs[name] = list(payload["lists"][name])
+    for name in _LAYOUT_LEVEL_FIELDS:
+        kwargs[name] = [
+            np.asarray(arr, dtype=np.int64) for arr in payload["levels"][name]
+        ]
+    n_edge_slots = int(payload["n_edge_slots"])
+    layout = LevelizedLayout(
+        structure_version=graph.structure_version,
+        n_node_slots=int(payload["n_node_slots"]),
+        n_edge_slots=n_edge_slots,
+        edge_delay=np.zeros(n_edge_slots),
+        edge_out_slew=np.zeros(n_edge_slots),
+        gate_index={gate: col for col, gate in enumerate(kwargs["gates"])},
+        **kwargs,
+    )
+    for edge in graph.edges:
+        if edge is not None:
+            layout.edge_delay[edge.id] = edge.delay
+            layout.edge_out_slew[edge.id] = edge.out_slew
+    return layout
+
+
+def _layout_from_disk(
+    key: tuple, graph: TimingGraph
+) -> "LevelizedLayout | None":
+    """Hydrate a content-keyed layout from the attached disk store."""
+    store = _disk_store
+    if store is None:
+        return None
+    from repro.service.keys import layout_key
+
+    start = time.perf_counter()
+    layout: "LevelizedLayout | None" = None
+    try:
+        payload = store.get("layout", layout_key(key, LAYOUT_SCHEMA))
+        if payload is not None:
+            layout = layout_from_payload(payload, graph)
+    except Exception:  # a bad payload is a miss, never an error
+        layout = None
+    if layout is None:
+        counter("kernel.layout_disk_misses").inc()
+        return None
+    counter("kernel.layout_disk_hits").inc()
+    histogram("kernel.layout_hydrate_seconds").observe(
+        time.perf_counter() - start
+    )
+    return layout
+
+
+def _layout_to_disk(key: tuple, layout: LevelizedLayout) -> None:
+    """Best-effort persist of a fresh keyed build (failures are silent)."""
+    store = _disk_store
+    if store is None:
+        return
+    from repro.service.keys import layout_key
+
+    try:
+        store.put("layout", layout_key(key, LAYOUT_SCHEMA),
+                  layout_to_payload(layout))
+    except Exception:
+        pass
+
+
 def build_layout(
     graph: TimingGraph,
     boundary: BoundaryConditions,
@@ -282,9 +461,10 @@ def build_layout(
     are classified here.
 
     Pristine-graph builds are served from the content-keyed layout
-    cache when possible (see :func:`_layout_cache_key`); the flattening
-    itself is deterministic per content, so a clone is bit-identical to
-    a fresh build.
+    cache when possible (see :func:`_layout_cache_key`), then from the
+    attached disk store (see :func:`set_layout_disk_store`); the
+    flattening itself is deterministic per content, so a clone or a
+    hydrated payload is bit-identical to a fresh build.
     """
     key = _layout_cache_key(graph, boundary, depths)
     if key is not None:
@@ -297,14 +477,26 @@ def build_layout(
             _layout_cache.move_to_end(key)
             counter("kernel.layout_cache_hits").inc()
             return _clone_layout(cached, graph)
+        hydrated = _layout_from_disk(key, graph)
+        if hydrated is not None:
+            counter("kernel.layout_cache_misses").inc()
+            _layout_cache[key] = hydrated
+            while len(_layout_cache) > _LAYOUT_CACHE_MAX:
+                _layout_cache.popitem(last=False)
+            return hydrated
+    start = time.perf_counter()
     with span("kernel.build", nodes=graph.node_count(),
               edges=graph.edge_count()):
         layout = _build_layout(graph, boundary, depths)
+    histogram("kernel.layout_build_seconds").observe(
+        time.perf_counter() - start
+    )
     if key is not None:
         counter("kernel.layout_cache_misses").inc()
         _layout_cache[key] = layout
         while len(_layout_cache) > _LAYOUT_CACHE_MAX:
             _layout_cache.popitem(last=False)
+        _layout_to_disk(key, layout)
     return layout
 
 
@@ -341,6 +533,9 @@ def _build_layout(
     order = np.asarray(order_list, dtype=np.int64)
     pos_of = np.full(n_node_slots, -1, dtype=np.int64)
     pos_of[order] = np.arange(order.size, dtype=np.int64)
+    node_level = np.full(n_node_slots, -1, dtype=np.int64)
+    for node_id, lv in level.items():
+        node_level[node_id] = lv
 
     # Fanin / fanout CSR in position order.
     in_ptr = np.zeros(order.size + 1, dtype=np.int64)
@@ -366,6 +561,8 @@ def _build_layout(
     # Per-edge-slot arrays + derate classification.
     edge_live = np.zeros(n_edge_slots, dtype=bool)
     edge_dst = np.zeros(n_edge_slots, dtype=np.int64)
+    edge_src = np.zeros(n_edge_slots, dtype=np.int64)
+    edge_is_net = np.zeros(n_edge_slots, dtype=bool)
     edge_delay = np.zeros(n_edge_slots)
     edge_out_slew = np.zeros(n_edge_slots)
     clock_list: list[int] = []
@@ -384,6 +581,8 @@ def _build_layout(
             continue
         edge_live[edge.id] = True
         edge_dst[edge.id] = edge.dst
+        edge_src[edge.id] = edge.src
+        edge_is_net[edge.id] = edge.kind is EdgeKind.NET
         edge_delay[edge.id] = edge.delay
         edge_out_slew[edge.id] = edge.out_slew
         domain = classify_edge(graph, edge)
@@ -438,18 +637,9 @@ def _build_layout(
     source_ids = order[level_ptr[0]:level_ptr[1]] if n_levels else \
         np.empty(0, dtype=np.int64)
     for node_id in source_ids.tolist():
-        node = graph.node(node_id)
-        if node.ref.is_port and node.ref.pin in boundary.clock_ports:
-            boundary_arrival[node_id] = 0.0
-            boundary_slew[node_id] = boundary.clock_slew
-        elif node.ref.is_port:
-            boundary_arrival[node_id] = boundary.input_delays.get(
-                node.ref.pin, 0.0
-            )
-            boundary_slew[node_id] = boundary.input_slew
-        else:
-            boundary_arrival[node_id] = 0.0
-            boundary_slew[node_id] = boundary.input_slew
+        arrival, slew_value = _boundary_source_values(graph, boundary, node_id)
+        boundary_arrival[node_id] = arrival
+        boundary_slew[node_id] = slew_value
 
     # Per-level fanout split: net arcs (pass-through) vs cell arcs (LUT).
     net_eids_by_level: list[np.ndarray] = []
@@ -509,6 +699,448 @@ def _build_layout(
         net_eids_by_level=net_eids_by_level,
         net_srcs_by_level=net_srcs_by_level,
         cell_eids_by_level=cell_eids_by_level,
+        node_level=node_level,
+        edge_src=edge_src,
+        edge_is_net=edge_is_net,
+    )
+
+
+def _boundary_source_values(
+    graph: TimingGraph,
+    boundary: BoundaryConditions,
+    node_id: int,
+) -> "tuple[float, float]":
+    """(arrival, slew) of one level-0 source, mirroring
+    ``propagation.apply_boundary`` exactly (build and patch paths must
+    agree bit-for-bit)."""
+    node = graph.node(node_id)
+    if node.ref.is_port and node.ref.pin in boundary.clock_ports:
+        return 0.0, boundary.clock_slew
+    if node.ref.is_port:
+        return boundary.input_delays.get(node.ref.pin, 0.0), boundary.input_slew
+    return 0.0, boundary.input_slew
+
+
+# ----------------------------------------------------------------------
+# Incremental level maintenance (layout patching)
+# ----------------------------------------------------------------------
+def _padded(arr: np.ndarray, size: int, fill: Any) -> np.ndarray:
+    """A fresh copy of ``arr`` grown to ``size`` slots.
+
+    Always copies, even at equal size: a patch must never mutate arrays
+    the content-keyed cache (and its clones) still share.
+    """
+    out = np.full(size, fill, dtype=arr.dtype)
+    out[: arr.shape[0]] = arr
+    return out
+
+
+def patch_layout(
+    layout: LevelizedLayout,
+    graph: TimingGraph,
+    boundary: BoundaryConditions,
+    depths: "dict[str, int]",
+) -> "LevelizedLayout | None":
+    """Splice a bounded structural edit into an existing layout.
+
+    Uses the graph's structure journal to find the touched node/edge
+    slots, re-levels only the affected region with a worklist, and
+    rebuilds the CSR/classification arrays around it — reusing every
+    untouched row via vectorized gathers.  Returns a **new** layout at
+    the graph's current ``structure_version``, or ``None`` when the
+    edit is not provably local (journal overflow, clock-network
+    movement, or any legality check failing), in which case the caller
+    must fall back to :func:`build_layout`.
+
+    Bit-identity is preserved because the sweeps never depend on the
+    *canonical* (longest-fanin-chain) level assignment — any legal
+    levelization (``level[src] < level[dst]`` on every live edge)
+    reduces each node over the same fanin multiset, and a final
+    legality check gates the patched assignment.  Counted by
+    ``kernel.layout_patches`` / ``kernel.layout_patch_fallbacks``.
+    """
+    if layout.structure_version == graph.structure_version:
+        return layout
+    with span("kernel.patch"):
+        try:
+            patched = _patch_layout(layout, graph, boundary, depths)
+        except Exception:  # a failed patch degrades to a rebuild
+            patched = None
+    if patched is None:
+        counter("kernel.layout_patch_fallbacks").inc()
+    else:
+        counter("kernel.layout_patches").inc()
+    return patched
+
+
+def _patch_layout(
+    layout: LevelizedLayout,
+    graph: TimingGraph,
+    boundary: BoundaryConditions,
+    depths: "dict[str, int]",
+) -> "LevelizedLayout | None":
+    touched = graph.touched_since(layout.structure_version)
+    if touched is None:
+        return None
+    touched_nodes, touched_eids = touched
+    nodes = graph.nodes
+    edges = graph.edges
+    n_nodes = len(nodes)
+    n_edges = len(edges)
+
+    live_now = np.fromiter(
+        (node is not None for node in nodes), dtype=bool, count=n_nodes
+    )
+    clock_now = np.fromiter(
+        (node is not None and node.is_clock_tree for node in nodes),
+        dtype=bool, count=n_nodes,
+    )
+    old_live = np.zeros(n_nodes, dtype=bool)
+    old_live[: layout.n_node_slots] = layout.pos_of >= 0
+    # Clock-tree membership moving on a *surviving* node means edge
+    # domains (and so derate classes) of untouched edges went stale;
+    # only a full rebuild reclassifies those.
+    surviving = old_live & live_now
+    old_clock = _padded(layout.node_is_clock_tree, n_nodes, False)
+    if np.any(clock_now[surviving] != old_clock[surviving]):
+        return None
+
+    # --- re-level the affected region (worklist) ------------------------
+    # Releveling never touches adjacency — CSR rows of releveled nodes
+    # are reused verbatim and the order/level_ptr/grouping rebuilds
+    # below are vectorized — so even a whole-cone cascade is far
+    # cheaper than the scalar fresh build.  The pop cap is a livelock
+    # backstop (a cycle would spin the ready/requeue logic forever),
+    # not a cone-size bound.
+    node_level = _padded(layout.node_level, n_nodes, -1)
+    node_level[~live_now] = -1
+    n_live = int(np.count_nonzero(live_now))
+    pops_cap = 32 * n_live + 256
+    seeds = sorted(
+        node_id for node_id in touched_nodes
+        if 0 <= node_id < n_nodes and live_now[node_id]
+    )
+    pending: "deque[int]" = deque(seeds)
+    queued = set(seeds)
+    pops = 0
+    while pending:
+        node_id = pending.popleft()
+        queued.discard(node_id)
+        pops += 1
+        if pops > pops_cap:
+            return None
+        best = 0
+        ready = True
+        for edge_id in graph.in_edges[node_id]:
+            edge = edges[edge_id]
+            assert edge is not None
+            src_level = int(node_level[edge.src])
+            if src_level < 0:
+                # Fanin not leveled yet (a new node): settle it first.
+                if edge.src not in queued:
+                    pending.append(edge.src)
+                    queued.add(edge.src)
+                ready = False
+            elif src_level + 1 > best:
+                best = src_level + 1
+        if not ready:
+            if node_id not in queued:
+                pending.append(node_id)
+                queued.add(node_id)
+            continue
+        # Raise-only relaxation: a node moves up just far enough for
+        # legality and never back down.  The sweeps only need legality,
+        # not canonical (longest-chain) levels (see :func:`patch_layout`),
+        # which pays off on the revert half of a what-if: the raised
+        # levels stay legal after the buffer comes back out, so
+        # re-editing the same site cascades zero nodes.
+        if best > int(node_level[node_id]):
+            node_level[node_id] = best
+            for edge_id in graph.out_edges[node_id]:
+                dst = edges[edge_id].dst  # type: ignore[union-attr]
+                if dst not in queued:
+                    pending.append(dst)
+                    queued.add(dst)
+
+    live_ids = np.flatnonzero(live_now)
+    level_of_live = node_level[live_ids]
+    if live_ids.size and int(level_of_live.min()) < 0:
+        return None  # a live node escaped leveling: not patchable
+
+    # --- order / level_ptr / pos_of ------------------------------------
+    # live_ids ascends, the sort is stable: ties stay in id order,
+    # exactly like the fresh build's sorted per-level buckets.
+    sorter = np.argsort(level_of_live, kind="stable")
+    order = live_ids[sorter]
+    n_levels = int(level_of_live.max()) + 1 if order.size else 0
+    level_ptr = np.zeros(n_levels + 1, dtype=np.int64)
+    if order.size:
+        np.cumsum(
+            np.bincount(level_of_live, minlength=n_levels),
+            out=level_ptr[1:],
+        )
+    pos_of = np.full(n_nodes, -1, dtype=np.int64)
+    pos_of[order] = np.arange(order.size, dtype=np.int64)
+
+    # --- per-edge-slot arrays ------------------------------------------
+    touched_mask = np.zeros(n_nodes, dtype=bool)
+    for node_id in touched_nodes:
+        if 0 <= node_id < n_nodes:
+            touched_mask[node_id] = True
+    edge_live = _padded(layout.edge_live, n_edges, False)
+    edge_dst = _padded(layout.edge_dst, n_edges, 0)
+    edge_src = _padded(layout.edge_src, n_edges, 0)
+    edge_is_net = _padded(layout.edge_is_net, n_edges, False)
+    edge_delay = _padded(layout.edge_delay, n_edges, 0.0)
+    edge_out_slew = _padded(layout.edge_out_slew, n_edges, 0.0)
+    cell_edge_net = _padded(layout.cell_edge_net, n_edges, -1)
+    stale_eid = np.zeros(n_edges, dtype=bool)
+    fresh_eids: list[int] = []
+    for edge_id in sorted(e for e in touched_eids if 0 <= e < n_edges):
+        stale_eid[edge_id] = True
+        edge = edges[edge_id]
+        if edge is None:
+            edge_live[edge_id] = False
+            cell_edge_net[edge_id] = -1
+        else:
+            edge_live[edge_id] = True
+            edge_dst[edge_id] = edge.dst
+            edge_src[edge_id] = edge.src
+            edge_is_net[edge_id] = edge.kind is EdgeKind.NET
+            edge_delay[edge_id] = edge.delay
+            edge_out_slew[edge_id] = edge.out_slew
+            fresh_eids.append(edge_id)
+    live_eids = np.flatnonzero(edge_live).astype(np.int64)
+
+    # --- legality gate --------------------------------------------------
+    if live_eids.size and not bool(
+        np.all(
+            node_level[edge_src[live_eids]] < node_level[edge_dst[live_eids]]
+        )
+    ):
+        return None
+
+    # --- derate classification ------------------------------------------
+    def _keep(eids: np.ndarray) -> np.ndarray:
+        if not eids.size:
+            return eids
+        return eids[~stale_eid[eids]]
+
+    clock_list = _keep(layout.clock_eids)
+    plain_list = _keep(layout.plain_eids)
+    keep_data = (
+        ~stale_eid[layout.data_eids]
+        if layout.data_eids.size
+        else np.zeros(0, dtype=bool)
+    )
+    data_list = layout.data_eids[keep_data]
+    data_cols = layout.data_gate_cols[keep_data]
+    gates = list(layout.gates)
+    gate_index = dict(layout.gate_index)
+    cell_nets = list(layout.cell_nets)
+    cell_net_index = {net: idx for idx, net in enumerate(cell_nets)}
+    clock_new: list[int] = []
+    plain_new: list[int] = []
+    data_new: list[int] = []
+    data_cols_new: list[int] = []
+    netlist = graph.netlist
+    for edge_id in fresh_eids:
+        edge = edges[edge_id]
+        assert edge is not None
+        domain = classify_edge(graph, edge)
+        if domain is EdgeDomain.CLOCK:
+            clock_new.append(edge_id)
+        elif domain is EdgeDomain.DATA_CELL:
+            assert edge.gate is not None
+            col = gate_index.get(edge.gate)
+            if col is None:
+                col = len(gates)
+                gate_index[edge.gate] = col
+                gates.append(edge.gate)
+            data_new.append(edge_id)
+            data_cols_new.append(col)
+        else:
+            plain_new.append(edge_id)
+        if edge.kind is EdgeKind.CELL:
+            dst_ref = graph.node(edge.dst).ref
+            assert dst_ref.gate is not None
+            net = netlist.gate(dst_ref.gate).connections.get(dst_ref.pin)
+            if net is not None:
+                idx = cell_net_index.get(net)
+                if idx is None:
+                    idx = len(cell_nets)
+                    cell_net_index[net] = idx
+                    cell_nets.append(net)
+                cell_edge_net[edge_id] = idx
+    clock_eids = np.concatenate(
+        [clock_list, np.asarray(clock_new, dtype=np.int64)]
+    )
+    plain_eids = np.concatenate(
+        [plain_list, np.asarray(plain_new, dtype=np.int64)]
+    )
+    data_eids = np.concatenate([data_list, np.asarray(data_new, dtype=np.int64)])
+    data_gate_cols = np.concatenate(
+        [data_cols, np.asarray(data_cols_new, dtype=np.int64)]
+    )
+    # Depths are global (worst depth per gate over the whole graph), so
+    # a local edit can move *any* gate's depth: regenerate them all
+    # from the fresh depth map, exactly like the builder would.
+    if data_eids.size:
+        depth_of_gate = np.asarray(
+            [depths.get(gate, 1) for gate in gates], dtype=np.int64
+        )
+        data_depths = depth_of_gate[data_gate_cols]
+    else:
+        data_depths = np.zeros(0, dtype=np.int64)
+
+    # --- node metadata --------------------------------------------------
+    node_gate_col = _padded(layout.node_gate_col, n_nodes, -1)
+    node_gates = list(layout.node_gates)
+    node_gate_index = {gate: col for col, gate in enumerate(node_gates)}
+    for node_id in np.flatnonzero(live_now & ~old_live).tolist():
+        gate = graph.node(node_id).ref.gate
+        if gate is None:
+            node_gate_col[node_id] = -1
+            continue
+        col = node_gate_index.get(gate)
+        if col is None:
+            col = len(node_gates)
+            node_gate_index[gate] = col
+            node_gates.append(gate)
+        node_gate_col[node_id] = col
+
+    # --- fanin / fanout CSR ---------------------------------------------
+    old_pos = np.full(n_nodes, -1, dtype=np.int64)
+    old_pos[: layout.n_node_slots] = layout.pos_of
+
+    def _rebuild_csr(
+        old_ptr: np.ndarray,
+        old_flat_edge: np.ndarray,
+        old_flat_other: np.ndarray,
+        adjacency: "list[list[int]]",
+        other_of_edge: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        counts = np.zeros(order.size, dtype=np.int64)
+        old_position = old_pos[order]
+        reuse = (old_position >= 0) & ~touched_mask[order]
+        rp = old_position[reuse]
+        counts[reuse] = old_ptr[rp + 1] - old_ptr[rp]
+        fresh_rows = np.flatnonzero(~reuse)
+        for row in fresh_rows.tolist():
+            counts[row] = len(adjacency[order[row]])
+        ptr = np.zeros(order.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        total = int(ptr[-1])
+        flat_edge = np.empty(total, dtype=np.int64)
+        flat_other = np.empty(total, dtype=np.int64)
+        reuse_rows = np.flatnonzero(reuse)
+        if reuse_rows.size:
+            cnt = counts[reuse_rows]
+            has = cnt > 0
+            reuse_rows = reuse_rows[has]
+            cnt = cnt[has]
+            if reuse_rows.size:
+                src_start = old_ptr[old_pos[order[reuse_rows]]]
+                dst_start = ptr[reuse_rows]
+                seg = np.zeros(cnt.size, dtype=np.int64)
+                np.cumsum(cnt[:-1], out=seg[1:])
+                offsets = (
+                    np.arange(int(cnt.sum()), dtype=np.int64)
+                    - np.repeat(seg, cnt)
+                )
+                src_idx = np.repeat(src_start, cnt) + offsets
+                dst_idx = np.repeat(dst_start, cnt) + offsets
+                flat_edge[dst_idx] = old_flat_edge[src_idx]
+                flat_other[dst_idx] = old_flat_other[src_idx]
+        for row in fresh_rows.tolist():
+            cursor = int(ptr[row])
+            for edge_id in adjacency[order[row]]:
+                flat_edge[cursor] = edge_id
+                flat_other[cursor] = other_of_edge[edge_id]
+                cursor += 1
+        return ptr, flat_edge, flat_other
+
+    in_ptr, in_edge, in_src = _rebuild_csr(
+        layout.in_ptr, layout.in_edge, layout.in_src,
+        graph.in_edges, edge_src,
+    )
+    out_ptr, out_edge, out_dst = _rebuild_csr(
+        layout.out_ptr, layout.out_edge, layout.out_dst,
+        graph.out_edges, edge_dst,
+    )
+    # Every live edge appears exactly once per CSR, or the splice is
+    # inconsistent with the graph (e.g. a journal gap): rebuild.
+    if int(in_ptr[-1]) != int(live_eids.size) or \
+            int(out_ptr[-1]) != int(live_eids.size):
+        return None
+
+    # --- boundary (level-0) values --------------------------------------
+    boundary_arrival = _padded(layout.boundary_arrival, n_nodes, 0.0)
+    boundary_slew = _padded(layout.boundary_slew, n_nodes, 0.0)
+    old_source = np.zeros(n_nodes, dtype=bool)
+    old_source[layout.source_ids] = True
+    source_ids = order[level_ptr[0]:level_ptr[1]] if n_levels else \
+        np.empty(0, dtype=np.int64)
+    for node_id in source_ids.tolist():
+        if old_source[node_id]:
+            continue  # values are a pure function of ref + boundary
+        arrival, slew_value = _boundary_source_values(graph, boundary, node_id)
+        boundary_arrival[node_id] = arrival
+        boundary_slew[node_id] = slew_value
+
+    # --- per-level fanout split -----------------------------------------
+    net_eids_by_level: list[np.ndarray] = []
+    net_srcs_by_level: list[np.ndarray] = []
+    cell_eids_by_level: list[np.ndarray] = []
+    for lv in range(n_levels):
+        s = int(out_ptr[level_ptr[lv]])
+        e = int(out_ptr[level_ptr[lv + 1]])
+        eids = out_edge[s:e]
+        is_net = edge_is_net[eids]
+        net_e = eids[is_net]
+        net_eids_by_level.append(net_e)
+        net_srcs_by_level.append(edge_src[net_e])
+        cell_eids_by_level.append(eids[~is_net])
+
+    return LevelizedLayout(
+        structure_version=graph.structure_version,
+        n_node_slots=n_nodes,
+        n_edge_slots=n_edges,
+        order=order,
+        pos_of=pos_of,
+        level_ptr=level_ptr,
+        in_ptr=in_ptr,
+        in_edge=in_edge,
+        in_src=in_src,
+        out_ptr=out_ptr,
+        out_edge=out_edge,
+        out_dst=out_dst,
+        edge_live=edge_live,
+        edge_dst=edge_dst,
+        live_eids=live_eids,
+        edge_delay=edge_delay,
+        edge_out_slew=edge_out_slew,
+        clock_eids=clock_eids,
+        plain_eids=plain_eids,
+        data_eids=data_eids,
+        data_depths=data_depths,
+        data_gate_cols=data_gate_cols,
+        gates=gates,
+        gate_index=gate_index,
+        node_is_clock_tree=clock_now,
+        node_gate_col=node_gate_col,
+        node_gates=node_gates,
+        source_ids=source_ids,
+        boundary_arrival=boundary_arrival,
+        boundary_slew=boundary_slew,
+        cell_nets=cell_nets,
+        cell_edge_net=cell_edge_net,
+        net_eids_by_level=net_eids_by_level,
+        net_srcs_by_level=net_srcs_by_level,
+        cell_eids_by_level=cell_eids_by_level,
+        node_level=node_level,
+        edge_src=edge_src,
+        edge_is_net=edge_is_net,
     )
 
 
@@ -743,7 +1375,7 @@ def sync_edge_arrays(layout: LevelizedLayout, graph: TimingGraph) -> None:
 
 
 # ----------------------------------------------------------------------
-# Incremental propagation (masked level sweep)
+# Incremental propagation (frontier-bounded level sweep)
 # ----------------------------------------------------------------------
 def propagate_incremental(
     layout: LevelizedLayout,
@@ -753,7 +1385,15 @@ def propagate_incremental(
     boundary: BoundaryConditions,
     seeds: "set[int]",
 ) -> int:
-    """Re-relax only the affected cone, level by level, under a mask.
+    """Re-relax only the affected cone via a per-level frontier.
+
+    Dirty nodes are bucketed by level (a heap of level indices), and
+    the sweep advances through exactly the levels that hold dirty nodes
+    — an edit touching a 50-node cone on a deep design does O(cone)
+    work, not a scan over every level.  Fanout marking only ever
+    targets strictly deeper levels (levelization legality), so each
+    level is processed at most once and the relaxed set is identical to
+    the old full-mask scan.
 
     Semantics mirror the scalar rank-ordered worklist exactly: a node
     is re-relaxed iff it is a seed or an already-relaxed fanin source
@@ -767,10 +1407,30 @@ def propagate_incremental(
     # An incremental sweep rewrites slews/delays in the cone under the
     # same state object; the next full update must re-derive them.
     layout._flow_key = None
+    node_level = layout.node_level
     dirty = np.zeros(layout.n_node_slots, dtype=bool)
-    seed_ids = [s for s in seeds if 0 <= s < layout.n_node_slots]
-    dirty[seed_ids] = True
+    buckets: "dict[int, list[int]]" = {}
+    heap: list[int] = []
+
+    def mark(node_id: int) -> None:
+        if dirty[node_id]:
+            return
+        lv = int(node_level[node_id])
+        if lv < 0:  # dead slot: the scalar worklist skips these too
+            return
+        dirty[node_id] = True
+        bucket = buckets.get(lv)
+        if bucket is None:
+            buckets[lv] = [node_id]
+            heapq.heappush(heap, lv)
+        else:
+            bucket.append(node_id)
+
+    for seed in seeds:
+        if 0 <= seed < layout.n_node_slots:
+            mark(seed)
     visited = 0
+    levels_touched = 0
     arrival_late = state.arrival_late
     arrival_early = state.arrival_early
     slew = state.slew
@@ -778,13 +1438,12 @@ def propagate_incremental(
     derate_early = state.derate_early
     edge_delay = layout.edge_delay
     edge_out_slew = layout.edge_out_slew
-    for lv in range(layout.levels):
-        p0, p1 = int(layout.level_ptr[lv]), int(layout.level_ptr[lv + 1])
-        ids = layout.order[p0:p1]
-        sel_mask = dirty[ids]
-        if not sel_mask.any():
-            continue
-        sel = ids[sel_mask]
+    while heap:
+        lv = heapq.heappop(heap)
+        # Ascending id within the level — the exact order the old
+        # mask-over-``order`` scan produced (order sorts ties by id).
+        sel = np.asarray(sorted(buckets.pop(lv)), dtype=np.int64)
+        levels_touched += 1
         visited += int(sel.size)
         old_late = arrival_late[sel].copy()
         old_early = arrival_early[sel].copy()
@@ -841,8 +1500,9 @@ def propagate_incremental(
                 for edge_id in graph.out_edges[node_id]:
                     edge = graph.edges[edge_id]
                     assert edge is not None
-                    dirty[edge.dst] = True
+                    mark(edge.dst)
     counter("kernel.incremental_sweeps").inc()
+    histogram("kernel.frontier_levels").observe(levels_touched)
     return visited
 
 

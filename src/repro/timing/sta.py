@@ -194,13 +194,22 @@ class STAEngine:
 
         Rebuilt only when the graph's ``structure_version`` moved, so a
         weight-only re-derate (every mGBA ``set_gate_weights``) reuses
-        the flattened arrays.
+        the flattened arrays.  When the version did move, a bounded
+        structural edit (the what-if loop's buffer insert/remove) is
+        first spliced into the existing layout via
+        :func:`repro.timing.kernel.patch_layout`; only a non-patchable
+        edit pays the full flattening.
         """
         layout = self._layout
         if (
-            layout is None
-            or layout.structure_version != self.graph.structure_version
+            layout is not None
+            and layout.structure_version != self.graph.structure_version
         ):
+            layout = kernel_mod.patch_layout(
+                layout, self.graph, self.boundary(), self.gba_depths
+            )
+            self._layout = layout
+        if layout is None:
             layout = kernel_mod.build_layout(
                 self.graph, self.boundary(), self.gba_depths
             )

@@ -576,3 +576,47 @@ class TestObservabilityCommands:
         records = [json.loads(line)
                    for line in trace.read_text().splitlines()]
         assert records and any(r["parent"] is None for r in records)
+
+
+class TestCache:
+    """The ``cache`` subcommand over the on-disk artifact store."""
+
+    def test_stats_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "total" in out and "artifact store" in out
+
+    def test_warm_persists_then_hydrates(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["cache", "warm", "fig2", "--cache-dir", store]) == 0
+        first = capsys.readouterr().out
+        assert "persisted" in first
+        assert main(["cache", "warm", "fig2", "--cache-dir", store]) == 0
+        second = capsys.readouterr().out
+        assert "already warm" in second
+        assert main(["cache", "stats", "--cache-dir", store]) == 0
+        stats = capsys.readouterr().out
+        assert "layout" in stats
+
+    def test_warm_requires_design(self, tmp_path, capsys):
+        assert main(["cache", "warm",
+                     "--cache-dir", str(tmp_path / "store")]) == 2
+        assert "design" in capsys.readouterr().err
+
+    def test_clear_class_and_all(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["cache", "warm", "fig2", "--cache-dir", store]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--class", "layout",
+                     "--cache-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entry" in out
+        assert main(["cache", "clear", "--cache-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 entries" in out
+
+    def test_clear_unknown_class_exits_2(self, tmp_path, capsys):
+        assert main(["cache", "clear", "--class", "nope",
+                     "--cache-dir", str(tmp_path / "store")]) == 2
+        assert "unknown class" in capsys.readouterr().err
